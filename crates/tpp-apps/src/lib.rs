@@ -1,0 +1,34 @@
+//! # tpp-apps — the paper's network tasks, refactored onto TPPs
+//!
+//! §2 of the paper demonstrates the TPP interface with three tasks, each
+//! split into a trivial in-network program and an expressive end-host
+//! component. This crate implements all three, plus the §3.2.3
+//! concurrency demonstration:
+//!
+//! | Module | Paper section | In-network program | End-host logic |
+//! |---|---|---|---|
+//! | [`microburst`] | §2.1 | `PUSH [Queue:QueueSize]` | per-RTT queue time series + burst detector |
+//! | [`rcpstar`] | §2.2 | 5 PUSHes (collect), CEXEC+STORE (update) | the full RCP control loop per flow |
+//! | [`ndb`] | §2.3 | 4 PUSHes of forwarding metadata | trace reassembly + policy verification |
+//! | [`cstore`] | §3.2.3 | CEXEC+PUSH / CEXEC+CSTORE | linearizable read-modify-write with retry |
+//! | [`wireless`] | §2.3 | PUSH SNR + queue size | per-loss fade-vs-congestion attribution |
+//!
+//! Everything here talks to the network *exclusively* through TPPs — no
+//! module reads simulator ground truth. The experiments in `tpp-bench`
+//! compare what these apps infer against ground truth to validate the
+//! interface.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cstore;
+pub mod microburst;
+pub mod ndb;
+pub mod rcpstar;
+pub mod wireless;
+
+pub use cstore::{CounterTask, CounterWriteMode};
+pub use microburst::{detect_bursts, Burst, MicroburstMonitor, QueueSample};
+pub use ndb::{NdbHop, NdbProbeSender, PathPolicy, PathTrace, TraceCollector, Violation};
+pub use rcpstar::{RcpStarConfig, RcpStarSender};
+pub use wireless::{classify_loss, DiagnosisConfig, HealthSample, LinkHealthMonitor, LossCause};

@@ -1,0 +1,1039 @@
+//! The assembled dataplane pipeline of Figure 3.
+//!
+//! [`Asic::handle_frame`] walks a frame through: header parser → edge TPP
+//! filter (§4) → TCAM / L2 / L3 forwarding → per-packet metadata → TCPU
+//! (TPPs only, §3.3 "just after the L2/L3/TCAM tables") → egress drop-tail
+//! queue. The simulator's links later call [`Asic::dequeue`] to transmit,
+//! which is the scheduler of Fig. 3.
+//!
+//! The ASIC is a passive object driven by its owner (a `tpp-netsim` switch
+//! node or a unit test): it never knows about time except through the
+//! `now_ns` it is handed, which keeps the whole system deterministic.
+
+use crate::config::{AsicConfig, PortConfig, StripAction};
+use crate::memmap::Mmu;
+pub use crate::memmap::PacketMeta;
+use crate::queue::DropTailQueue;
+use crate::stats::{PortStats, QueueStats, SwitchRegs};
+use crate::tables::{FlowAction, FlowEntry, FlowKey, L2Table, LpmTable, Tcam};
+use crate::tcpu::{ExecReport, Tcpu};
+use tpp_wire::ethernet::{EtherType, Frame, ETHERNET_HEADER_LEN};
+use tpp_wire::tpp::TppPacket;
+
+pub use crate::memmap::QueueId;
+pub use crate::tables::PortId;
+
+/// Why the pipeline dropped a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// No table produced an egress port.
+    NoRoute,
+    /// The egress queue was full (drop-tail).
+    QueueFull {
+        /// The congested egress port.
+        port: PortId,
+    },
+    /// A TCAM entry's action was `Drop`.
+    FlowDrop {
+        /// The matching entry id.
+        entry_id: u32,
+    },
+    /// The §4 edge security policy dropped a TPP from an untrusted port.
+    EdgeFiltered,
+    /// The frame failed to parse.
+    ParseError,
+}
+
+/// The pipeline's verdict on one frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Enqueued for transmission.
+    Enqueued {
+        /// Egress port.
+        port: PortId,
+        /// Egress queue on that port.
+        queue: QueueId,
+        /// TCPU execution report, when the frame carried a TPP and the
+        /// TCPU ran it.
+        exec: Option<ExecReport>,
+    },
+    /// Dropped.
+    Dropped {
+        /// Why.
+        reason: DropReason,
+    },
+}
+
+impl Outcome {
+    /// True if the frame survived the pipeline.
+    pub fn is_enqueued(&self) -> bool {
+        matches!(self, Outcome::Enqueued { .. })
+    }
+}
+
+/// One physical port: configuration, statistics, queues, link SRAM.
+#[derive(Debug)]
+struct Port {
+    config: PortConfig,
+    stats: PortStats,
+    queues: Vec<DropTailQueue>,
+    link_sram: Vec<u32>,
+}
+
+impl Port {
+    fn new(config: PortConfig, link_sram_words: usize) -> Self {
+        let queues = (0..config.num_queues.max(1))
+            .map(|_| DropTailQueue::new(config.queue_limit_bytes))
+            .collect();
+        Port {
+            stats: PortStats::default(),
+            queues,
+            link_sram: vec![0; link_sram_words],
+            config,
+        }
+    }
+}
+
+/// A TPP-capable switch ASIC.
+pub struct Asic {
+    config: AsicConfig,
+    regs: SwitchRegs,
+    ports: Vec<Port>,
+    l2: L2Table,
+    l3: LpmTable,
+    tcam: Tcam,
+    global_sram: Vec<u32>,
+    tcpu: Tcpu,
+}
+
+impl Asic {
+    /// Build an ASIC from its configuration.
+    pub fn new(config: AsicConfig) -> Self {
+        let ports = config
+            .ports
+            .iter()
+            .map(|p| Port::new(p.clone(), config.link_sram_words))
+            .collect();
+        Asic {
+            regs: SwitchRegs::new(config.switch_id),
+            ports,
+            l2: L2Table::new(),
+            l3: LpmTable::new(),
+            tcam: Tcam::new(),
+            global_sram: vec![0; config.global_sram_words],
+            tcpu: Tcpu::new(config.tcpu_cycle_budget),
+            config,
+        }
+    }
+
+    /// The switch's identifier.
+    pub fn switch_id(&self) -> u32 {
+        self.config.switch_id
+    }
+
+    /// Number of ports.
+    pub fn num_ports(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Global switch registers (read-only view).
+    pub fn regs(&self) -> &SwitchRegs {
+        &self.regs
+    }
+
+    /// Per-port statistics (read-only view).
+    pub fn port_stats(&self, port: PortId) -> &PortStats {
+        &self.ports[port as usize].stats
+    }
+
+    /// Per-queue statistics (read-only view).
+    pub fn queue_stats(&self, port: PortId, queue: QueueId) -> &QueueStats {
+        self.ports[port as usize].queues[queue as usize].stats()
+    }
+
+    /// Instantaneous egress queue occupancy in bytes.
+    pub fn queue_len_bytes(&self, port: PortId, queue: QueueId) -> u64 {
+        self.ports[port as usize].queues[queue as usize].len_bytes()
+    }
+
+    /// The L2 MAC table (control-plane access).
+    pub fn l2_mut(&mut self) -> &mut L2Table {
+        &mut self.l2
+    }
+
+    /// The L3 LPM table (control-plane access).
+    pub fn l3_mut(&mut self) -> &mut LpmTable {
+        &mut self.l3
+    }
+
+    /// The TCAM (control-plane read access).
+    pub fn tcam(&self) -> &Tcam {
+        &self.tcam
+    }
+
+    /// Install a TCAM flow entry, bumping `Switch:FlowTableVersion` — the
+    /// dataplane version stamp ndb depends on (§2.3).
+    pub fn install_flow(&mut self, entry: FlowEntry) {
+        self.tcam.install(entry);
+        self.regs.flow_table_version = self.regs.flow_table_version.wrapping_add(1);
+    }
+
+    /// Remove a TCAM flow entry (also bumps the table version).
+    pub fn remove_flow(&mut self, id: u32) -> Option<FlowEntry> {
+        let removed = self.tcam.remove(id);
+        if removed.is_some() {
+            self.regs.flow_table_version = self.regs.flow_table_version.wrapping_add(1);
+        }
+        removed
+    }
+
+    /// Reconfigure a port's ingress TPP filter (the §4 edge policy).
+    pub fn set_ingress_tpp_filter(&mut self, port: PortId, filter: Option<StripAction>) {
+        self.ports[port as usize].config.ingress_tpp_filter = filter;
+    }
+
+    /// Configure ECN marking on a port's egress queues (the §4
+    /// fixed-function comparison; `None` disables).
+    pub fn set_ecn_threshold(&mut self, port: PortId, threshold_bytes: Option<u32>) {
+        self.ports[port as usize].config.ecn_threshold_bytes = threshold_bytes;
+    }
+
+    /// Update a wireless egress port's SNR register (deci-dB). In a real
+    /// AP the radio writes this "very quickly" changing state (§2.3);
+    /// in the model the experiment harness plays the radio.
+    pub fn set_port_snr(&mut self, port: PortId, snr_decidb: u32) {
+        self.ports[port as usize].stats.snr_decidb = snr_decidb;
+    }
+
+    /// Read a global-SRAM word (control-plane / test access).
+    pub fn global_sram_word(&self, word: usize) -> u32 {
+        self.global_sram[word]
+    }
+
+    /// Write a global-SRAM word (control-plane initialization, e.g. "a
+    /// control plane program initializes each link's fair share rate",
+    /// §2.2 footnote).
+    pub fn set_global_sram_word(&mut self, word: usize, value: u32) {
+        self.global_sram[word] = value;
+    }
+
+    /// Read a link-SRAM word of a port.
+    pub fn link_sram_word(&self, port: PortId, word: usize) -> u32 {
+        self.ports[port as usize].link_sram[word]
+    }
+
+    /// Write a link-SRAM word of a port (control-plane initialization).
+    pub fn set_link_sram_word(&mut self, port: PortId, word: usize, value: u32) {
+        self.ports[port as usize].link_sram[word] = value;
+    }
+
+    /// Fold per-port byte windows into the utilization EWMAs. The owner
+    /// calls this periodically (the simulator does, every tick interval).
+    pub fn tick(&mut self, now_ns: u64) {
+        let alpha = self.config.utilization_ewma_alpha;
+        for port in &mut self.ports {
+            port.stats
+                .tick_utilization(now_ns, port.config.capacity_kbps, alpha);
+        }
+    }
+
+    /// Process one arriving frame through the full pipeline.
+    pub fn handle_frame(&mut self, frame: Vec<u8>, in_port: PortId, now_ns: u64) -> Outcome {
+        assert!(
+            (in_port as usize) < self.ports.len(),
+            "in_port {in_port} out of range"
+        );
+        self.regs.wall_clock_ns = now_ns;
+        self.regs.packets_processed += 1;
+
+        // --- Header parser (Fig. 3) ---
+        let parsed = match Frame::new_checked(&frame[..]) {
+            Ok(f) => f,
+            Err(_) => {
+                return Outcome::Dropped {
+                    reason: DropReason::ParseError,
+                }
+            }
+        };
+        let is_tpp = parsed.is_tpp();
+
+        // --- §4 edge security filter on ingress ---
+        let frame = if is_tpp {
+            match self.ports[in_port as usize].config.ingress_tpp_filter {
+                Some(StripAction::Drop) => {
+                    return Outcome::Dropped {
+                        reason: DropReason::EdgeFiltered,
+                    }
+                }
+                Some(StripAction::Unwrap) => match strip_tpp(&frame) {
+                    Some(stripped) => {
+                        // The stripped frame is an ordinary packet now.
+                        return self.forward_plain(stripped, in_port, now_ns);
+                    }
+                    None => {
+                        return Outcome::Dropped {
+                            reason: DropReason::EdgeFiltered,
+                        }
+                    }
+                },
+                None => frame,
+            }
+        } else {
+            frame
+        };
+
+        if is_tpp {
+            self.forward_tpp(frame, in_port, now_ns)
+        } else {
+            self.forward_plain(frame, in_port, now_ns)
+        }
+    }
+
+    /// Forwarding lookup shared by both paths. Returns the egress port,
+    /// egress queue, matched entry info, and route diversity.
+    fn lookup(&mut self, key: &FlowKey) -> Result<(PortId, QueueId, u32, u32, u32), DropReason> {
+        // TCAM first (highest precedence, SDN-style), then L3 for IPv4,
+        // then L2 exact match.
+        if let Some(entry) = self.tcam.lookup(key) {
+            self.regs.tcam_hits += 1;
+            return match entry.action {
+                FlowAction::Forward(port) => {
+                    Ok((port, 0, entry.id, entry.version, self.route_diversity(key)))
+                }
+                FlowAction::ForwardQueue(port, queue) => {
+                    let n_queues = self
+                        .ports
+                        .get(port as usize)
+                        .map(|p| p.queues.len())
+                        .unwrap_or(1);
+                    // An action naming a queue the port does not have
+                    // degrades to the lowest-priority queue.
+                    let queue = (queue as usize).min(n_queues.saturating_sub(1)) as QueueId;
+                    Ok((
+                        port,
+                        queue,
+                        entry.id,
+                        entry.version,
+                        self.route_diversity(key),
+                    ))
+                }
+                FlowAction::Drop => Err(DropReason::FlowDrop { entry_id: entry.id }),
+            };
+        }
+        if let Some(ip) = key.ipv4_dst {
+            if let Some(port) = self.l3.lookup(ip) {
+                self.regs.l3_hits += 1;
+                return Ok((port, 0, 0, 0, self.route_diversity(key)));
+            }
+        }
+        if let Some(port) = self.l2.lookup(key.dst_mac) {
+            self.regs.l2_hits += 1;
+            return Ok((port, 0, 0, 0, self.route_diversity(key)));
+        }
+        Err(DropReason::NoRoute)
+    }
+
+    /// How many distinct tables could forward this packet — the model's
+    /// stand-in for "alternate routes for a packet" (Table 2; the paper
+    /// cites per-packet route diversity work \[11\]).
+    fn route_diversity(&self, key: &FlowKey) -> u32 {
+        let mut n = 0;
+        if self.tcam.lookup(key).is_some() {
+            n += 1;
+        }
+        if key.ipv4_dst.is_some_and(|ip| self.l3.lookup(ip).is_some()) {
+            n += 1;
+        }
+        if self.l2.lookup(key.dst_mac).is_some() {
+            n += 1;
+        }
+        n
+    }
+
+    fn forward_plain(&mut self, frame: Vec<u8>, in_port: PortId, _now_ns: u64) -> Outcome {
+        let key = match flow_key(&frame, in_port) {
+            Some(k) => k,
+            None => {
+                return Outcome::Dropped {
+                    reason: DropReason::ParseError,
+                }
+            }
+        };
+        let (out_port, queue_id, _, _, _) = match self.lookup(&key) {
+            Ok(ok) => ok,
+            Err(reason) => return Outcome::Dropped { reason },
+        };
+        self.enqueue(frame, out_port, queue_id, None)
+    }
+
+    fn forward_tpp(&mut self, mut frame: Vec<u8>, in_port: PortId, now_ns: u64) -> Outcome {
+        let key = match flow_key(&frame, in_port) {
+            Some(k) => k,
+            None => {
+                return Outcome::Dropped {
+                    reason: DropReason::ParseError,
+                }
+            }
+        };
+        let (out_port, queue_id, entry_id, entry_version, alternates) = match self.lookup(&key) {
+            Ok(ok) => ok,
+            Err(reason) => return Outcome::Dropped { reason },
+        };
+        let meta = PacketMeta {
+            input_port: in_port,
+            output_port: out_port,
+            matched_entry_id: entry_id,
+            matched_entry_version: entry_version,
+            queue_id,
+            packet_length: frame.len() as u32,
+            arrival_time_ns: now_ns,
+            alternate_routes: alternates,
+        };
+
+        // --- TCPU (Fig. 3: placed just before packets enter memory) ---
+        let exec = if self.config.tcpu_enabled {
+            let frame_len = frame.len();
+            let payload = &mut frame[ETHERNET_HEADER_LEN..];
+            match TppPacket::new_checked(payload) {
+                // A TPP the receiving end-host has already echoed is
+                // inert: re-executing it on the reverse path would
+                // corrupt the collected telemetry and re-apply writes
+                // (a CSTORE would fire twice). The ECHOED header flag is
+                // the end-host's "completed" mark and the TCPU honours
+                // it, like the paper's receiver echoing a "fully
+                // executed" TPP back through the network unchanged.
+                Ok(tpp) if tpp.flags() & tpp_wire::tpp::FLAG_ECHOED != 0 => None,
+                Ok(mut tpp) => {
+                    debug_assert!(frame_len >= ETHERNET_HEADER_LEN);
+                    let port = &mut self.ports[out_port as usize];
+                    let queue = &port.queues[queue_id as usize];
+                    let mut mmu = Mmu {
+                        switch: &self.regs,
+                        port: &port.stats,
+                        port_capacity_kbps: port.config.capacity_kbps,
+                        queue: queue.stats(),
+                        queue_limit_bytes: queue.limit_bytes(),
+                        meta: &meta,
+                        link_sram: &mut port.link_sram,
+                        global_sram: &mut self.global_sram,
+                    };
+                    let report = self.tcpu.execute(&mut tpp, &mut mmu);
+                    self.regs.tpps_executed += 1;
+                    Some(report)
+                }
+                // A malformed TPP section is forwarded untouched: the
+                // TCPU "ignores" what it cannot parse rather than
+                // disrupting traffic.
+                Err(_) => None,
+            }
+        } else {
+            None
+        };
+
+        self.enqueue(frame, out_port, queue_id, exec)
+    }
+
+    fn enqueue(
+        &mut self,
+        mut frame: Vec<u8>,
+        out_port: PortId,
+        queue_id: QueueId,
+        exec: Option<ExecReport>,
+    ) -> Outcome {
+        let len = frame.len() as u64;
+        let port = &mut self.ports[out_port as usize];
+        // ECN: "a router stamps a bit ... whenever the egress queue
+        // occupancy exceeds a configurable threshold" (§4). Marking is
+        // supported on TPP-format frames (the reproduction's marked
+        // header); occupancy is measured at enqueue, DCTCP-style.
+        if let Some(threshold) = port.config.ecn_threshold_bytes {
+            let occupancy = port.queues[queue_id as usize].len_bytes();
+            let is_tpp = Frame::new_checked(&frame[..])
+                .map(|f| f.is_tpp())
+                .unwrap_or(false);
+            if occupancy >= threshold as u64 && is_tpp {
+                if let Ok(mut tpp) = TppPacket::new_checked(&mut frame[ETHERNET_HEADER_LEN..]) {
+                    let flags = tpp.flags();
+                    tpp.set_flags(flags | tpp_wire::tpp::FLAG_ECN);
+                    port.stats.ecn_marked += 1;
+                }
+            }
+        }
+        // Offered load on the egress link (RCP's y(t) input).
+        port.stats.rx_bytes += len;
+        port.stats.rx_packets += 1;
+        port.stats.rx_window_bytes += len;
+        if port.queues[queue_id as usize].enqueue(frame) {
+            port.stats.bytes_enqueued += len;
+            Outcome::Enqueued {
+                port: out_port,
+                queue: queue_id,
+                exec,
+            }
+        } else {
+            port.stats.bytes_dropped += len;
+            Outcome::Dropped {
+                reason: DropReason::QueueFull { port: out_port },
+            }
+        }
+    }
+
+    /// Transmit the next frame of a port (the scheduler): queues are
+    /// served in strict priority order, queue 0 first.
+    pub fn dequeue(&mut self, port: PortId) -> Option<Vec<u8>> {
+        let port = &mut self.ports[port as usize];
+        for queue in &mut port.queues {
+            if let Some(frame) = queue.dequeue() {
+                let len = frame.len() as u64;
+                port.stats.tx_bytes += len;
+                port.stats.tx_packets += 1;
+                port.stats.tx_window_bytes += len;
+                return Some(frame);
+            }
+        }
+        None
+    }
+
+    /// True if the port has nothing queued.
+    pub fn port_idle(&self, port: PortId) -> bool {
+        self.ports[port as usize]
+            .queues
+            .iter()
+            .all(DropTailQueue::is_empty)
+    }
+
+    /// The capacity of a port in kbps.
+    pub fn port_capacity_kbps(&self, port: PortId) -> u32 {
+        self.ports[port as usize].config.capacity_kbps
+    }
+}
+
+/// Extract the lookup key from a frame; `None` if unparseable.
+fn flow_key(frame: &[u8], in_port: PortId) -> Option<FlowKey> {
+    let parsed = Frame::new_checked(frame).ok()?;
+    let ethertype = parsed.ethertype();
+    // A frame claiming IPv4 gets a full header validation (version, IHL,
+    // lengths, checksum); packets that fail it are treated as having no
+    // routable IP destination and fall through to L2.
+    let ipv4_dst = if ethertype == EtherType::IPV4 {
+        tpp_wire::Ipv4Packet::new_checked(parsed.payload())
+            .ok()
+            .map(|p| p.dst_addr().0)
+    } else {
+        None
+    };
+    Some(FlowKey {
+        in_port,
+        dst_mac: parsed.dst_addr(),
+        src_mac: parsed.src_addr(),
+        ethertype: ethertype.0,
+        ipv4_dst,
+    })
+}
+
+/// Remove a TPP section, restoring the encapsulated payload as an
+/// ordinary frame (the §4 "strip TPPs" edge action). Returns `None` when
+/// there is no meaningful inner payload to restore.
+fn strip_tpp(frame: &[u8]) -> Option<Vec<u8>> {
+    let parsed = Frame::new_checked(frame).ok()?;
+    let tpp = TppPacket::new_checked(parsed.payload()).ok()?;
+    let inner_ethertype = tpp.inner_ethertype();
+    if inner_ethertype == 0 || tpp.inner_payload().is_empty() {
+        return None;
+    }
+    let mut stripped = Vec::with_capacity(ETHERNET_HEADER_LEN + tpp.inner_payload().len());
+    stripped.extend_from_slice(&frame[..ETHERNET_HEADER_LEN]);
+    stripped.extend_from_slice(tpp.inner_payload());
+    let mut out = Frame::new_unchecked(&mut stripped[..]);
+    out.set_ethertype(EtherType(inner_ethertype));
+    Some(stripped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpp_isa::assemble;
+    use tpp_wire::ethernet::build_frame;
+    use tpp_wire::tpp::{AddressingMode, TppBuilder};
+    use tpp_wire::EthernetAddress;
+
+    fn asic() -> Asic {
+        let mut asic = Asic::new(AsicConfig::with_ports(0xA1, 4));
+        asic.l2_mut().insert(EthernetAddress::from_host_id(1), 1);
+        asic.l2_mut().insert(EthernetAddress::from_host_id(2), 2);
+        asic
+    }
+
+    fn tpp_frame(src_src: &str, mem_words: usize) -> Vec<u8> {
+        let program = assemble(src_src).unwrap();
+        let payload = TppBuilder::new(AddressingMode::Stack)
+            .instructions(&program.encode_words().unwrap())
+            .memory_words(mem_words)
+            .build();
+        build_frame(
+            EthernetAddress::from_host_id(1),
+            EthernetAddress::from_host_id(2),
+            EtherType::TPP,
+            &payload,
+        )
+    }
+
+    #[test]
+    fn plain_frame_forwarded_by_l2() {
+        let mut asic = asic();
+        let frame = build_frame(
+            EthernetAddress::from_host_id(2),
+            EthernetAddress::from_host_id(1),
+            EtherType(0x0800),
+            &[0u8; 64],
+        );
+        let outcome = asic.handle_frame(frame, 0, 1_000);
+        assert!(matches!(
+            outcome,
+            Outcome::Enqueued {
+                port: 2,
+                queue: 0,
+                exec: None
+            }
+        ));
+        assert_eq!(asic.regs().l2_hits, 1);
+        assert_eq!(asic.queue_len_bytes(2, 0), 14 + 64);
+        let sent = asic.dequeue(2).unwrap();
+        assert_eq!(sent.len(), 14 + 64);
+        assert_eq!(asic.port_stats(2).tx_packets, 1);
+        assert!(asic.port_idle(2));
+    }
+
+    #[test]
+    fn unknown_destination_dropped() {
+        let mut asic = asic();
+        let frame = build_frame(
+            EthernetAddress::from_host_id(77),
+            EthernetAddress::from_host_id(1),
+            EtherType(0x0800),
+            &[],
+        );
+        assert_eq!(
+            asic.handle_frame(frame, 0, 0),
+            Outcome::Dropped {
+                reason: DropReason::NoRoute
+            }
+        );
+    }
+
+    #[test]
+    fn tpp_executes_and_is_forwarded() {
+        let mut asic = asic();
+        let frame = tpp_frame("PUSH [Switch:SwitchID]", 2);
+        let outcome = asic.handle_frame(frame, 0, 5_000);
+        let Outcome::Enqueued {
+            port,
+            exec: Some(report),
+            ..
+        } = outcome
+        else {
+            panic!("unexpected outcome {outcome:?}");
+        };
+        assert_eq!(port, 1);
+        assert!(report.completed());
+        assert_eq!(asic.regs().tpps_executed, 1);
+        // The transmitted frame carries the pushed switch id.
+        let sent = asic.dequeue(1).unwrap();
+        let parsed = Frame::new_checked(&sent[..]).unwrap();
+        let tpp = TppPacket::new_checked(parsed.payload()).unwrap();
+        assert_eq!(tpp.stack_words(), vec![0xA1]);
+        assert_eq!(tpp.hop(), 1);
+    }
+
+    #[test]
+    fn tpp_sees_queue_size_of_its_own_egress_port() {
+        let mut asic = asic();
+        // Pre-load the egress queue of port 1 with a 78-byte frame.
+        let filler = build_frame(
+            EthernetAddress::from_host_id(1),
+            EthernetAddress::from_host_id(2),
+            EtherType(0x0800),
+            &[0u8; 64],
+        );
+        asic.handle_frame(filler, 0, 100);
+        let frame = tpp_frame("PUSH [Queue:QueueSize]", 2);
+        asic.handle_frame(frame, 0, 200);
+        // Read back from the queue: second frame saw 78 bytes ahead of it.
+        asic.dequeue(1).unwrap();
+        let sent = asic.dequeue(1).unwrap();
+        let parsed = Frame::new_checked(&sent[..]).unwrap();
+        let tpp = TppPacket::new_checked(parsed.payload()).unwrap();
+        assert_eq!(tpp.stack_words(), vec![78]);
+    }
+
+    #[test]
+    fn tcam_overrides_l2_and_reports_entry() {
+        let mut asic = asic();
+        asic.install_flow(FlowEntry {
+            id: 9,
+            version: 3,
+            priority: 10,
+            pattern: crate::tables::FlowMatch {
+                dst_mac: Some(EthernetAddress::from_host_id(1)),
+                ..Default::default()
+            },
+            action: FlowAction::Forward(3),
+        });
+        assert_eq!(asic.regs().flow_table_version, 1);
+        let frame = tpp_frame(
+            "PUSH [PacketMetadata:MatchedEntryID]\nPUSH [PacketMetadata:MatchedEntryVersion]",
+            2,
+        );
+        let outcome = asic.handle_frame(frame, 2, 0);
+        let Outcome::Enqueued { port, .. } = outcome else {
+            panic!()
+        };
+        assert_eq!(port, 3, "TCAM action overrides the L2 table");
+        let sent = asic.dequeue(3).unwrap();
+        let parsed = Frame::new_checked(&sent[..]).unwrap();
+        let tpp = TppPacket::new_checked(parsed.payload()).unwrap();
+        assert_eq!(tpp.stack_words(), vec![9, 3]);
+    }
+
+    #[test]
+    fn tcam_drop_action() {
+        let mut asic = asic();
+        asic.install_flow(FlowEntry {
+            id: 4,
+            version: 1,
+            priority: 10,
+            pattern: crate::tables::FlowMatch {
+                ethertype: Some(0x0800),
+                ..Default::default()
+            },
+            action: FlowAction::Drop,
+        });
+        let frame = build_frame(
+            EthernetAddress::from_host_id(1),
+            EthernetAddress::from_host_id(2),
+            EtherType(0x0800),
+            &[],
+        );
+        assert_eq!(
+            asic.handle_frame(frame, 0, 0),
+            Outcome::Dropped {
+                reason: DropReason::FlowDrop { entry_id: 4 }
+            }
+        );
+    }
+
+    #[test]
+    fn l3_lpm_routes_ipv4() {
+        use tpp_wire::{build_ipv4, Ipv4Address};
+        let mut asic = asic();
+        asic.l3_mut().insert(0x0a000000, 8, 3);
+        // A real IPv4 packet (valid checksum) with dst 10.1.2.3.
+        let ip = build_ipv4(
+            Ipv4Address::new(192, 168, 0, 1),
+            Ipv4Address::new(10, 1, 2, 3),
+            17,
+            64,
+            b"datagram",
+        );
+        let frame = build_frame(
+            EthernetAddress::from_host_id(99), // not in L2
+            EthernetAddress::from_host_id(1),
+            EtherType::IPV4,
+            &ip,
+        );
+        let outcome = asic.handle_frame(frame, 0, 0);
+        assert!(matches!(outcome, Outcome::Enqueued { port: 3, .. }));
+        assert_eq!(asic.regs().l3_hits, 1);
+
+        // A corrupted header (bad checksum) must NOT be L3-routed: it
+        // falls back to L2 and, with no MAC entry, is dropped.
+        let mut bad = build_ipv4(
+            Ipv4Address::new(192, 168, 0, 1),
+            Ipv4Address::new(10, 1, 2, 3),
+            17,
+            64,
+            b"datagram",
+        );
+        bad[16] ^= 0xff;
+        let frame = build_frame(
+            EthernetAddress::from_host_id(99),
+            EthernetAddress::from_host_id(1),
+            EtherType::IPV4,
+            &bad,
+        );
+        assert_eq!(
+            asic.handle_frame(frame, 0, 1),
+            Outcome::Dropped {
+                reason: DropReason::NoRoute
+            }
+        );
+    }
+
+    #[test]
+    fn queue_overflow_drops_and_counts() {
+        let mut asic = Asic::new(AsicConfig::with_ports(1, 2).queue_limit_bytes(200));
+        asic.l2_mut().insert(EthernetAddress::from_host_id(1), 1);
+        let mk = || {
+            build_frame(
+                EthernetAddress::from_host_id(1),
+                EthernetAddress::from_host_id(2),
+                EtherType(0x0800),
+                &[0u8; 150],
+            )
+        };
+        assert!(asic.handle_frame(mk(), 0, 0).is_enqueued());
+        assert_eq!(
+            asic.handle_frame(mk(), 0, 1),
+            Outcome::Dropped {
+                reason: DropReason::QueueFull { port: 1 }
+            }
+        );
+        assert_eq!(asic.port_stats(1).bytes_dropped, 164);
+        assert_eq!(asic.queue_stats(1, 0).packets_dropped, 1);
+        // Offered (rx) counts both; enqueued only the accepted one.
+        assert_eq!(asic.port_stats(1).rx_packets, 2);
+        assert_eq!(asic.port_stats(1).bytes_enqueued, 164);
+    }
+
+    #[test]
+    fn edge_filter_drop() {
+        let mut asic = asic();
+        asic.set_ingress_tpp_filter(0, Some(StripAction::Drop));
+        let frame = tpp_frame("PUSH [Queue:QueueSize]", 2);
+        assert_eq!(
+            asic.handle_frame(frame, 0, 0),
+            Outcome::Dropped {
+                reason: DropReason::EdgeFiltered
+            }
+        );
+        // Ordinary traffic from the same port is unaffected.
+        let plain = build_frame(
+            EthernetAddress::from_host_id(1),
+            EthernetAddress::from_host_id(2),
+            EtherType(0x0800),
+            &[],
+        );
+        assert!(asic.handle_frame(plain, 0, 0).is_enqueued());
+        // TPPs from a trusted port still run.
+        let frame = tpp_frame("PUSH [Queue:QueueSize]", 2);
+        assert!(asic.handle_frame(frame, 2, 0).is_enqueued());
+    }
+
+    #[test]
+    fn edge_filter_unwrap_restores_inner_payload() {
+        let mut asic = asic();
+        asic.set_ingress_tpp_filter(0, Some(StripAction::Unwrap));
+        let program = assemble("PUSH [Queue:QueueSize]").unwrap();
+        let payload = TppBuilder::new(AddressingMode::Stack)
+            .instructions(&program.encode_words().unwrap())
+            .memory_words(2)
+            .payload(b"inner-datagram")
+            .inner_ethertype(0x0800)
+            .build();
+        let frame = build_frame(
+            EthernetAddress::from_host_id(1),
+            EthernetAddress::from_host_id(2),
+            EtherType::TPP,
+            &payload,
+        );
+        let outcome = asic.handle_frame(frame, 0, 0);
+        assert!(outcome.is_enqueued());
+        let sent = asic.dequeue(1).unwrap();
+        let parsed = Frame::new_checked(&sent[..]).unwrap();
+        assert_eq!(parsed.ethertype(), EtherType(0x0800));
+        assert_eq!(parsed.payload(), b"inner-datagram");
+        assert_eq!(asic.regs().tpps_executed, 0, "stripped TPP never ran");
+    }
+
+    #[test]
+    fn edge_filter_unwrap_drops_empty_inner() {
+        let mut asic = asic();
+        asic.set_ingress_tpp_filter(0, Some(StripAction::Unwrap));
+        let frame = tpp_frame("PUSH [Queue:QueueSize]", 2); // no inner payload
+        assert_eq!(
+            asic.handle_frame(frame, 0, 0),
+            Outcome::Dropped {
+                reason: DropReason::EdgeFiltered
+            }
+        );
+    }
+
+    #[test]
+    fn tcpu_disabled_forwards_tpp_unexecuted() {
+        let mut cfg = AsicConfig::with_ports(1, 2);
+        cfg.tcpu_enabled = false;
+        let mut asic = Asic::new(cfg);
+        asic.l2_mut().insert(EthernetAddress::from_host_id(1), 1);
+        let frame = tpp_frame("PUSH [Switch:SwitchID]", 2);
+        let outcome = asic.handle_frame(frame, 0, 0);
+        let Outcome::Enqueued { exec, .. } = outcome else {
+            panic!()
+        };
+        assert!(exec.is_none());
+        let sent = asic.dequeue(1).unwrap();
+        let parsed = Frame::new_checked(&sent[..]).unwrap();
+        let tpp = TppPacket::new_checked(parsed.payload()).unwrap();
+        assert_eq!(tpp.hop(), 0, "no TCPU, no hop advance");
+    }
+
+    #[test]
+    fn malformed_tpp_section_forwarded_untouched() {
+        let mut asic = asic();
+        // Valid Ethernet + TPP ethertype, but garbage payload.
+        let frame = build_frame(
+            EthernetAddress::from_host_id(1),
+            EthernetAddress::from_host_id(2),
+            EtherType::TPP,
+            &[0xff; 10],
+        );
+        let outcome = asic.handle_frame(frame, 0, 0);
+        let Outcome::Enqueued { exec, .. } = outcome else {
+            panic!()
+        };
+        assert!(exec.is_none(), "TCPU ignored the malformed section");
+    }
+
+    #[test]
+    fn forward_queue_action_selects_priority_queue() {
+        let mut cfg = AsicConfig::with_ports(1, 2);
+        cfg.ports[1].num_queues = 2;
+        let mut asic = Asic::new(cfg);
+        asic.l2_mut().insert(EthernetAddress::from_host_id(1), 1);
+        // Bulk traffic (L2 path) lands in queue 0 by default; steer it to
+        // the low-priority queue 1 via the TCAM, leaving queue 0 for TPPs
+        // marked by a higher-priority entry.
+        asic.install_flow(FlowEntry {
+            id: 1,
+            version: 1,
+            priority: 10,
+            pattern: crate::tables::FlowMatch {
+                ethertype: Some(0x0802),
+                ..Default::default()
+            },
+            action: FlowAction::ForwardQueue(1, 1),
+        });
+        let bulk = || {
+            build_frame(
+                EthernetAddress::from_host_id(1),
+                EthernetAddress::from_host_id(2),
+                EtherType(0x0802),
+                &[0u8; 500],
+            )
+        };
+        // Two bulk frames queue first...
+        assert!(asic.handle_frame(bulk(), 0, 0).is_enqueued());
+        assert!(asic.handle_frame(bulk(), 0, 1).is_enqueued());
+        assert_eq!(asic.queue_len_bytes(1, 1), 2 * 514);
+        assert_eq!(asic.queue_len_bytes(1, 0), 0);
+        // ...then a TPP arrives into queue 0 and reports its queue id.
+        let frame = tpp_frame("PUSH [PacketMetadata:QueueID]\nPUSH [Queue:QueueSize]", 2);
+        let outcome = asic.handle_frame(frame, 0, 2);
+        assert!(outcome.is_enqueued());
+        // Strict priority: the TPP (queue 0) transmits BEFORE the two
+        // earlier bulk frames.
+        let first = asic.dequeue(1).unwrap();
+        let parsed = Frame::new_checked(&first[..]).unwrap();
+        assert!(parsed.is_tpp(), "high-priority queue served first");
+        let tpp = TppPacket::new_checked(parsed.payload()).unwrap();
+        // It was in queue 0, and queue 0 was empty when it was enqueued.
+        assert_eq!(tpp.stack_words(), vec![0, 0]);
+        assert!(!Frame::new_checked(&asic.dequeue(1).unwrap()[..])
+            .unwrap()
+            .is_tpp());
+    }
+
+    #[test]
+    fn forward_queue_out_of_range_degrades_to_last_queue() {
+        let mut cfg = AsicConfig::with_ports(1, 2);
+        cfg.ports[1].num_queues = 2;
+        let mut asic = Asic::new(cfg);
+        asic.install_flow(FlowEntry {
+            id: 1,
+            version: 1,
+            priority: 10,
+            pattern: crate::tables::FlowMatch::default(),
+            action: FlowAction::ForwardQueue(1, 7),
+        });
+        let frame = build_frame(
+            EthernetAddress::from_host_id(1),
+            EthernetAddress::from_host_id(2),
+            EtherType(0x0802),
+            &[0u8; 100],
+        );
+        let outcome = asic.handle_frame(frame, 0, 0);
+        assert_eq!(
+            outcome,
+            Outcome::Enqueued {
+                port: 1,
+                queue: 1,
+                exec: None
+            }
+        );
+    }
+
+    #[test]
+    fn ecn_marks_tpps_above_threshold() {
+        let mut asic = asic();
+        asic.set_ecn_threshold(1, Some(100));
+        // First TPP: queue empty, below threshold -> unmarked.
+        let outcome = asic.handle_frame(tpp_frame("NOP", 1), 0, 0);
+        assert!(outcome.is_enqueued());
+        // Backlog past the threshold with a plain frame.
+        let filler = build_frame(
+            EthernetAddress::from_host_id(1),
+            EthernetAddress::from_host_id(2),
+            EtherType(0x0802),
+            &[0u8; 200],
+        );
+        asic.handle_frame(filler, 0, 1);
+        // Second TPP: queue >= 100 B -> marked.
+        asic.handle_frame(tpp_frame("NOP", 1), 0, 2);
+        assert_eq!(asic.port_stats(1).ecn_marked, 1);
+
+        let check = |frame: Vec<u8>, want_marked: bool| {
+            let parsed = Frame::new_checked(&frame[..]).unwrap();
+            if !parsed.is_tpp() {
+                return;
+            }
+            let tpp = TppPacket::new_checked(parsed.payload()).unwrap();
+            assert_eq!(
+                tpp.flags() & tpp_wire::tpp::FLAG_ECN != 0,
+                want_marked,
+                "marking mismatch"
+            );
+        };
+        check(asic.dequeue(1).unwrap(), false); // first TPP
+        asic.dequeue(1).unwrap(); // filler (plain, unmarked by def.)
+        check(asic.dequeue(1).unwrap(), true); // second TPP
+    }
+
+    #[test]
+    fn ecn_disabled_marks_nothing() {
+        let mut asic = asic();
+        for _ in 0..10 {
+            asic.handle_frame(tpp_frame("NOP", 1), 0, 0);
+        }
+        assert_eq!(asic.port_stats(1).ecn_marked, 0);
+    }
+
+    #[test]
+    fn snr_register_readable_by_tpp() {
+        let mut asic = asic();
+        asic.set_port_snr(1, 257); // 25.7 dB
+        let frame = tpp_frame("PUSH [Link:SnrDeciBel]", 2);
+        assert!(asic.handle_frame(frame, 0, 0).is_enqueued());
+        let sent = asic.dequeue(1).unwrap();
+        let parsed = Frame::new_checked(&sent[..]).unwrap();
+        let tpp = TppPacket::new_checked(parsed.payload()).unwrap();
+        assert_eq!(tpp.stack_words(), vec![257]);
+    }
+
+    #[test]
+    fn wall_clock_and_packet_counters_advance() {
+        let mut asic = asic();
+        let frame = tpp_frame("PUSH [Switch:PacketsProcessed]", 2);
+        asic.handle_frame(frame, 0, 42_000);
+        assert_eq!(asic.regs().wall_clock_ns, 42_000);
+        assert_eq!(asic.regs().packets_processed, 1);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property tests for the TCPU execution model: determinism, the
+//! prefix-execution property, and cycle-budget monotonicity.
+
+use proptest::prelude::*;
+use tpp_asic::tcpu::PIPELINE_LATENCY_CYCLES;
+use tpp_asic::{Asic, AsicConfig, Outcome};
+use tpp_isa::{Instruction, PacketOperand, Program, VirtAddr};
+use tpp_wire::ethernet::{build_frame, EtherType, Frame};
+use tpp_wire::tpp::{AddressingMode, TppBuilder, TppPacket};
+use tpp_wire::EthernetAddress;
+
+/// Instructions that are safe (no switch writes), so different runs of
+/// the same program over identical switch state behave identically.
+fn arb_read_instruction() -> impl Strategy<Value = Instruction> {
+    let addr = prop_oneof![
+        Just(VirtAddr(0x0000)),          // Switch:SwitchID
+        Just(VirtAddr(0x2000)),          // Queue:QueueSize
+        Just(VirtAddr(0x1000)),          // Link:RX-Bytes
+        Just(VirtAddr(0x3014)),          // PacketMetadata:PacketLength
+        Just(VirtAddr(0x4000)),          // Link scratch word 0 (reads as 0)
+        any::<u16>().prop_map(VirtAddr), // arbitrary (may fault)
+    ];
+    prop_oneof![
+        Just(Instruction::Nop),
+        Just(Instruction::Add),
+        Just(Instruction::Sub),
+        any::<u16>().prop_map(Instruction::PushImm),
+        addr.clone().prop_map(|addr| Instruction::Push { addr }),
+        (addr, (0u16..32)).prop_map(|(addr, o)| Instruction::Load {
+            addr,
+            dst: PacketOperand::Abs(o),
+        }),
+    ]
+}
+
+fn execute(
+    insns: &[Instruction],
+    mem_words: usize,
+    budget: u32,
+) -> (tpp_asic::ExecReport, Vec<u32>) {
+    let mut cfg = AsicConfig::with_ports(0x5A, 2);
+    cfg.tcpu_cycle_budget = budget;
+    let mut asic = Asic::new(cfg);
+    asic.l2_mut().insert(EthernetAddress::from_host_id(1), 1);
+    let program = Program::new(insns.to_vec());
+    let payload = TppBuilder::new(AddressingMode::Stack)
+        .instructions(&program.encode_words().unwrap())
+        .memory_words(mem_words)
+        .build();
+    let frame = build_frame(
+        EthernetAddress::from_host_id(1),
+        EthernetAddress::from_host_id(0),
+        EtherType::TPP,
+        &payload,
+    );
+    let outcome = asic.handle_frame(frame, 0, 0);
+    let Outcome::Enqueued {
+        port,
+        exec: Some(report),
+        ..
+    } = outcome
+    else {
+        panic!("TPP must be executed and forwarded");
+    };
+    let sent = asic.dequeue(port).unwrap();
+    let parsed = Frame::new_checked(&sent[..]).unwrap();
+    let tpp = TppPacket::new_checked(parsed.payload()).unwrap();
+    (report, tpp.memory_words())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Same program, same switch: identical report and identical memory.
+    #[test]
+    fn execution_is_deterministic(
+        insns in proptest::collection::vec(arb_read_instruction(), 0..16),
+        mem in 0usize..32,
+    ) {
+        prop_assert_eq!(execute(&insns, mem, 300), execute(&insns, mem, 300));
+    }
+
+    /// Cycle accounting: cycles == latency + instructions executed, and
+    /// instructions executed never exceeds the program length.
+    #[test]
+    fn cycle_accounting_holds(
+        insns in proptest::collection::vec(arb_read_instruction(), 0..16),
+        mem in 0usize..32,
+        budget in 4u32..64,
+    ) {
+        let (report, _) = execute(&insns, mem, budget);
+        prop_assert_eq!(
+            report.cycles,
+            PIPELINE_LATENCY_CYCLES + report.instructions_executed
+        );
+        prop_assert!(report.instructions_executed as usize <= insns.len());
+        prop_assert!(report.cycles <= budget.max(PIPELINE_LATENCY_CYCLES));
+    }
+
+    /// Budget monotonicity: a larger budget never executes fewer
+    /// instructions, and with both budgets the executed portions agree
+    /// (the smaller run is a prefix of the larger).
+    #[test]
+    fn budget_monotone_and_prefix(
+        insns in proptest::collection::vec(arb_read_instruction(), 0..16),
+        mem in 0usize..32,
+        small in 4u32..20,
+        extra in 0u32..20,
+    ) {
+        let large = small + extra;
+        let (report_small, mem_small) = execute(&insns, mem, small);
+        let (report_large, mem_large) = execute(&insns, mem, large);
+        prop_assert!(
+            report_large.instructions_executed >= report_small.instructions_executed
+        );
+        // If both executed the same count, the memory effects agree.
+        if report_large.instructions_executed == report_small.instructions_executed {
+            prop_assert_eq!(mem_small, mem_large);
+        }
+    }
+
+    /// Read-only programs never set wrote_switch, and the switch SRAM
+    /// stays zero.
+    #[test]
+    fn read_programs_do_not_write(
+        insns in proptest::collection::vec(arb_read_instruction(), 0..16),
+        mem in 0usize..32,
+    ) {
+        let (report, _) = execute(&insns, mem, 300);
+        prop_assert!(!report.wrote_switch);
+    }
+}

@@ -1,0 +1,47 @@
+//! Simulator throughput: how much simulated RCP\* traffic the
+//! discrete-event engine processes per wall-clock second. This bounds
+//! every experiment's scale and is the reproduction's analogue of "can
+//! the testbed keep up".
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tpp_apps::rcpstar::{init_rate_registers, RcpStarConfig, RcpStarSender};
+use tpp_host::EchoReceiver;
+use tpp_netsim::{dumbbell, time, DumbbellParams, HostApp};
+use tpp_wire::EthernetAddress;
+
+fn run_rcp_slice(sim_duration_ms: u64) -> u64 {
+    let apps: Vec<(Box<dyn HostApp>, Box<dyn HostApp>)> = (0..3)
+        .map(|i| {
+            let dst = EthernetAddress::from_host_id((2 * i + 1) as u32);
+            (
+                Box::new(RcpStarSender::new(dst, RcpStarConfig::default())) as Box<dyn HostApp>,
+                Box::new(EchoReceiver::default()) as Box<dyn HostApp>,
+            )
+        })
+        .collect();
+    let (mut sim, bell) = dumbbell(
+        DumbbellParams {
+            n_pairs: 3,
+            ..Default::default()
+        },
+        apps,
+    );
+    for sw in [bell.left, bell.right] {
+        init_rate_registers(sim.switch_mut(sw));
+    }
+    sim.run_until(time::millis(sim_duration_ms));
+    sim.switch(bell.left).regs().packets_processed
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netsim");
+    group.sample_size(10);
+    group.bench_function("rcpstar_3flows_500ms_sim", |b| {
+        b.iter(|| black_box(run_rcp_slice(500)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

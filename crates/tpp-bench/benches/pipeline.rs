@@ -1,0 +1,90 @@
+//! Full-pipeline frame processing cost: parser → tables → (TCPU) →
+//! queue, for plain frames vs TPP frames, and the marginal cost of the
+//! TCPU stage (the §3 "simplicity in the network" claim, in software:
+//! executing a small TPP must be comparable to a table lookup, not a
+//! detour through a slow path).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use tpp_asic::{Asic, AsicConfig, FlowAction, FlowEntry, FlowMatch};
+use tpp_isa::assemble;
+use tpp_wire::ethernet::{build_frame, EtherType};
+use tpp_wire::tpp::{AddressingMode, TppBuilder};
+use tpp_wire::EthernetAddress;
+
+fn asic() -> Asic {
+    let mut asic = Asic::new(AsicConfig::with_ports(1, 4));
+    asic.l2_mut().insert(EthernetAddress::from_host_id(1), 1);
+    // Populate tables realistically: 64 TCAM entries, 1k L2 MACs, 256
+    // L3 prefixes.
+    for i in 0..64 {
+        asic.install_flow(FlowEntry {
+            id: 1000 + i,
+            version: 1,
+            priority: i as u16,
+            pattern: FlowMatch {
+                ethertype: Some(0x9999), // never matches the bench traffic
+                in_port: Some((i % 4) as u16),
+                ..Default::default()
+            },
+            action: FlowAction::Forward(2),
+        });
+    }
+    for i in 0..1024 {
+        asic.l2_mut()
+            .insert(EthernetAddress::from_host_id(100 + i), (i % 4) as u16);
+    }
+    for i in 0..256u32 {
+        asic.l3_mut()
+            .insert(0x0a00_0000 | (i << 8), 24, (i % 4) as u16);
+    }
+    asic
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let plain = build_frame(
+        EthernetAddress::from_host_id(1),
+        EthernetAddress::from_host_id(0),
+        EtherType(0x0802),
+        &[0u8; 1000],
+    );
+    let program = assemble(
+        "PUSH [Switch:SwitchID]\nPUSH [Queue:QueueSize]\nPUSH [Link:RX-Bytes]\n\
+         PUSH [Link:CapacityKbps]\nPUSH [Link:Scratch[0]]",
+    )
+    .unwrap();
+    let payload = TppBuilder::new(AddressingMode::Stack)
+        .instructions(&program.encode_words().unwrap())
+        .memory_words(5)
+        .payload(&[0u8; 900])
+        .build();
+    let tpp = build_frame(
+        EthernetAddress::from_host_id(1),
+        EthernetAddress::from_host_id(0),
+        EtherType::TPP,
+        &payload,
+    );
+
+    let mut group = c.benchmark_group("pipeline");
+    group.throughput(Throughput::Elements(1));
+    let mut a = asic();
+    group.bench_function("plain_1000B", |b| {
+        b.iter(|| {
+            let o = a.handle_frame(black_box(plain.clone()), 0, 0);
+            a.dequeue(1);
+            black_box(o)
+        })
+    });
+    let mut a = asic();
+    group.bench_function("tpp_5_instructions", |b| {
+        b.iter(|| {
+            let o = a.handle_frame(black_box(tpp.clone()), 0, 0);
+            a.dequeue(1);
+            black_box(o)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

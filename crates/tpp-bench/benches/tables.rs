@@ -1,0 +1,88 @@
+//! Forwarding-table lookup costs as tables grow — the other half of the
+//! line-rate story: the TCPU shares the pipeline with L2/L3/TCAM
+//! lookups, so their software-model costs calibrate how much simulated
+//! network the reproduction can drive.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tpp_asic::{FlowAction, FlowEntry, FlowKey, FlowMatch, L2Table, LpmTable, Tcam};
+use tpp_wire::EthernetAddress;
+
+fn key(i: u32) -> FlowKey {
+    FlowKey {
+        in_port: (i % 4) as u16,
+        dst_mac: EthernetAddress::from_host_id(i),
+        src_mac: EthernetAddress::from_host_id(i + 1),
+        ethertype: 0x0802,
+        ipv4_dst: Some(0x0a00_0000 | i),
+    }
+}
+
+fn bench_l2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("l2_lookup");
+    for n in [16u32, 1024, 65536] {
+        let mut table = L2Table::new();
+        for i in 0..n {
+            table.insert(EthernetAddress::from_host_id(i), (i % 64) as u16);
+        }
+        group.bench_with_input(BenchmarkId::new("entries", n), &n, |b, n| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % n;
+                black_box(table.lookup(EthernetAddress::from_host_id(i)))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_lpm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lpm_lookup");
+    for n in [16u32, 1024, 65536] {
+        let mut table = LpmTable::new();
+        for i in 0..n {
+            table.insert(0x0a00_0000 | (i << 8), 24, (i % 64) as u16);
+        }
+        group.bench_with_input(BenchmarkId::new("prefixes", n), &n, |b, n| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % n;
+                black_box(table.lookup(0x0a00_0000 | (i << 8) | 5))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_tcam(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tcam_lookup");
+    for n in [16u32, 256, 4096] {
+        let mut tcam = Tcam::new();
+        for i in 0..n {
+            tcam.install(FlowEntry {
+                id: i,
+                version: 1,
+                priority: (i % 100) as u16,
+                pattern: FlowMatch {
+                    dst_mac: Some(EthernetAddress::from_host_id(i)),
+                    ..Default::default()
+                },
+                action: FlowAction::Forward((i % 64) as u16),
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("entries_hit", n), &n, |b, n| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % n;
+                black_box(tcam.lookup(&key(i)))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("entries_miss", n), &n, |b, _| {
+            b.iter(|| black_box(tcam.lookup(&key(u32::MAX - 7))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_l2, bench_lpm, bench_tcam);
+criterion_main!(benches);

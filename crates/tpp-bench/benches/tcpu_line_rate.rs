@@ -1,0 +1,70 @@
+//! E5 — TCPU execution cost as a function of program length.
+//!
+//! The paper's argument is a cycle-count argument (1 instruction/cycle,
+//! 4-cycle latency, 300-cycle cut-through budget); the cycle model is
+//! asserted in unit tests. This bench measures what the *software model*
+//! costs per executed TPP, which bounds how large a simulated network the
+//! reproduction can drive — and demonstrates that execution cost grows
+//! linearly in instruction count, exactly as the hardware argument needs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use tpp_asic::{Asic, AsicConfig};
+use tpp_isa::assemble;
+use tpp_wire::ethernet::{build_frame, EtherType};
+use tpp_wire::tpp::{AddressingMode, TppBuilder};
+use tpp_wire::EthernetAddress;
+
+fn tpp_frame(n_insns: usize) -> Vec<u8> {
+    let program = assemble(&"PUSH [Queue:QueueSize]\n".repeat(n_insns)).unwrap();
+    let payload = TppBuilder::new(AddressingMode::Stack)
+        .instructions(&program.encode_words().unwrap())
+        .memory_words(n_insns)
+        .build();
+    build_frame(
+        EthernetAddress::from_host_id(1),
+        EthernetAddress::from_host_id(0),
+        EtherType::TPP,
+        &payload,
+    )
+}
+
+fn bench_execute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tcpu_execute");
+    for n in [1usize, 5, 16, 64] {
+        let frame = tpp_frame(n);
+        let mut asic = Asic::new(AsicConfig::with_ports(1, 2));
+        asic.l2_mut().insert(EthernetAddress::from_host_id(1), 1);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("instructions", n), &frame, |b, frame| {
+            b.iter(|| {
+                let outcome = asic.handle_frame(black_box(frame.clone()), 0, 0);
+                asic.dequeue(1);
+                black_box(outcome)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_encode_decode(c: &mut Criterion) {
+    let program = assemble(
+        "PUSH [Switch:SwitchID]\nPUSH [Link:QueueSize]\nPUSH [Link:RX-Bytes]\n\
+         PUSH [Link:CapacityKbps]\nPUSH [Link:Scratch[0]]",
+    )
+    .unwrap();
+    c.bench_function("isa_encode_5", |b| {
+        b.iter(|| black_box(&program).encode_words().unwrap())
+    });
+    let words = program.encode_words().unwrap();
+    c.bench_function("isa_decode_5", |b| {
+        b.iter(|| tpp_isa::Program::decode_words(black_box(&words)).unwrap())
+    });
+    let src = "PUSH [Queue:QueueSize]\nCEXEC [Switch:SwitchID], [Packet:0]\nSTORE [Link:Scratch[0]], [Packet:2]";
+    c.bench_function("assemble_3_lines", |b| {
+        b.iter(|| assemble(black_box(src)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_execute, bench_encode_decode);
+criterion_main!(benches);

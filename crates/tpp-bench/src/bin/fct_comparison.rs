@@ -1,0 +1,208 @@
+//! Flow-completion-time comparison — the motivation the paper opens
+//! with: "Rate Control Protocol (RCP) is a congestion-control mechanism
+//! that uses link utilization and average queue sizes to allocate
+//! bandwidth to flows rapidly so they converge quickly to their max-min
+//! fair rates" — i.e. short flows finish fast because they start at the
+//! advertised fair rate instead of probing for it.
+//!
+//! Workload: a heavy-tailed mix — many mice (40 KB) among a few
+//! elephants (1.5 MB) — with staggered deterministic arrivals on the
+//! 10 Mb/s dumbbell. The interesting number is the *mice's* FCT: an
+//! AIMD mouse spends its whole life probing below its fair rate and
+//! queueing behind elephant-built backlogs, while an RCP\* mouse is
+//! handed the fair rate by its first collect echo and sees near-empty
+//! queues. (For equal-size flows, fair sharing famously does *not* beat
+//! unfair AIMD on mean FCT — the win is specifically the tail of small
+//! flows, which is what datacenter workloads are made of.)
+
+use tpp_apps::rcpstar::{init_rate_registers, RcpStarConfig, RcpStarSender};
+use tpp_bench::print_table;
+use tpp_host::EchoReceiver;
+use tpp_netsim::{dumbbell, time, DumbbellParams, HostApp};
+use tpp_rcp_ref::aimd::{AimdAcker, AimdConfig, AimdSender};
+use tpp_wire::EthernetAddress;
+
+const N_MICE: usize = 24;
+const MOUSE_BYTES: u64 = 40_000; // 40 KB
+const N_ELEPHANTS: usize = 4;
+const ELEPHANT_BYTES: u64 = 1_500_000; // 1.5 MB
+const N_FLOWS: usize = N_MICE + N_ELEPHANTS;
+const RUN_S: u64 = 40;
+
+/// The shared workload: `(start_ns, flow_bytes)` per flow. Elephants
+/// arrive early (indices spread through the mice) so mice experience a
+/// loaded network. Deterministic golden-ratio spacing keeps both systems
+/// on identical arrivals.
+fn arrivals() -> Vec<(u64, u64)> {
+    let mut t = 0u64;
+    let mut out = Vec::new();
+    for i in 0..N_FLOWS {
+        let u = ((i as f64 * 0.618_033_988_75) % 1.0).max(1e-3);
+        let gap_s = -(u.ln()) * 0.3; // Exp(mean 0.3 s)
+        t += (gap_s * 1e9) as u64;
+        // Every 7th flow is an elephant (indices 0, 7, 14, 21).
+        let bytes = if i % 7 == 0 {
+            ELEPHANT_BYTES
+        } else {
+            MOUSE_BYTES
+        };
+        out.push((t, bytes));
+    }
+    out
+}
+
+struct FctStats {
+    /// `(flow_bytes, fct_ms)` for completed flows.
+    done: Vec<(u64, f64)>,
+    unfinished: usize,
+}
+
+impl FctStats {
+    fn class(&self, bytes: u64) -> Vec<f64> {
+        let mut v: Vec<f64> = self
+            .done
+            .iter()
+            .filter(|(b, _)| *b == bytes)
+            .map(|(_, f)| *f)
+            .collect();
+        v.sort_by(f64::total_cmp);
+        v
+    }
+    fn mean(v: &[f64]) -> f64 {
+        v.iter().sum::<f64>() / v.len().max(1) as f64
+    }
+    fn pct(v: &[f64], p: f64) -> f64 {
+        if v.is_empty() {
+            return f64::NAN;
+        }
+        v[((v.len() - 1) as f64 * p).round() as usize]
+    }
+}
+
+fn run_rcpstar() -> FctStats {
+    let flows = arrivals();
+    let apps: Vec<(Box<dyn HostApp>, Box<dyn HostApp>)> = flows
+        .iter()
+        .enumerate()
+        .map(|(i, (start, bytes))| {
+            let dst = EthernetAddress::from_host_id((2 * i + 1) as u32);
+            let cfg = RcpStarConfig {
+                start_ns: *start,
+                stop_after_bytes: Some(*bytes),
+                ..Default::default()
+            };
+            (
+                Box::new(RcpStarSender::new(dst, cfg)) as Box<dyn HostApp>,
+                Box::new(EchoReceiver::default()) as Box<dyn HostApp>,
+            )
+        })
+        .collect();
+    let (mut sim, bell) = dumbbell(
+        DumbbellParams {
+            n_pairs: N_FLOWS,
+            ..Default::default()
+        },
+        apps,
+    );
+    for sw in [bell.left, bell.right] {
+        init_rate_registers(sim.switch_mut(sw));
+    }
+    sim.run_until(time::secs(RUN_S));
+    let mut done = Vec::new();
+    let mut unfinished = 0;
+    for (i, s) in bell.senders.iter().enumerate() {
+        let sender = sim.host_app::<RcpStarSender>(*s);
+        match sender.completed_at {
+            Some(t) => done.push((flows[i].1, (t - flows[i].0) as f64 / 1e6)),
+            None => unfinished += 1,
+        }
+    }
+    FctStats { done, unfinished }
+}
+
+fn run_aimd() -> FctStats {
+    let flows = arrivals();
+    let apps: Vec<(Box<dyn HostApp>, Box<dyn HostApp>)> = flows
+        .iter()
+        .enumerate()
+        .map(|(i, (start, bytes))| {
+            let dst = EthernetAddress::from_host_id((2 * i + 1) as u32);
+            let cfg = AimdConfig {
+                stop_after_bytes: Some(*bytes),
+                ..Default::default()
+            };
+            (
+                Box::new(AimdSender::new(dst, cfg, *start)) as Box<dyn HostApp>,
+                Box::new(AimdAcker::default()) as Box<dyn HostApp>,
+            )
+        })
+        .collect();
+    let (mut sim, bell) = dumbbell(
+        DumbbellParams {
+            n_pairs: N_FLOWS,
+            queue_limit_bytes: 60_000,
+            ..Default::default()
+        },
+        apps,
+    );
+    sim.run_until(time::secs(RUN_S));
+    let mut done = Vec::new();
+    let mut unfinished = 0;
+    for (i, s) in bell.senders.iter().enumerate() {
+        let sender = sim.host_app::<AimdSender>(*s);
+        match sender.completed_at {
+            Some(t) => done.push((flows[i].1, (t - flows[i].0) as f64 / 1e6)),
+            None => unfinished += 1,
+        }
+    }
+    FctStats { done, unfinished }
+}
+
+fn main() {
+    println!(
+        "flow completion times: {N_MICE} mice x {} KB + {N_ELEPHANTS} elephants x {} KB",
+        MOUSE_BYTES / 1000,
+        ELEPHANT_BYTES / 1000
+    );
+    println!("staggered arrivals (mean gap 0.3 s) on the 10 Mb/s dumbbell; identical workload\n");
+
+    let systems = vec![
+        ("AIMD (loss-driven)", run_aimd()),
+        ("RCP* (TPP rates)", run_rcpstar()),
+    ];
+    let mut rows = Vec::new();
+    for (name, s) in &systems {
+        for (class, bytes) in [("mice", MOUSE_BYTES), ("elephants", ELEPHANT_BYTES)] {
+            let v = s.class(bytes);
+            rows.push(vec![
+                name.to_string(),
+                class.to_string(),
+                format!("{:.0}", FctStats::mean(&v)),
+                format!("{:.0}", FctStats::pct(&v, 0.5)),
+                format!("{:.0}", FctStats::pct(&v, 0.95)),
+                v.len().to_string(),
+                s.unfinished.to_string(),
+            ]);
+        }
+    }
+    print_table(
+        &[
+            "system",
+            "class",
+            "mean FCT ms",
+            "p50 ms",
+            "p95 ms",
+            "finished",
+            "unfinished",
+        ],
+        &rows,
+    );
+    println!(
+        "\n(lone-flow lower bounds: mouse {:.0} ms, elephant {:.0} ms)",
+        MOUSE_BYTES as f64 * 8.0 / 10e6 * 1e3,
+        ELEPHANT_BYTES as f64 * 8.0 / 10e6 * 1e3
+    );
+    println!("RCP*'s first collect echo hands each new mouse the fair rate and");
+    println!("its queues stay near-empty, so mice skip both the capacity search");
+    println!("and the elephant-built queueing delay that dominate AIMD mice.");
+}

@@ -1,0 +1,67 @@
+//! Figure 1 reproduction: print the TPP's packet bytes hop by hop as it
+//! traverses three switches, showing the SP walk 0x0 → 0x4 → 0x8 → 0xc
+//! and the queue-size snapshots landing in packet memory.
+
+use tpp_asic::{Asic, AsicConfig, Outcome};
+use tpp_host::DATA_ETHERTYPE;
+use tpp_isa::assemble;
+use tpp_wire::ethernet::{build_frame, EtherType, Frame};
+use tpp_wire::tpp::{AddressingMode, TppBuilder, TppPacket};
+use tpp_wire::EthernetAddress;
+
+fn show(tag: &str, frame: &[u8]) {
+    let parsed = Frame::new_checked(frame).unwrap();
+    let tpp = TppPacket::new_checked(parsed.payload()).unwrap();
+    let words: Vec<String> = tpp
+        .memory_words()
+        .iter()
+        .map(|w| format!("{w:#06x}"))
+        .collect();
+    println!(
+        "{tag:<28} SP = {:#03x}   packet memory = [{}]",
+        tpp.sp(),
+        words.join(", ")
+    );
+}
+
+fn main() {
+    println!("Figure 1: a TPP querying the network for queue sizes\n");
+    println!("program: PUSH [Queue:QueueSize]\n");
+
+    let dst = EthernetAddress::from_host_id(1);
+    let src = EthernetAddress::from_host_id(0);
+    let program = assemble("PUSH [Queue:QueueSize]").unwrap();
+    let payload = TppBuilder::new(AddressingMode::Stack)
+        .instructions(&program.encode_words().unwrap())
+        .memory_words(3)
+        .build();
+    let mut frame = build_frame(dst, src, EtherType::TPP, &payload);
+    show("end-host emits:", &frame);
+
+    // Three standalone switches with distinct backlogs on the egress
+    // port, matching the figure's 0x00 / 0xa0 / 0x0e annotations.
+    for (i, backlog) in [(1u32, 0x00usize), (2, 0xa0), (3, 0x0e)] {
+        let mut asic = Asic::new(AsicConfig::with_ports(i, 2));
+        asic.l2_mut().insert(dst, 1);
+        // Pre-fill the egress queue with `backlog` bytes.
+        if backlog > 0 {
+            let filler = build_frame(dst, src, DATA_ETHERTYPE, &vec![0u8; backlog - 14]);
+            assert!(asic.handle_frame(filler, 0, 0).is_enqueued());
+        }
+        let outcome = asic.handle_frame(frame.clone(), 0, 1_000 * i as u64);
+        let Outcome::Enqueued { port, exec, .. } = outcome else {
+            panic!("probe dropped at switch {i}");
+        };
+        let report = exec.expect("TCPU ran");
+        assert!(report.completed());
+        if backlog > 0 {
+            asic.dequeue(port); // the filler
+        }
+        frame = asic.dequeue(port).expect("probe queued");
+        show(&format!("after switch {i} (q={backlog:#04x}):"), &frame);
+    }
+
+    println!("\nThe packet memory was preallocated by the end-host and the");
+    println!("TPP never grew or shrank inside the network; each switch");
+    println!("recorded its egress queue depth the instant the packet passed.");
+}

@@ -1,0 +1,144 @@
+//! Figure 2 reproduction: R(t)/C on a 10 Mb/s bottleneck shared by three
+//! flows starting at t = 0, 10, 20 s; α = 0.5, β = 1.
+//!
+//! Emits a gnuplot/spreadsheet-friendly series (`t rcp rcp_star`) on
+//! stdout followed by the settled-window summary that captures the
+//! figure's claim: both systems converge quickly to the max-min fair
+//! share (≈ C, C/2, C/3).
+
+use tpp_apps::rcpstar::{init_rate_registers, RcpStarConfig, RcpStarSender};
+use tpp_bench::{mean, print_table};
+use tpp_host::EchoReceiver;
+use tpp_netsim::{dumbbell, time, DumbbellParams, HostApp};
+use tpp_rcp_ref::{FlowSchedule, NativeRcpRouter, RcpFluidSim, RcpParams};
+use tpp_wire::EthernetAddress;
+
+const C_BPS: f64 = 10e6;
+const DURATION_S: u64 = 30;
+
+/// Run the dumbbell workload; `native` picks where the law runs.
+fn run_packet_level(native: bool) -> Vec<(u64, u64)> {
+    let starts = [0u64, time::secs(10), time::secs(20)];
+    let apps: Vec<(Box<dyn HostApp>, Box<dyn HostApp>)> = starts
+        .iter()
+        .enumerate()
+        .map(|(i, start)| {
+            let dst = EthernetAddress::from_host_id((2 * i + 1) as u32);
+            let cfg = RcpStarConfig {
+                start_ns: *start,
+                compute_updates: !native,
+                ..Default::default()
+            };
+            (
+                Box::new(RcpStarSender::new(dst, cfg)) as Box<dyn HostApp>,
+                Box::new(EchoReceiver::default()) as Box<dyn HostApp>,
+            )
+        })
+        .collect();
+    let (mut sim, bell) = dumbbell(
+        DumbbellParams {
+            n_pairs: 3,
+            ..Default::default()
+        },
+        apps,
+    );
+    for sw in [bell.left, bell.right] {
+        init_rate_registers(sim.switch_mut(sw));
+    }
+    if native {
+        let mut routers = [
+            NativeRcpRouter::paper_defaults(sim.switch(bell.left).num_ports(), 0.05, 0.01),
+            NativeRcpRouter::paper_defaults(sim.switch(bell.right).num_ports(), 0.05, 0.01),
+        ];
+        let mut t = 0;
+        while t < time::secs(DURATION_S) {
+            t += time::millis(10);
+            sim.run_until(t);
+            routers[0].step(sim.switch_mut(bell.left), t);
+            routers[1].step(sim.switch_mut(bell.right), t);
+        }
+    } else {
+        sim.run_until(time::secs(DURATION_S));
+    }
+    sim.host_app::<RcpStarSender>(bell.senders[0])
+        .rate_trace
+        .clone()
+}
+
+fn main() {
+    // Reference RCP (the ns-2 role).
+    let reference = RcpFluidSim::new(
+        RcpParams::paper_defaults(C_BPS, 0.05),
+        vec![
+            FlowSchedule::starting_at(0.0),
+            FlowSchedule::starting_at(10.0),
+            FlowSchedule::starting_at(20.0),
+        ],
+    )
+    .run(DURATION_S as f64);
+
+    // RCP* (end-host) and native-router RCP on the packet simulator.
+    let star = run_packet_level(false);
+    let native = run_packet_level(true);
+
+    println!("# Figure 2: Ratio R(t)/C over time (0.5 s buckets)");
+    println!("# t_s rcp_fluid rcp_native rcp_star");
+    let bucket_mean = |trace: &[(u64, u64)], lo: f64, hi: f64| {
+        mean(trace.iter().filter_map(|(t, rate)| {
+            let ts = *t as f64 / 1e9;
+            (ts >= lo && ts < hi).then_some(*rate as f64 / C_BPS)
+        }))
+    };
+    for bucket in 0..DURATION_S * 2 {
+        let lo = bucket as f64 * 0.5;
+        let hi = lo + 0.5;
+        let r = mean(
+            reference
+                .iter()
+                .filter(|s| s.t_s >= lo && s.t_s < hi)
+                .map(|s| s.r_over_c),
+        );
+        let n = bucket_mean(&native, lo, hi);
+        let s = bucket_mean(&star, lo, hi);
+        println!("{lo:.1} {r:.4} {n:.4} {s:.4}");
+    }
+
+    println!();
+    let windows = [
+        ("1 flow (5-10 s)", 5.0, 10.0, 1.0),
+        ("2 flows (15-20 s)", 15.0, 20.0, 0.5),
+        ("3 flows (25-30 s)", 25.0, 30.0, 1.0 / 3.0),
+    ];
+    let rows: Vec<Vec<String>> = windows
+        .iter()
+        .map(|(label, lo, hi, ideal)| {
+            let r = mean(
+                reference
+                    .iter()
+                    .filter(|s| s.t_s >= *lo && s.t_s < *hi)
+                    .map(|s| s.r_over_c),
+            );
+            let n = bucket_mean(&native, *lo, *hi);
+            let s = bucket_mean(&star, *lo, *hi);
+            vec![
+                label.to_string(),
+                format!("{ideal:.3}"),
+                format!("{r:.3}"),
+                format!("{n:.3}"),
+                format!("{s:.3}"),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "window",
+            "ideal R/C",
+            "RCP (fluid sim)",
+            "RCP (native router)",
+            "RCP* (TPP+endhost)",
+        ],
+        &rows,
+    );
+    println!("\n(native router = the law in ASIC firmware on the same packet");
+    println!(" simulator; fluid sim = the standalone ns-2-role reference)");
+}

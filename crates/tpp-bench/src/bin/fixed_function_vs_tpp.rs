@@ -1,0 +1,182 @@
+//! §4 reproduction — the fixed-function spectrum vs TPPs, quantified.
+//!
+//! "There have been numerous efforts to expose switch statistics through
+//! the dataplane ... One example is Explicit Congestion Notification
+//! (ECN) ... Another example is IP Record Route ... Instead of
+//! anticipating future requirements and designing specific solutions, we
+//! adopt a more generic approach to accessing switch state."
+//!
+//! Three congestion controllers run the same 2-flow workload on the same
+//! 10 Mb/s dumbbell; they differ only in what the network exposes:
+//!
+//! | system | dataplane signal | bits/pkt |
+//! |---|---|---|
+//! | AIMD (TCP-like) | packet loss only | 0 |
+//! | DCTCP-like | fixed-function ECN mark | 1 |
+//! | RCP\* | TPP reads of queue/counters/rate | 5 words |
+//!
+//! The table reports what richer signals buy: smaller queues, fewer
+//! drops, and (for RCP\*) convergence without ever filling a buffer.
+
+use tpp_apps::rcpstar::{init_rate_registers, RcpStarConfig, RcpStarSender};
+use tpp_bench::print_table;
+use tpp_host::EchoReceiver;
+use tpp_netsim::{dumbbell, time, Dumbbell, DumbbellParams, HostApp, Simulator};
+use tpp_rcp_ref::aimd::{AimdAcker, AimdConfig, AimdSender};
+use tpp_rcp_ref::dctcp::{DctcpConfig, DctcpReceiver, DctcpSender};
+use tpp_wire::EthernetAddress;
+
+const RUN_S: u64 = 8;
+const QUEUE_LIMIT: u32 = 60_000;
+const ECN_K: u32 = 15_000;
+
+struct Score {
+    goodput_total_mbps: f64,
+    fairness_ratio: f64,
+    queue_hwm: u64,
+    drops: u64,
+}
+
+fn finish(
+    mut sim: Simulator,
+    bell: Dumbbell,
+    goodputs: impl Fn(&Simulator, &Dumbbell) -> Vec<f64>,
+) -> Score {
+    sim.run_until(time::secs(RUN_S));
+    let g = goodputs(&sim, &bell);
+    let stats = sim.switch(bell.left).queue_stats(bell.bottleneck_port, 0);
+    let max = g.iter().cloned().fold(0.0, f64::max);
+    let min = g.iter().cloned().fold(f64::INFINITY, f64::min);
+    Score {
+        goodput_total_mbps: g.iter().sum::<f64>() * 8.0 / RUN_S as f64 / 1e6,
+        fairness_ratio: max / min.max(1.0),
+        queue_hwm: stats.high_watermark_bytes,
+        drops: stats.packets_dropped,
+    }
+}
+
+fn run_aimd() -> Score {
+    let apps: Vec<(Box<dyn HostApp>, Box<dyn HostApp>)> = (0..2)
+        .map(|i| {
+            let dst = EthernetAddress::from_host_id((2 * i + 1) as u32);
+            (
+                Box::new(AimdSender::new(dst, AimdConfig::default(), 0)) as Box<dyn HostApp>,
+                Box::new(AimdAcker::default()) as Box<dyn HostApp>,
+            )
+        })
+        .collect();
+    let (sim, bell) = dumbbell(
+        DumbbellParams {
+            n_pairs: 2,
+            queue_limit_bytes: QUEUE_LIMIT,
+            ..Default::default()
+        },
+        apps,
+    );
+    finish(sim, bell, |sim, bell| {
+        bell.receivers
+            .iter()
+            .map(|r| sim.host_app::<AimdAcker>(*r).bytes as f64)
+            .collect()
+    })
+}
+
+fn run_dctcp() -> Score {
+    let apps: Vec<(Box<dyn HostApp>, Box<dyn HostApp>)> = (0..2)
+        .map(|i| {
+            let dst = EthernetAddress::from_host_id((2 * i + 1) as u32);
+            (
+                Box::new(DctcpSender::new(dst, DctcpConfig::default(), 0)) as Box<dyn HostApp>,
+                Box::new(DctcpReceiver::default()) as Box<dyn HostApp>,
+            )
+        })
+        .collect();
+    let (mut sim, bell) = dumbbell(
+        DumbbellParams {
+            n_pairs: 2,
+            queue_limit_bytes: QUEUE_LIMIT,
+            ..Default::default()
+        },
+        apps,
+    );
+    let port = bell.bottleneck_port;
+    sim.switch_mut(bell.left)
+        .set_ecn_threshold(port, Some(ECN_K));
+    finish(sim, bell, |sim, bell| {
+        bell.receivers
+            .iter()
+            .map(|r| sim.host_app::<DctcpReceiver>(*r).bytes as f64)
+            .collect()
+    })
+}
+
+fn run_rcpstar() -> Score {
+    let apps: Vec<(Box<dyn HostApp>, Box<dyn HostApp>)> = (0..2)
+        .map(|i| {
+            let dst = EthernetAddress::from_host_id((2 * i + 1) as u32);
+            (
+                Box::new(RcpStarSender::new(dst, RcpStarConfig::default())) as Box<dyn HostApp>,
+                Box::new(EchoReceiver::default()) as Box<dyn HostApp>,
+            )
+        })
+        .collect();
+    let (mut sim, bell) = dumbbell(
+        DumbbellParams {
+            n_pairs: 2,
+            queue_limit_bytes: QUEUE_LIMIT,
+            ..Default::default()
+        },
+        apps,
+    );
+    for sw in [bell.left, bell.right] {
+        init_rate_registers(sim.switch_mut(sw));
+    }
+    finish(sim, bell, |sim, bell| {
+        bell.receivers
+            .iter()
+            .map(|r| sim.host_app::<EchoReceiver>(*r).data_bytes as f64)
+            .collect()
+    })
+}
+
+fn main() {
+    println!("fixed-function signals vs TPPs: 2 flows, 10 Mb/s bottleneck, {RUN_S} s,");
+    println!("{QUEUE_LIMIT} B buffer, ECN K = {ECN_K} B\n");
+
+    let systems: Vec<(&str, &str, Score)> = vec![
+        ("AIMD (TCP-like)", "loss only (0 bits)", run_aimd()),
+        ("DCTCP-like", "ECN mark (1 bit)", run_dctcp()),
+        ("RCP* (TPP)", "queue+counters+rate (5 words)", run_rcpstar()),
+    ];
+    let rows: Vec<Vec<String>> = systems
+        .iter()
+        .map(|(name, signal, s)| {
+            vec![
+                name.to_string(),
+                signal.to_string(),
+                format!("{:.2}", s.goodput_total_mbps),
+                format!("{:.2}", s.fairness_ratio),
+                s.queue_hwm.to_string(),
+                s.drops.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "system",
+            "dataplane signal",
+            "goodput Mb/s",
+            "max/min fair",
+            "queue hwm B",
+            "drops",
+        ],
+        &rows,
+    );
+
+    println!("\nreading: richer dataplane visibility buys emptier queues —");
+    println!("AIMD must fill the buffer to find capacity, DCTCP rides its");
+    println!("marking threshold, RCP* converges with near-empty queues.");
+    println!("ECN and Record Route each anticipated ONE need; the same TPP");
+    println!("interface expressed both (queue reads; switch-ID pushes) plus");
+    println!("everything else in this repository, with no new silicon.");
+}

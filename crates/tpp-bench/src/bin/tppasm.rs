@@ -1,0 +1,128 @@
+//! `tppasm` — the TPP assembler as a command-line tool.
+//!
+//! ```console
+//! $ tppasm asm program.tpp             # assemble a file to hex words
+//! $ echo "PUSH [Queue:QueueSize]" | tppasm asm -
+//! $ tppasm dis 0x18002000 0x18000000   # disassemble hex words
+//! $ tppasm lint program.tpp 5 20       # lint for 5 hops, 20 mem words
+//! $ tppasm symbols                      # dump the memory map
+//! ```
+//!
+//! Exit status: 0 on success (lint: and no findings), 1 on any error or
+//! lint finding — scriptable in CI for TPP programs kept in repos.
+
+use std::io::Read;
+use tpp_isa::{assemble, disassemble, lint, Namespace, Program, Stat};
+
+fn read_source(path: &str) -> Result<String, String> {
+    if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| format!("stdin: {e}"))?;
+        Ok(buf)
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn cmd_asm(path: &str) -> Result<(), String> {
+    let source = read_source(path)?;
+    let program = assemble(&source).map_err(|e| e.to_string())?;
+    let words = program.encode_words().map_err(|e| e.to_string())?;
+    for word in words {
+        println!("{word:#010x}");
+    }
+    eprintln!(
+        "{} instruction(s), {} bytes on the wire, {} packet-memory word(s)/hop",
+        program.len(),
+        program.wire_len(),
+        program.words_per_hop()
+    );
+    Ok(())
+}
+
+fn cmd_dis(words: &[String]) -> Result<(), String> {
+    let parsed: Result<Vec<u32>, String> = words
+        .iter()
+        .map(|w| {
+            let cleaned = w.trim().trim_start_matches("0x");
+            u32::from_str_radix(cleaned, 16).map_err(|e| format!("{w}: {e}"))
+        })
+        .collect();
+    let program = Program::decode_words(&parsed?).map_err(|e| e.to_string())?;
+    println!("{}", disassemble(&program));
+    Ok(())
+}
+
+fn cmd_lint(path: &str, hops: &str, mem_words: &str) -> Result<(), String> {
+    let source = read_source(path)?;
+    let program = assemble(&source).map_err(|e| e.to_string())?;
+    let hops: usize = hops.parse().map_err(|_| "bad hop count".to_string())?;
+    let mem: usize = mem_words
+        .parse()
+        .map_err(|_| "bad memory size".to_string())?;
+    let findings = lint(&program, hops, mem);
+    if findings.is_empty() {
+        eprintln!(
+            "clean ({} instruction(s), plan: {hops} hops, {mem} words)",
+            program.len()
+        );
+        Ok(())
+    } else {
+        for finding in &findings {
+            eprintln!("lint: {finding}");
+        }
+        Err(format!("{} finding(s)", findings.len()))
+    }
+}
+
+fn cmd_symbols() {
+    println!("{:<8} {:<36} namespace", "vaddr", "symbol");
+    for stat in Stat::ALL {
+        let ns = match stat.addr().namespace() {
+            Namespace::Switch => "per-switch (RO)",
+            Namespace::Link => "per-port, egress (RO)",
+            Namespace::Queue => "per-queue, egress (RO)",
+            Namespace::PacketMetadata => "per-packet (RO)",
+            _ => "?",
+        };
+        println!(
+            "{:<8} {:<36} {}",
+            stat.addr().to_string(),
+            stat.symbol(),
+            ns
+        );
+    }
+    println!(
+        "{:<8} {:<36} per-port scratch SRAM (RW)",
+        "0x4000+", "Link:Scratch[k]"
+    );
+    println!(
+        "{:<8} {:<36} global scratch SRAM (RW)",
+        "0x8000+", "Switch:Scratch[k]"
+    );
+}
+
+fn usage() -> String {
+    "usage:\n  tppasm asm <file|->\n  tppasm dis <hexword>...\n  tppasm lint <file|-> <hops> <mem_words>\n  tppasm symbols"
+        .to_string()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("asm") if args.len() == 2 => cmd_asm(&args[1]),
+        Some("dis") if args.len() >= 2 => cmd_dis(&args[1..]),
+        Some("lint") if args.len() == 4 => cmd_lint(&args[1], &args[2], &args[3]),
+        Some("symbols") => {
+            cmd_symbols();
+            Ok(())
+        }
+        _ => Err(usage()),
+    };
+    if let Err(message) = result {
+        eprintln!("{message}");
+        std::process::exit(1);
+    }
+}

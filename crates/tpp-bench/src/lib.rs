@@ -1,0 +1,70 @@
+//! # tpp-bench — reproduction harness
+//!
+//! One binary per table/figure/quantitative claim in the paper (see the
+//! per-experiment index in `DESIGN.md` and the results in
+//! `EXPERIMENTS.md`):
+//!
+//! | Binary | Reproduces |
+//! |---|---|
+//! | `fig1_walkthrough` | Figure 1 — queue-size query walking a path |
+//! | `fig2_rcp_convergence` | Figure 2 — RCP vs RCP\* R(t)/C series |
+//! | `table1_instructions` | Table 1 — instruction set, live semantics |
+//! | `table2_namespaces` | Table 2 — statistics namespaces, live reads |
+//! | `overheads_table` | §3.3 — bytes/instr/cycle overhead accounting |
+//! | `microburst_detection` | §2.1 — TPP monitor vs coarse poller |
+//! | `ndb_debugger` | §2.3 — fault detection summary |
+//! | `cstore_consistency` | §3.2.3 — racy vs linearizable counters |
+//! | `rcp_ablation` | design-choice ablations for RCP\* |
+//! | `fixed_function_vs_tpp` | §4 — ECN/loss/TPP signal comparison |
+//! | `fct_comparison` | §1 — mice/elephant flow completion times |
+//!
+//! Criterion benches (`cargo bench`) measure the *model's* performance:
+//! TCPU execution cost per instruction count, full-pipeline frame
+//! processing, and simulator event throughput.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Render a simple fixed-width table to stdout.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut s = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            s.push_str(&format!("{:<width$}  ", cell, width = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Mean of an f64 iterator; NaN when empty.
+pub fn mean(values: impl Iterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = values.collect();
+    if v.is_empty() {
+        return f64::NAN;
+    }
+    v.iter().sum::<f64>() / v.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basics() {
+        assert_eq!(mean([1.0, 2.0, 3.0].into_iter()), 2.0);
+        assert!(mean(std::iter::empty()).is_nan());
+    }
+}

@@ -1,0 +1,28 @@
+//! # tpp-control — the control-plane agent
+//!
+//! TPPs deliberately leave three jobs to a conventional control plane,
+//! and this crate is that control plane:
+//!
+//! * **SRAM partitioning** (§3.2 "Multiple tasks"): "We rely on a
+//!   control-plane agent to partition switch SRAM and isolate
+//!   concurrently executing network tasks. For instance, if end-hosts
+//!   implement both RCP and ndb, the agent would allocate a
+//!   non-overlapping set of SRAM addresses to RCP and ndb." —
+//!   [`SramAllocator`].
+//! * **Versioned rule management** (§2.3): ndb's controller "stamps each
+//!   flow entry with a unique version number"; [`NetworkController`]
+//!   installs TCAM entries with version stamps and remembers its *intent*
+//!   so ndb's verifier can detect control/dataplane divergence.
+//! * **Edge security** (§4): "the ingress switches at the network edge
+//!   (the virtual switch, or the border routers) can strip TPPs injected
+//!   by VMs, or those TPPs received from the Internet" —
+//!   [`NetworkController::set_port_trust`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod controller;
+pub mod sram;
+
+pub use controller::{NetworkController, PortTrust};
+pub use sram::{AllocError, Allocation, Region, SramAllocator};

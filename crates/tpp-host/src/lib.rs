@@ -1,0 +1,70 @@
+//! # tpp-host — the programmable end-host side of TPP
+//!
+//! The paper's architecture splits every network task into "(a) a simple
+//! program that executes on the ASIC, and (b) an expressive task
+//! distributed across end-hosts". This crate is the toolkit for part (b):
+//!
+//! * [`probe::ProbeBuilder`] — compile a program once, then mint TPP
+//!   frames (optionally piggy-backed on application payload);
+//! * [`probe::echo_reply`] — the receiver side of §2.2 Phase 1 ("the
+//!   receiver simply echos a fully executed TPP back to the sender");
+//! * [`EchoReceiver`] — a ready-made host app that echoes TPPs and sinks
+//!   data traffic, used as the receiver in the congestion-control
+//!   experiments;
+//! * [`pacing::PacedSender`] and [`pacing::TokenBucket`] — the rate
+//!   limiter each RCP\* flow runs at the end-host (§2.2: "The
+//!   implementation consists of a rate limiter and a rate controller at
+//!   end-hosts for every flow");
+//! * [`telemetry`] — decode fully-executed TPPs into per-hop records;
+//! * [`widequery`] — split a query too wide for one packet across a
+//!   probe train and reassemble the echoes (§3.2's multi-packet rule);
+//! * [`rtt::RttEstimator`] — smoothed RTT from probe echoes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pacing;
+pub mod probe;
+pub mod rtt;
+pub mod telemetry;
+pub mod widequery;
+
+pub use pacing::{PacedSender, TokenBucket};
+pub use probe::parse_echo;
+pub use probe::{echo_reply, ProbeBuilder, DATA_ETHERTYPE};
+pub use rtt::RttEstimator;
+pub use telemetry::{decode_echo, split_hops, HopView, PathSample};
+pub use widequery::{SegmentedCollector, SegmentedQuery, WideRow};
+
+use tpp_netsim::{HostApp, HostCtx};
+use tpp_wire::ethernet::Frame;
+
+/// A receiver that echoes every executed TPP back to its sender and
+/// counts received data bytes.
+///
+/// This is the entire receiver side of RCP\* and of telemetry probing:
+/// all intelligence lives at the sender, the receiver only reflects
+/// (§2.2 Phase 1).
+#[derive(Debug, Default)]
+pub struct EchoReceiver {
+    /// Total non-TPP payload bytes received.
+    pub data_bytes: u64,
+    /// Number of TPPs echoed.
+    pub tpps_echoed: u64,
+    /// Number of data frames received.
+    pub data_frames: u64,
+}
+
+impl HostApp for EchoReceiver {
+    fn on_frame(&mut self, frame: Vec<u8>, ctx: &mut HostCtx<'_>) {
+        if let Some(reply) = echo_reply(&frame, ctx.mac()) {
+            self.tpps_echoed += 1;
+            ctx.send(reply);
+            return;
+        }
+        if let Ok(parsed) = Frame::new_checked(&frame[..]) {
+            self.data_frames += 1;
+            self.data_bytes += parsed.payload().len() as u64;
+        }
+    }
+}

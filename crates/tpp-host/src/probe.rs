@@ -1,0 +1,233 @@
+//! Building TPP probes and echoing them back.
+//!
+//! §2.2: a flow's rate controller queries the network "using the flow's
+//! packets, or using additional probe packets". Both are supported: a
+//! [`ProbeBuilder`] mints stand-alone probes, or piggy-backs the TPP onto
+//! an application datagram via [`ProbeBuilder::build_frame_with_payload`].
+
+use tpp_isa::Program;
+use tpp_wire::ethernet::{build_frame, EtherType, Frame};
+use tpp_wire::tpp::{AddressingMode, TppBuilder, TppPacket, FLAG_ECHOED, FLAG_EXECUTED};
+use tpp_wire::EthernetAddress;
+
+/// EtherType used for plain (non-TPP) application data frames in the
+/// reproduction's experiments. Deliberately not 0x0800: the payloads are
+/// synthetic datagrams, not real IPv4 packets.
+pub const DATA_ETHERTYPE: EtherType = EtherType(0x0802);
+
+/// Compiles a program once and mints TPP frames on demand.
+#[derive(Debug, Clone)]
+pub struct ProbeBuilder {
+    words: Vec<u32>,
+    mode: AddressingMode,
+    mem_words: usize,
+    per_hop_words: usize,
+    init: Vec<u32>,
+}
+
+impl ProbeBuilder {
+    /// A stack-mode probe with room for `expected_hops` executions of
+    /// `program` (packet memory is sized from the program's per-hop
+    /// footprint, the §2.1 "preallocate enough packet memory" rule).
+    pub fn stack(program: &Program, expected_hops: usize) -> Self {
+        let per_hop = program.words_per_hop();
+        ProbeBuilder {
+            words: program.encode_words().expect("valid program"),
+            mode: AddressingMode::Stack,
+            mem_words: per_hop * expected_hops,
+            per_hop_words: 0,
+            init: Vec::new(),
+        }
+    }
+
+    /// A hop-mode probe: `per_hop_words` words per hop, `expected_hops`
+    /// hop slots.
+    pub fn hop(program: &Program, expected_hops: usize) -> Self {
+        let per_hop = program.words_per_hop();
+        ProbeBuilder {
+            words: program.encode_words().expect("valid program"),
+            mode: AddressingMode::Hop,
+            mem_words: per_hop * expected_hops,
+            per_hop_words: per_hop,
+            init: Vec::new(),
+        }
+    }
+
+    /// Initialize the head of packet memory with explicit words — how
+    /// CSTORE/CEXEC operands and STORE sources are loaded into the
+    /// network (Fig. 4: "packet memory can contain initialized values").
+    /// Memory is extended if the initializer is longer than the
+    /// preallocation.
+    pub fn init_memory(mut self, words: &[u32]) -> Self {
+        self.init = words.to_vec();
+        self
+    }
+
+    /// Total packet-memory words the probe will carry.
+    pub fn mem_words(&self) -> usize {
+        self.mem_words.max(self.init.len())
+    }
+
+    /// Build a stand-alone probe frame.
+    pub fn build_frame(&self, dst: EthernetAddress, src: EthernetAddress) -> Vec<u8> {
+        self.build_frame_with_payload(dst, src, &[], 0)
+    }
+
+    /// Build a probe piggy-backed on application payload of the given
+    /// inner EtherType.
+    pub fn build_frame_with_payload(
+        &self,
+        dst: EthernetAddress,
+        src: EthernetAddress,
+        payload: &[u8],
+        inner_ethertype: u16,
+    ) -> Vec<u8> {
+        let mut memory = self.init.clone();
+        memory.resize(self.mem_words(), 0);
+        let tpp = TppBuilder::new(self.mode)
+            .instructions(&self.words)
+            .memory_init(&memory)
+            .per_hop_words(self.per_hop_words)
+            .payload(payload)
+            .inner_ethertype(inner_ethertype)
+            .build();
+        build_frame(dst, src, EtherType::TPP, &tpp)
+    }
+}
+
+/// If `frame` is an executed, not-yet-echoed TPP addressed to `my_mac`,
+/// build the echo: source and destination swapped, [`FLAG_ECHOED`] set,
+/// contents untouched. Returns `None` for anything else.
+///
+/// "The receiver simply echos a fully executed TPP back to the sender"
+/// (§2.2 Phase 1). Filtering on [`FLAG_ECHOED`] keeps a sender from
+/// re-echoing its own echo.
+pub fn echo_reply(frame: &[u8], my_mac: EthernetAddress) -> Option<Vec<u8>> {
+    let parsed = Frame::new_checked(frame).ok()?;
+    if !parsed.is_tpp() || parsed.dst_addr() != my_mac {
+        return None;
+    }
+    let tpp = TppPacket::new_checked(parsed.payload()).ok()?;
+    let flags = tpp.flags();
+    if flags & FLAG_EXECUTED == 0 || flags & FLAG_ECHOED != 0 {
+        return None;
+    }
+    let mut reply = frame.to_vec();
+    {
+        let mut out = Frame::new_unchecked(&mut reply[..]);
+        let orig_src = parsed.src_addr();
+        out.set_dst_addr(orig_src);
+        out.set_src_addr(my_mac);
+        let mut tpp_out = TppPacket::new_unchecked(out.payload_mut());
+        tpp_out.set_flags(flags | FLAG_ECHOED);
+    }
+    Some(reply)
+}
+
+/// Parse an incoming frame as an echoed TPP addressed to `my_mac`,
+/// returning the TPP view over its payload bytes.
+pub fn parse_echo(frame: &[u8], my_mac: EthernetAddress) -> Option<TppPacket<&[u8]>> {
+    let parsed = Frame::new_checked(frame).ok()?;
+    if !parsed.is_tpp() || parsed.dst_addr() != my_mac {
+        return None;
+    }
+    let payload = &frame[tpp_wire::ETHERNET_HEADER_LEN..];
+    let tpp = TppPacket::new_checked(payload).ok()?;
+    if tpp.flags() & FLAG_ECHOED == 0 {
+        return None;
+    }
+    Some(tpp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpp_isa::assemble;
+
+    fn macs() -> (EthernetAddress, EthernetAddress) {
+        (
+            EthernetAddress::from_host_id(10),
+            EthernetAddress::from_host_id(20),
+        )
+    }
+
+    #[test]
+    fn stack_probe_sizes_memory_from_program() {
+        let program =
+            assemble("PUSH [Switch:SwitchID]\nPUSH [Link:QueueSize]\nPUSH [Link:RX-Utilization]")
+                .unwrap();
+        let probe = ProbeBuilder::stack(&program, 5);
+        assert_eq!(probe.mem_words(), 15, "3 words/hop x 5 hops");
+        let (dst, src) = macs();
+        let frame = probe.build_frame(dst, src);
+        let parsed = Frame::new_checked(&frame[..]).unwrap();
+        assert!(parsed.is_tpp());
+        let tpp = TppPacket::new_checked(parsed.payload()).unwrap();
+        assert_eq!(tpp.mem_len(), 60);
+        assert_eq!(tpp.instruction_count(), 3);
+    }
+
+    #[test]
+    fn init_memory_loads_operands() {
+        let program = assemble("CEXEC [Switch:SwitchID], [Packet:0]").unwrap();
+        let probe = ProbeBuilder::stack(&program, 1).init_memory(&[0xffff_ffff, 0xb0b]);
+        let (dst, src) = macs();
+        let frame = probe.build_frame(dst, src);
+        let parsed = Frame::new_checked(&frame[..]).unwrap();
+        let tpp = TppPacket::new_checked(parsed.payload()).unwrap();
+        assert_eq!(tpp.memory_words(), vec![0xffff_ffff, 0xb0b]);
+    }
+
+    #[test]
+    fn echo_only_executed_unechoed_tpps_for_me() {
+        let program = assemble("PUSH [Queue:QueueSize]").unwrap();
+        let probe = ProbeBuilder::stack(&program, 2);
+        let (dst, src) = macs();
+        let frame = probe.build_frame(dst, src);
+
+        // Not yet executed: no echo.
+        assert!(echo_reply(&frame, dst).is_none());
+
+        // Mark executed (as a TCPU would).
+        let mut executed = frame.clone();
+        {
+            let mut f = Frame::new_unchecked(&mut executed[..]);
+            let mut tpp = TppPacket::new_unchecked(f.payload_mut());
+            tpp.set_flags(FLAG_EXECUTED);
+        }
+        // Wrong recipient: no echo.
+        assert!(echo_reply(&executed, src).is_none());
+        // Right recipient: echo with swapped addresses and ECHOED flag.
+        let reply = echo_reply(&executed, dst).unwrap();
+        let parsed = Frame::new_checked(&reply[..]).unwrap();
+        assert_eq!(parsed.dst_addr(), src);
+        assert_eq!(parsed.src_addr(), dst);
+        let tpp = TppPacket::new_checked(parsed.payload()).unwrap();
+        assert_ne!(tpp.flags() & FLAG_ECHOED, 0);
+        // An echo is never echoed again.
+        assert!(echo_reply(&reply, src).is_none());
+        // And the original sender can parse it.
+        assert!(parse_echo(&reply, src).is_some());
+        assert!(parse_echo(&reply, dst).is_none());
+    }
+
+    #[test]
+    fn piggyback_preserves_payload() {
+        let program = assemble("PUSH [Queue:QueueSize]").unwrap();
+        let probe = ProbeBuilder::stack(&program, 3);
+        let (dst, src) = macs();
+        let frame = probe.build_frame_with_payload(dst, src, b"app-data", DATA_ETHERTYPE.0);
+        let parsed = Frame::new_checked(&frame[..]).unwrap();
+        let tpp = TppPacket::new_checked(parsed.payload()).unwrap();
+        assert_eq!(tpp.inner_payload(), b"app-data");
+        assert_eq!(tpp.inner_ethertype(), DATA_ETHERTYPE.0);
+    }
+
+    #[test]
+    fn non_tpp_frames_are_ignored() {
+        let (dst, src) = macs();
+        let frame = build_frame(dst, src, DATA_ETHERTYPE, b"x");
+        assert!(echo_reply(&frame, dst).is_none());
+        assert!(parse_echo(&frame, dst).is_none());
+    }
+}

@@ -1,0 +1,161 @@
+//! Decoding fully-executed TPPs into per-hop telemetry.
+//!
+//! §2.1: "the end-host knows exactly how to interpret values in the
+//! packet to obtain a detailed breakdown" — the interpretation key is the
+//! program itself: a stack-mode program that pushes `k` words per hop
+//! turns the stack into `hop` consecutive `k`-word records.
+
+use tpp_wire::tpp::TppPacket;
+use tpp_wire::EthernetAddress;
+
+/// One hop's worth of words, in program push order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HopView {
+    /// 0-based hop index along the path.
+    pub hop: usize,
+    /// The words the program recorded at this hop.
+    pub words: Vec<u32>,
+}
+
+/// A decoded path sample: every hop's record, plus echo metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathSample {
+    /// Per-hop records in path order.
+    pub hops: Vec<HopView>,
+    /// Total hops the TPP executed on.
+    pub hop_count: usize,
+}
+
+impl PathSample {
+    /// Convenience: the `i`-th word of every hop (e.g. all queue sizes
+    /// when the program pushes the queue size `i`-th).
+    pub fn column(&self, i: usize) -> Vec<u32> {
+        self.hops.iter().map(|h| h.words[i]).collect()
+    }
+
+    /// The hop with the maximum value in column `i`, if any hops exist.
+    pub fn argmax_column(&self, i: usize) -> Option<&HopView> {
+        self.hops.iter().max_by_key(|h| h.words[i])
+    }
+
+    /// The hop with the minimum value in column `i`.
+    pub fn argmin_column(&self, i: usize) -> Option<&HopView> {
+        self.hops.iter().min_by_key(|h| h.words[i])
+    }
+}
+
+/// Split an executed stack-mode TPP into per-hop records of
+/// `words_per_hop` words.
+///
+/// Returns `None` when the stack length is not an exact multiple of
+/// `words_per_hop` or disagrees with the hop counter — which means the
+/// packet was corrupted, the program faulted mid-hop, or the caller's
+/// `words_per_hop` is wrong. Callers treat `None` as a lost sample.
+pub fn split_hops<T: AsRef<[u8]>>(tpp: &TppPacket<T>, words_per_hop: usize) -> Option<PathSample> {
+    if words_per_hop == 0 {
+        return None;
+    }
+    let words = tpp.stack_words();
+    if !words.len().is_multiple_of(words_per_hop) {
+        return None;
+    }
+    let hop_count = words.len() / words_per_hop;
+    if hop_count != tpp.hop() as usize {
+        return None;
+    }
+    let hops = words
+        .chunks(words_per_hop)
+        .enumerate()
+        .map(|(hop, chunk)| HopView {
+            hop,
+            words: chunk.to_vec(),
+        })
+        .collect();
+    Some(PathSample { hops, hop_count })
+}
+
+/// One-call receive path: if `frame` is an echoed TPP for `my_mac`,
+/// decode it into per-hop records of `words_per_hop` words.
+///
+/// This is what a telemetry/rate-controller app calls in its
+/// `on_frame`; anything that is not a well-formed echo of the expected
+/// shape comes back as `None` and is simply not a sample.
+pub fn decode_echo(
+    frame: &[u8],
+    my_mac: EthernetAddress,
+    words_per_hop: usize,
+) -> Option<PathSample> {
+    let tpp = crate::probe::parse_echo(frame, my_mac)?;
+    split_hops(&tpp, words_per_hop)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpp_wire::tpp::{AddressingMode, TppBuilder};
+
+    fn executed_tpp(stack: &[u32], hop: u8, capacity_words: usize) -> Vec<u8> {
+        let mut bytes = TppBuilder::new(AddressingMode::Stack)
+            .instructions(&[0])
+            .memory_words(capacity_words)
+            .build();
+        let mut tpp = TppPacket::new_checked(&mut bytes[..]).unwrap();
+        for w in stack {
+            tpp.push_word(*w).unwrap();
+        }
+        tpp.set_hop(hop);
+        bytes
+    }
+
+    #[test]
+    fn splits_into_hop_records() {
+        // 2 words/hop over 3 hops: (id, queue) pairs.
+        let bytes = executed_tpp(&[1, 10, 2, 20, 3, 30], 3, 8);
+        let tpp = TppPacket::new_checked(&bytes[..]).unwrap();
+        let sample = split_hops(&tpp, 2).unwrap();
+        assert_eq!(sample.hop_count, 3);
+        assert_eq!(
+            sample.hops[1],
+            HopView {
+                hop: 1,
+                words: vec![2, 20]
+            }
+        );
+        assert_eq!(sample.column(1), vec![10, 20, 30]);
+        assert_eq!(sample.argmax_column(1).unwrap().hop, 2);
+        assert_eq!(sample.argmin_column(1).unwrap().words, vec![1, 10]);
+    }
+
+    #[test]
+    fn rejects_partial_hops() {
+        let bytes = executed_tpp(&[1, 10, 2], 2, 8);
+        let tpp = TppPacket::new_checked(&bytes[..]).unwrap();
+        assert!(split_hops(&tpp, 2).is_none(), "stack not a multiple");
+    }
+
+    #[test]
+    fn rejects_hop_counter_mismatch() {
+        // 4 words at 2/hop = 2 hops, but counter says 3 (a fault skipped
+        // pushes on some hop).
+        let bytes = executed_tpp(&[1, 10, 2, 20], 3, 8);
+        let tpp = TppPacket::new_checked(&bytes[..]).unwrap();
+        assert!(split_hops(&tpp, 2).is_none());
+    }
+
+    #[test]
+    fn rejects_zero_words_per_hop() {
+        let bytes = executed_tpp(&[], 0, 4);
+        let tpp = TppPacket::new_checked(&bytes[..]).unwrap();
+        assert!(split_hops(&tpp, 0).is_none());
+    }
+
+    #[test]
+    fn empty_path_is_valid() {
+        let bytes = executed_tpp(&[], 0, 4);
+        let tpp = TppPacket::new_checked(&bytes[..]).unwrap();
+        let sample = split_hops(&tpp, 2).unwrap();
+        assert_eq!(sample.hop_count, 0);
+        assert!(sample.hops.is_empty());
+        assert!(sample.argmax_column(0).is_none());
+    }
+}

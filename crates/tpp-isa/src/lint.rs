@@ -1,0 +1,311 @@
+//! Static program checks — the TPP "compiler" front end.
+//!
+//! The ASIC is deliberately unforgiving: a faulting instruction stops the
+//! program mid-flight and the partial results come home silently wrong
+//! shaped. Everything the dataplane would reject can be caught before a
+//! single packet is built, because the memory map and the packet-memory
+//! budget are both known at compile time (§3.2.1: "These address mappings
+//! must be known upfront so that the TPP compiler can convert
+//! mnemonics ... into addresses"). [`lint`] performs those checks.
+
+use crate::address::{Namespace, VirtAddr};
+use crate::instruction::{Instruction, PacketOperand};
+use crate::program::Program;
+
+/// A problem `lint` found, with the instruction index it points at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Lint {
+    /// A STORE/POP/CSTORE targets a read-only namespace: the TCPU will
+    /// fault at this instruction on every switch.
+    WriteToReadOnly {
+        /// Instruction index.
+        pc: usize,
+        /// The offending address.
+        addr: VirtAddr,
+    },
+    /// An access targets the unmapped hole in the address space.
+    UnmappedAddress {
+        /// Instruction index.
+        pc: usize,
+        /// The offending address.
+        addr: VirtAddr,
+    },
+    /// The program needs more packet memory than the plan provides:
+    /// stack pushes and/or operand blocks exceed `mem_words`.
+    InsufficientPacketMemory {
+        /// Words the program can touch per hop.
+        needed_per_hop: usize,
+        /// Hops the caller plans for.
+        hops: usize,
+        /// Words the caller plans to allocate.
+        mem_words: usize,
+    },
+    /// A POP/arithmetic instruction can underflow the stack: at this
+    /// point the program has pushed fewer words than it consumes.
+    StackUnderflow {
+        /// Instruction index.
+        pc: usize,
+    },
+    /// An instruction follows a CEXEC whose operand block overlaps the
+    /// stack region the program pushes into — a later PUSH would corrupt
+    /// the predicate for downstream switches.
+    CexecOperandClobbered {
+        /// Index of the CEXEC.
+        pc: usize,
+        /// First stack word that collides with the operand block.
+        collision_word: usize,
+    },
+}
+
+impl core::fmt::Display for Lint {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Lint::WriteToReadOnly { pc, addr } => {
+                write!(f, "insn {pc}: write to read-only address {addr}")
+            }
+            Lint::UnmappedAddress { pc, addr } => {
+                write!(f, "insn {pc}: unmapped address {addr}")
+            }
+            Lint::InsufficientPacketMemory {
+                needed_per_hop,
+                hops,
+                mem_words,
+            } => write!(
+                f,
+                "packet memory: need {needed_per_hop} words/hop x {hops} hops, have {mem_words}"
+            ),
+            Lint::StackUnderflow { pc } => write!(f, "insn {pc}: stack underflow"),
+            Lint::CexecOperandClobbered { pc, collision_word } => write!(
+                f,
+                "insn {pc}: CEXEC operand block overlaps pushed stack word {collision_word}"
+            ),
+        }
+    }
+}
+
+/// Statically check a program against a deployment plan of
+/// `hops` expected switches and `mem_words` of packet memory.
+///
+/// Returns every problem found (empty = clean). All checks are
+/// conservative approximations of the TCPU's runtime behaviour — a clean
+/// program can still fault on state-dependent conditions (e.g. a CSTORE
+/// to an address another task deallocated), but every lint reported here
+/// *would* misbehave on real execution.
+pub fn lint(program: &Program, hops: usize, mem_words: usize) -> Vec<Lint> {
+    let mut lints = Vec::new();
+
+    // First pass: the program's per-hop stack growth and the highest
+    // absolutely-addressed word it touches. Absolute operand blocks are
+    // *shared* across hops (the same words every execution); only stack
+    // pushes accumulate per hop.
+    let mut net_depth: isize = 0;
+    let mut abs_end: usize = 0;
+    for insn in program.iter() {
+        match insn {
+            Instruction::Push { .. } | Instruction::PushImm(_) => net_depth += 1,
+            Instruction::Pop { .. } => net_depth -= 1,
+            Instruction::Add | Instruction::Sub | Instruction::And | Instruction::Or => {
+                net_depth -= 1
+            }
+            _ => {}
+        }
+        let block = match insn {
+            Instruction::Load {
+                dst: PacketOperand::Abs(o),
+                ..
+            }
+            | Instruction::Store {
+                src: PacketOperand::Abs(o),
+                ..
+            } => Some((*o as usize, 1)),
+            Instruction::Cexec {
+                mem: PacketOperand::Abs(o),
+                ..
+            } => Some((*o as usize, 2)),
+            Instruction::Cstore {
+                mem: PacketOperand::Abs(o),
+                ..
+            } => Some((*o as usize, 3)),
+            _ => None,
+        };
+        if let Some((start, width)) = block {
+            abs_end = abs_end.max(start + width);
+        }
+    }
+    let stack_per_hop = net_depth.max(0) as usize;
+    let max_stack_words = stack_per_hop * hops;
+    let needed_total = max_stack_words.max(abs_end).max(program.words_per_hop());
+    if needed_total > mem_words {
+        lints.push(Lint::InsufficientPacketMemory {
+            needed_per_hop: stack_per_hop.max(abs_end),
+            hops,
+            mem_words,
+        });
+    }
+
+    // Second pass: per-instruction checks, tracking live stack depth.
+    let mut depth: isize = 0;
+
+    for (pc, insn) in program.iter().enumerate() {
+        // Address validity for the switch operand.
+        let switch_addr = match insn {
+            Instruction::Load { addr, .. }
+            | Instruction::Push { addr }
+            | Instruction::Cexec { addr, .. } => Some((*addr, false)),
+            Instruction::Store { addr, .. }
+            | Instruction::Pop { addr }
+            | Instruction::Cstore { addr, .. } => Some((*addr, true)),
+            _ => None,
+        };
+        if let Some((addr, is_write)) = switch_addr {
+            if addr.namespace() == Namespace::Reserved {
+                lints.push(Lint::UnmappedAddress { pc, addr });
+            } else if is_write && !addr.is_writable() {
+                lints.push(Lint::WriteToReadOnly { pc, addr });
+            }
+        }
+
+        // Stack-depth bookkeeping.
+        match insn {
+            Instruction::Push { .. } | Instruction::PushImm(_) => depth += 1,
+            Instruction::Pop { .. } => {
+                depth -= 1;
+                if depth < 0 {
+                    lints.push(Lint::StackUnderflow { pc });
+                    depth = 0;
+                }
+            }
+            Instruction::Add | Instruction::Sub | Instruction::And | Instruction::Or => {
+                depth -= 2;
+                if depth < 0 {
+                    lints.push(Lint::StackUnderflow { pc });
+                    depth = 0;
+                }
+                depth += 1;
+            }
+            _ => {}
+        }
+
+        // CEXEC operands vs. the stack the plan will grow.
+        if let Instruction::Cexec {
+            mem: PacketOperand::Abs(word),
+            ..
+        } = insn
+        {
+            let start = *word as usize;
+            if start < max_stack_words {
+                lints.push(Lint::CexecOperandClobbered {
+                    pc,
+                    collision_word: start,
+                });
+            }
+        }
+    }
+    lints
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    #[test]
+    fn clean_paper_programs_pass() {
+        for (src, hops, mem) in [
+            ("PUSH [Queue:QueueSize]", 3, 3),
+            (
+                "PUSH [Switch:SwitchID]\nPUSH [PacketMetadata:MatchedEntryID]\n\
+                 PUSH [PacketMetadata:InputPort]",
+                5,
+                15,
+            ),
+            // CEXEC block above the stack region: fine.
+            (
+                "CEXEC [Switch:SwitchID], [Packet:8]\nPUSH [Switch:Scratch[0]]",
+                2,
+                10,
+            ),
+        ] {
+            let program = assemble(src).unwrap();
+            assert_eq!(lint(&program, hops, mem), vec![], "{src}");
+        }
+    }
+
+    #[test]
+    fn flags_write_to_read_only() {
+        let program = assemble("POP [Queue:QueueSize]").unwrap();
+        let lints = lint(&program, 1, 4);
+        assert!(lints
+            .iter()
+            .any(|l| matches!(l, Lint::WriteToReadOnly { pc: 0, .. })));
+    }
+
+    #[test]
+    fn flags_unmapped_address() {
+        let program = assemble("PUSH [0x5000]").unwrap();
+        let lints = lint(&program, 1, 4);
+        assert!(lints
+            .iter()
+            .any(|l| matches!(l, Lint::UnmappedAddress { pc: 0, .. })));
+    }
+
+    #[test]
+    fn flags_insufficient_memory() {
+        // 2 pushes/hop over 4 hops = 8 words; only 4 allocated.
+        let program = assemble("PUSH [Switch:SwitchID]\nPUSH [Queue:QueueSize]").unwrap();
+        let lints = lint(&program, 4, 4);
+        assert_eq!(
+            lints,
+            vec![Lint::InsufficientPacketMemory {
+                needed_per_hop: 2,
+                hops: 4,
+                mem_words: 4
+            }]
+        );
+    }
+
+    #[test]
+    fn flags_stack_underflow() {
+        let program = assemble("PUSHI 1\nADD").unwrap(); // ADD needs two
+        let lints = lint(&program, 1, 4);
+        assert!(lints
+            .iter()
+            .any(|l| matches!(l, Lint::StackUnderflow { pc: 1 })));
+        // POP on an empty stack too.
+        let program = assemble("POP [Switch:Scratch[0]]").unwrap();
+        assert!(lint(&program, 1, 4)
+            .iter()
+            .any(|l| matches!(l, Lint::StackUnderflow { pc: 0 })));
+    }
+
+    #[test]
+    fn flags_cexec_clobber() {
+        // The stack grows over words 0..2 (1 push x 2 hops) and the
+        // CEXEC block starts at word 0: hop 1's predicate reads hop 0's
+        // pushed value. This is the bug the cstore task's gate-at-word-8
+        // layout avoids.
+        let program =
+            assemble("CEXEC [Switch:SwitchID], [Packet:0]\nPUSH [Queue:QueueSize]").unwrap();
+        let lints = lint(&program, 2, 4);
+        assert!(lints.iter().any(|l| matches!(
+            l,
+            Lint::CexecOperandClobbered {
+                pc: 0,
+                collision_word: 0
+            }
+        )));
+        // Same program with the block out of the way: clean of that lint.
+        let program =
+            assemble("CEXEC [Switch:SwitchID], [Packet:8]\nPUSH [Queue:QueueSize]").unwrap();
+        assert!(!lint(&program, 2, 10)
+            .iter()
+            .any(|l| matches!(l, Lint::CexecOperandClobbered { .. })));
+    }
+
+    #[test]
+    fn multiple_lints_reported_together() {
+        let program = assemble("POP [Queue:QueueSize]\nPUSH [0x5000]\nADD").unwrap();
+        let lints = lint(&program, 1, 1);
+        assert!(lints.len() >= 3, "got {lints:?}");
+    }
+}

@@ -1,0 +1,192 @@
+//! A validated sequence of TPP instructions.
+
+use crate::instruction::Instruction;
+use crate::Result;
+
+/// An ordered list of instructions — the program part of a TPP.
+///
+/// `Program` sits between the assembler (`tpp-isa::asm`) and the wire
+/// format (`tpp-wire`): it encodes to the 4-byte instruction words carried
+/// in the packet and decodes back from them.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    instructions: Vec<Instruction>,
+}
+
+impl Program {
+    /// Wrap a list of instructions.
+    pub fn new(instructions: Vec<Instruction>) -> Self {
+        Program { instructions }
+    }
+
+    /// The instructions in execution order.
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instructions
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// True when the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// Iterate over the instructions.
+    pub fn iter(&self) -> impl Iterator<Item = &Instruction> {
+        self.instructions.iter()
+    }
+
+    /// Encode to the 4-byte words stored in a TPP's instruction section.
+    pub fn encode_words(&self) -> Result<Vec<u32>> {
+        self.instructions.iter().map(Instruction::encode).collect()
+    }
+
+    /// Decode from a TPP's instruction words.
+    pub fn decode_words(words: &[u32]) -> Result<Program> {
+        let instructions = words
+            .iter()
+            .map(|w| Instruction::decode(*w))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Program { instructions })
+    }
+
+    /// Wire-format size of the instruction section in bytes
+    /// (4 bytes/instruction, §3.3).
+    pub fn wire_len(&self) -> usize {
+        self.instructions.len() * 4
+    }
+
+    /// True if any instruction writes switch state. Used by the edge
+    /// security policy to distinguish read-only telemetry TPPs from
+    /// state-mutating ones (§4).
+    pub fn writes_switch(&self) -> bool {
+        self.instructions.iter().any(Instruction::writes_switch)
+    }
+
+    /// Upper bound on the packet-memory words a single execution of this
+    /// program can touch *past the current stack pointer / hop base*.
+    ///
+    /// End-hosts use this to "preallocate enough packet memory" (§2.1):
+    /// `words_per_hop() * expected_hops` for stack/hop programs.
+    pub fn words_per_hop(&self) -> usize {
+        use crate::instruction::PacketOperand;
+        let mut stack_words = 0usize;
+        let mut max_offset_block = 0usize;
+        for insn in &self.instructions {
+            match insn {
+                Instruction::Push { .. } | Instruction::PushImm(_) => stack_words += 1,
+                Instruction::Load { dst: op, .. } | Instruction::Store { src: op, .. } => {
+                    match op {
+                        PacketOperand::Sp => stack_words = stack_words.max(1),
+                        PacketOperand::Hop(o) | PacketOperand::Abs(o) => {
+                            max_offset_block = max_offset_block.max(*o as usize + 1)
+                        }
+                    }
+                }
+                Instruction::Cstore { mem, .. } => match mem {
+                    PacketOperand::Sp => stack_words = stack_words.max(3),
+                    PacketOperand::Hop(o) | PacketOperand::Abs(o) => {
+                        max_offset_block = max_offset_block.max(*o as usize + 3)
+                    }
+                },
+                Instruction::Cexec { mem, .. } => match mem {
+                    PacketOperand::Sp => stack_words = stack_words.max(2),
+                    PacketOperand::Hop(o) | PacketOperand::Abs(o) => {
+                        max_offset_block = max_offset_block.max(*o as usize + 2)
+                    }
+                },
+                _ => {}
+            }
+        }
+        stack_words.max(max_offset_block)
+    }
+}
+
+impl core::fmt::Display for Program {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", crate::asm::disassemble(self))
+    }
+}
+
+impl IntoIterator for Program {
+    type Item = Instruction;
+    type IntoIter = std::vec::IntoIter<Instruction>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.instructions.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::address::Stat;
+    use crate::asm::assemble;
+    use crate::instruction::PacketOperand;
+    use crate::VirtAddr;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let program =
+            assemble("PUSH [Queue:QueueSize]\nLOAD [Switch:SwitchID], [Packet:Hop[0]]\nADD")
+                .unwrap();
+        let words = program.encode_words().unwrap();
+        assert_eq!(words.len(), 3);
+        let decoded = Program::decode_words(&words).unwrap();
+        assert_eq!(decoded, program);
+    }
+
+    #[test]
+    fn wire_len_is_four_bytes_per_instruction() {
+        let program = assemble("NOP\nNOP\nNOP\nNOP\nNOP").unwrap();
+        assert_eq!(program.wire_len(), 20); // the §3.3 "20 bytes/packet"
+    }
+
+    #[test]
+    fn write_detection() {
+        assert!(!assemble("PUSH [Queue:QueueSize]").unwrap().writes_switch());
+        assert!(assemble("STORE [Switch:Scratch[0]], [Packet:0]")
+            .unwrap()
+            .writes_switch());
+        assert!(assemble("POP [Switch:Scratch[0]]").unwrap().writes_switch());
+        assert!(assemble("CSTORE [Switch:Scratch[0]], [Packet:0]")
+            .unwrap()
+            .writes_switch());
+    }
+
+    #[test]
+    fn words_per_hop_accounting() {
+        // The §2.2 collect program pushes 4 words per hop.
+        let collect = Program::new(vec![
+            crate::Instruction::Push {
+                addr: Stat::SwitchId.addr(),
+            },
+            crate::Instruction::Push {
+                addr: Stat::LinkQueueSize.addr(),
+            },
+            crate::Instruction::Push {
+                addr: Stat::RxUtilization.addr(),
+            },
+            crate::Instruction::Push {
+                addr: VirtAddr(0x4000),
+            },
+        ]);
+        assert_eq!(collect.words_per_hop(), 4);
+
+        // Hop-addressed load into slot 1 needs 2 words per hop.
+        let hop = Program::new(vec![crate::Instruction::Load {
+            addr: Stat::SwitchId.addr(),
+            dst: PacketOperand::Hop(1),
+        }]);
+        assert_eq!(hop.words_per_hop(), 2);
+
+        // CSTORE's [cond, src, old] block needs 3 words.
+        let cstore = Program::new(vec![crate::Instruction::Cstore {
+            addr: VirtAddr(0x8000),
+            mem: PacketOperand::Abs(0),
+        }]);
+        assert_eq!(cstore.words_per_hop(), 3);
+    }
+}

@@ -1,0 +1,75 @@
+//! The paper's canonical programs, as a tested catalog.
+//!
+//! Each constructor returns the exact program a section of the paper
+//! presents (or the closest published-equivalent this reproduction
+//! ships), together with its words-per-hop footprint. The applications
+//! in `tpp-apps` build on these, and the catalog doubles as executable
+//! documentation: the doc-quotes are from the paper, the instruction
+//! lists are what actually runs.
+
+use crate::asm::Assembler;
+use crate::program::Program;
+
+/// §2.1 — "the instruction `PUSH [Queue:QueueSize]` copies the queue
+/// register onto packet memory", prefixed with the switch ID so the
+/// end-host can attribute each sample (1 word/hop in the paper's
+/// minimal form; 2 with attribution).
+pub fn microburst_collect() -> Program {
+    Assembler::new()
+        .assemble("PUSH [Switch:SwitchID]\nPUSH [Queue:QueueSize]")
+        .expect("static program")
+}
+
+/// Words per hop pushed by [`microburst_collect`].
+pub const MICROBURST_WORDS_PER_HOP: usize = 2;
+
+/// §2.3 — the ndb forwarding-plane debugger program: "PUSH \[Switch:ID\];
+/// PUSH \[PacketMetadata:MatchedEntryID\]; PUSH
+/// \[PacketMetadata:InputPort\]", plus the matched entry's version (the
+/// stamp the §2.3 controller maintains).
+pub fn ndb_trace() -> Program {
+    Assembler::new()
+        .assemble(
+            "PUSH [Switch:SwitchID]\n\
+             PUSH [PacketMetadata:MatchedEntryID]\n\
+             PUSH [PacketMetadata:MatchedEntryVersion]\n\
+             PUSH [PacketMetadata:InputPort]",
+        )
+        .expect("static program")
+}
+
+/// Words per hop pushed by [`ndb_trace`].
+pub const NDB_WORDS_PER_HOP: usize = 4;
+
+/// §2.3 "other possibilities" — wireless link health: channel SNR and
+/// queue state per hop, for fade-vs-congestion loss attribution.
+pub fn wireless_health() -> Program {
+    Assembler::new()
+        .assemble("PUSH [Switch:SwitchID]\nPUSH [Link:SnrDeciBel]\nPUSH [Queue:QueueSize]")
+        .expect("static program")
+}
+
+/// Words per hop pushed by [`wireless_health`].
+pub const WIRELESS_WORDS_PER_HOP: usize = 3;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint::lint;
+
+    #[test]
+    fn catalog_programs_are_lint_clean_and_sized_right() {
+        for (program, words, hops) in [
+            (microburst_collect(), MICROBURST_WORDS_PER_HOP, 7),
+            (ndb_trace(), NDB_WORDS_PER_HOP, 7),
+            (wireless_health(), WIRELESS_WORDS_PER_HOP, 7),
+        ] {
+            assert_eq!(program.words_per_hop(), words);
+            assert_eq!(lint(&program, hops, words * hops), vec![]);
+            // §3.3's budget: every catalog program fits 5 instructions…
+            // ndb's is 4 — all within "a handful".
+            assert!(program.len() <= 5);
+            assert!(!program.writes_switch(), "telemetry programs are read-only");
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! The event queue: a binary heap ordered by `(time, seq)`.
+//!
+//! The sequence number breaks ties deterministically in insertion order,
+//! which is what makes whole simulations reproducible bit-for-bit.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::node::{HostId, SwitchId};
+use tpp_asic::PortId;
+
+/// Where an event is delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeRef {
+    /// A switch.
+    Switch(SwitchId),
+    /// A host.
+    Host(HostId),
+}
+
+/// What happens.
+#[derive(Debug)]
+pub enum EventKind {
+    /// A frame finished arriving at `node` on `port` (hosts have a single
+    /// implicit port).
+    FrameArrive {
+        /// Receiving node.
+        node: NodeRef,
+        /// Receiving port (0 for hosts).
+        port: PortId,
+        /// The frame bytes.
+        frame: Vec<u8>,
+    },
+    /// The transmitter at `(node, port)` finished serializing a frame and
+    /// may start the next one.
+    LinkFree {
+        /// Transmitting node.
+        node: NodeRef,
+        /// Transmitting port.
+        port: PortId,
+    },
+    /// A host timer fired.
+    Timer {
+        /// The host.
+        host: HostId,
+        /// App-defined token.
+        token: u64,
+    },
+    /// Periodic statistics tick (utilization EWMAs).
+    StatsTick,
+}
+
+/// A scheduled event.
+#[derive(Debug)]
+pub struct Event {
+    /// Absolute time in ns.
+    pub time: u64,
+    /// Tie-breaking sequence number.
+    pub seq: u64,
+    /// Payload.
+    pub kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want earliest first.
+        other.time.cmp(&self.time).then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic min-queue of events.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedule `kind` at absolute time `time`.
+    pub fn push(&mut self, time: u64, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { time, seq, kind });
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<u64> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Pop the earliest event.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, EventKind::StatsTick);
+        q.push(10, EventKind::StatsTick);
+        q.push(20, EventKind::StatsTick);
+        assert_eq!(q.peek_time(), Some(10));
+        assert_eq!(q.pop().unwrap().time, 10);
+        assert_eq!(q.pop().unwrap().time, 20);
+        assert_eq!(q.pop().unwrap().time, 30);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn ties_break_in_insertion_order() {
+        let mut q = EventQueue::new();
+        q.push(
+            5,
+            EventKind::Timer {
+                host: HostId(0),
+                token: 1,
+            },
+        );
+        q.push(
+            5,
+            EventKind::Timer {
+                host: HostId(0),
+                token: 2,
+            },
+        );
+        q.push(
+            5,
+            EventKind::Timer {
+                host: HostId(0),
+                token: 3,
+            },
+        );
+        let mut tokens = Vec::new();
+        while let Some(e) = q.pop() {
+            if let EventKind::Timer { token, .. } = e.kind {
+                tokens.push(token);
+            }
+        }
+        assert_eq!(tokens, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(1, EventKind::StatsTick);
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,71 @@
+//! # tpp-netsim — a deterministic discrete-event network simulator
+//!
+//! The substrate the paper's evaluation ran on was a small physical
+//! network around a TPP-enabled Linux router, compared against ns-2
+//! simulations. This crate plays both roles: a packet-level, event-driven
+//! simulator whose switches embed the `tpp-asic` dataplane model.
+//!
+//! Design goals, in the smoltcp spirit:
+//!
+//! * **Deterministic.** Single-threaded; the event queue orders by
+//!   `(time, sequence-number)`, so identical inputs give bit-identical
+//!   runs. Any randomness lives in seeded RNGs owned by workloads.
+//! * **Simple.** Store-and-forward output-queued switches, full-duplex
+//!   links with a serialization rate (taken from the transmitting port's
+//!   configured capacity) and a propagation delay. That is exactly the
+//!   queueing model RCP/TCP dynamics need, and nothing more.
+//! * **Passive components.** The simulator drives `Asic` objects and
+//!   [`HostApp`] callbacks; neither ever blocks or owns a clock.
+//!
+//! Time is `u64` nanoseconds throughout ([`time`] has conversion helpers).
+//!
+//! ```
+//! use tpp_netsim::{NetworkBuilder, Endpoint, HostApp, HostCtx, time};
+//! use tpp_asic::AsicConfig;
+//!
+//! // Two hosts through one switch; host 0 sends one frame to host 1.
+//! struct Sender;
+//! impl HostApp for Sender {
+//!     fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
+//!         let frame = tpp_wire::ethernet::build_frame(
+//!             tpp_wire::EthernetAddress::from_host_id(1),
+//!             ctx.mac(),
+//!             tpp_wire::ethernet::EtherType(0x0800),
+//!             b"hello",
+//!         );
+//!         ctx.send(frame);
+//!     }
+//! }
+//! #[derive(Default)]
+//! struct Receiver { got: usize }
+//! impl HostApp for Receiver {
+//!     fn on_frame(&mut self, _frame: Vec<u8>, _ctx: &mut HostCtx<'_>) { self.got += 1; }
+//! }
+//!
+//! let mut net = NetworkBuilder::new();
+//! let s = net.add_switch(AsicConfig::with_ports(1, 2));
+//! let h0 = net.add_host(Box::new(Sender), 1_000_000);
+//! let h1 = net.add_host(Box::new(Receiver::default()), 1_000_000);
+//! net.connect(Endpoint::host(h0), Endpoint::switch(s, 0), time::micros(1));
+//! net.connect(Endpoint::host(h1), Endpoint::switch(s, 1), time::micros(1));
+//! let mut sim = net.build();
+//! sim.populate_l2();
+//! sim.run_until(time::millis(10));
+//! assert_eq!(sim.host_app::<Receiver>(h1).got, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod node;
+pub mod sim;
+pub mod time;
+pub mod topology;
+
+pub use node::{AsAny, HostApp, HostCtx, HostId, SwitchId};
+pub use sim::{Endpoint, NetworkBuilder, Simulator, TapDir, TapRecord};
+pub use topology::{
+    dumbbell, fat_tree, leaf_spine, linear_chain, Dumbbell, DumbbellParams, FatTree, FatTreeParams,
+    LeafSpine, LeafSpineParams, LinearChain, LinearChainParams,
+};

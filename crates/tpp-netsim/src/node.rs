@@ -1,0 +1,104 @@
+//! Host applications — the "smartness at the edge" of the paper's design
+//! principle ("Any complexity in implementing a network task is pushed to
+//! fully programmable end-hosts", §3).
+//!
+//! A [`HostApp`] is the programmable end-host: it reacts to start-of-run,
+//! incoming frames, and timers, and emits frames / timer requests through
+//! its [`HostCtx`]. Everything an app does is mediated by the context, so
+//! apps stay pure state machines and the simulator stays deterministic.
+
+use std::any::Any;
+
+/// Identifier of a host in the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HostId(pub usize);
+
+/// Identifier of a switch in the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SwitchId(pub usize);
+
+/// Blanket upcast to `Any`, so experiments can downcast their apps back
+/// out of the simulator to read results.
+pub trait AsAny {
+    /// Upcast to `&dyn Any`.
+    fn as_any(&self) -> &dyn Any;
+    /// Upcast to `&mut dyn Any`.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+impl<T: Any> AsAny for T {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// An end-host application.
+///
+/// All methods have empty defaults, so simple apps implement only what
+/// they need. Apps must be `'static` (owned state only) so they can be
+/// recovered by downcast via [`crate::Simulator::host_app`].
+pub trait HostApp: AsAny + 'static {
+    /// Called once when the simulation starts.
+    fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
+        let _ = ctx;
+    }
+
+    /// Called when a frame is delivered to this host.
+    fn on_frame(&mut self, frame: Vec<u8>, ctx: &mut HostCtx<'_>) {
+        let _ = (frame, ctx);
+    }
+
+    /// Called when a timer set via [`HostCtx::set_timer`] fires.
+    fn on_timer(&mut self, token: u64, ctx: &mut HostCtx<'_>) {
+        let _ = (token, ctx);
+    }
+}
+
+/// Actions an app can request; collected by the context and applied by
+/// the simulator after the callback returns.
+#[derive(Debug)]
+pub(crate) enum HostAction {
+    Send(Vec<u8>),
+    Timer { delay_ns: u64, token: u64 },
+}
+
+/// The app's window onto the simulation during a callback.
+#[derive(Debug)]
+pub struct HostCtx<'a> {
+    pub(crate) now_ns: u64,
+    pub(crate) host: HostId,
+    pub(crate) mac: tpp_wire::EthernetAddress,
+    pub(crate) actions: &'a mut Vec<HostAction>,
+}
+
+impl HostCtx<'_> {
+    /// Current simulation time in nanoseconds.
+    pub fn now(&self) -> u64 {
+        self.now_ns
+    }
+
+    /// This host's id.
+    pub fn host_id(&self) -> HostId {
+        self.host
+    }
+
+    /// This host's MAC address (what peers address frames to).
+    pub fn mac(&self) -> tpp_wire::EthernetAddress {
+        self.mac
+    }
+
+    /// Transmit a frame out of the host's NIC. Frames queue at the NIC
+    /// and serialize at its configured rate, in order.
+    pub fn send(&mut self, frame: Vec<u8>) {
+        self.actions.push(HostAction::Send(frame));
+    }
+
+    /// Arrange for [`HostApp::on_timer`] to fire `delay_ns` from now with
+    /// `token`.
+    pub fn set_timer(&mut self, delay_ns: u64, token: u64) {
+        self.actions.push(HostAction::Timer { delay_ns, token });
+    }
+}

@@ -1,0 +1,612 @@
+//! The simulator core: topology wiring, the event loop, and link
+//! transmission logic.
+
+use std::collections::{HashMap, VecDeque};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::event::{EventKind, EventQueue, NodeRef};
+use crate::node::{HostAction, HostApp, HostCtx, HostId, SwitchId};
+use crate::time::tx_time_ns;
+use tpp_asic::{Asic, AsicConfig, Outcome, PortId};
+use tpp_wire::ethernet::Frame;
+use tpp_wire::tpp::TppPacket;
+use tpp_wire::EthernetAddress;
+
+/// One end of a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Endpoint {
+    /// A numbered port of a switch.
+    SwitchPort(SwitchId, PortId),
+    /// A host's NIC (hosts have exactly one port).
+    Host(HostId),
+}
+
+impl Endpoint {
+    /// A switch port endpoint.
+    pub fn switch(switch: SwitchId, port: PortId) -> Self {
+        Endpoint::SwitchPort(switch, port)
+    }
+
+    /// A host endpoint.
+    pub fn host(host: HostId) -> Self {
+        Endpoint::Host(host)
+    }
+
+    fn node(self) -> NodeRef {
+        match self {
+            Endpoint::SwitchPort(s, _) => NodeRef::Switch(s),
+            Endpoint::Host(h) => NodeRef::Host(h),
+        }
+    }
+
+    fn port(self) -> PortId {
+        match self {
+            Endpoint::SwitchPort(_, p) => p,
+            Endpoint::Host(_) => 0,
+        }
+    }
+}
+
+/// Builder for a [`Simulator`].
+pub struct NetworkBuilder {
+    switches: Vec<AsicConfig>,
+    hosts: Vec<(Box<dyn HostApp>, u32)>,
+    links: Vec<(Endpoint, Endpoint, u64)>,
+    tick_interval_ns: u64,
+}
+
+impl Default for NetworkBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl NetworkBuilder {
+    /// An empty network.
+    pub fn new() -> Self {
+        NetworkBuilder {
+            switches: Vec::new(),
+            hosts: Vec::new(),
+            links: Vec::new(),
+            tick_interval_ns: crate::time::millis(1),
+        }
+    }
+
+    /// How often switch utilization EWMAs tick (default 1 ms).
+    pub fn tick_interval_ns(&mut self, ns: u64) -> &mut Self {
+        self.tick_interval_ns = ns;
+        self
+    }
+
+    /// Add a switch; returns its id.
+    pub fn add_switch(&mut self, config: AsicConfig) -> SwitchId {
+        self.switches.push(config);
+        SwitchId(self.switches.len() - 1)
+    }
+
+    /// Add a host running `app`, with a NIC of `nic_rate_kbps`; returns
+    /// its id. The host's MAC is `EthernetAddress::from_host_id(id)`.
+    pub fn add_host(&mut self, app: Box<dyn HostApp>, nic_rate_kbps: u32) -> HostId {
+        self.hosts.push((app, nic_rate_kbps));
+        HostId(self.hosts.len() - 1)
+    }
+
+    /// Connect two endpoints with a full-duplex link of propagation delay
+    /// `delay_ns`. Serialization rate in each direction comes from the
+    /// transmitting side (the switch port's configured capacity, or the
+    /// host's NIC rate).
+    pub fn connect(&mut self, a: Endpoint, b: Endpoint, delay_ns: u64) {
+        self.links.push((a, b, delay_ns));
+    }
+
+    /// Build the simulator.
+    ///
+    /// # Panics
+    /// Panics on invalid wiring: out-of-range switch ports or endpoints
+    /// used by more than one link. These are construction-time programmer
+    /// errors, not runtime conditions.
+    pub fn build(self) -> Simulator {
+        let switches: Vec<SwitchNode> = self
+            .switches
+            .into_iter()
+            .map(|cfg| {
+                let ports = cfg.num_ports();
+                SwitchNode {
+                    asic: Asic::new(cfg),
+                    tx_busy: vec![false; ports],
+                }
+            })
+            .collect();
+        let hosts: Vec<HostNode> = self
+            .hosts
+            .into_iter()
+            .enumerate()
+            .map(|(i, (app, rate))| HostNode {
+                app,
+                mac: EthernetAddress::from_host_id(i as u32),
+                nic_rate_kbps: rate,
+                nic_queue: VecDeque::new(),
+                nic_busy: false,
+            })
+            .collect();
+
+        let mut conn: HashMap<(NodeRef, PortId), Link> = HashMap::new();
+        for (a, b, delay) in &self.links {
+            for ep in [a, b] {
+                if let Endpoint::SwitchPort(s, p) = ep {
+                    assert!(
+                        s.0 < switches.len() && (*p as usize) < switches[s.0].asic.num_ports(),
+                        "link endpoint {ep:?} out of range"
+                    );
+                }
+                if let Endpoint::Host(h) = ep {
+                    assert!(h.0 < hosts.len(), "link endpoint {ep:?} out of range");
+                }
+            }
+            let ka = (a.node(), a.port());
+            let kb = (b.node(), b.port());
+            assert!(
+                !conn.contains_key(&ka) && !conn.contains_key(&kb),
+                "endpoint used by two links: {a:?} <-> {b:?}"
+            );
+            conn.insert(
+                ka,
+                Link {
+                    peer: b.node(),
+                    peer_port: b.port(),
+                    delay_ns: *delay,
+                    loss_permille: 0,
+                },
+            );
+            conn.insert(
+                kb,
+                Link {
+                    peer: a.node(),
+                    peer_port: a.port(),
+                    delay_ns: *delay,
+                    loss_permille: 0,
+                },
+            );
+        }
+
+        Simulator {
+            now_ns: 0,
+            started: false,
+            events: EventQueue::new(),
+            switches,
+            hosts,
+            conn,
+            tick_interval_ns: self.tick_interval_ns,
+            rng: StdRng::seed_from_u64(0x7199_7199),
+            link_losses: HashMap::new(),
+            taps: HashMap::new(),
+        }
+    }
+}
+
+/// Which way a tapped frame was travelling relative to the tap point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TapDir {
+    /// The tapped endpoint transmitted the frame.
+    Tx,
+    /// The tapped endpoint received the frame.
+    Rx,
+}
+
+/// A captured frame summary — the simulator's pcap analogue. Summaries,
+/// not copies: taps are for understanding experiments, not for giving
+/// end-host code a side channel around the TPP interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TapRecord {
+    /// Capture time, ns.
+    pub t_ns: u64,
+    /// Direction relative to the tapped endpoint.
+    pub dir: TapDir,
+    /// Frame length in bytes.
+    pub len: usize,
+    /// EtherType.
+    pub ethertype: u16,
+    /// Source MAC.
+    pub src: EthernetAddress,
+    /// Destination MAC.
+    pub dst: EthernetAddress,
+    /// For TPP frames: the hop counter at capture time.
+    pub tpp_hop: Option<u8>,
+}
+
+impl TapRecord {
+    fn capture(t_ns: u64, dir: TapDir, frame: &[u8]) -> Option<TapRecord> {
+        let parsed = Frame::new_checked(frame).ok()?;
+        let tpp_hop = if parsed.is_tpp() {
+            TppPacket::new_checked(parsed.payload())
+                .ok()
+                .map(|t| t.hop())
+        } else {
+            None
+        };
+        Some(TapRecord {
+            t_ns,
+            dir,
+            len: frame.len(),
+            ethertype: parsed.ethertype().0,
+            src: parsed.src_addr(),
+            dst: parsed.dst_addr(),
+            tpp_hop,
+        })
+    }
+}
+
+/// One direction of a link: the peer and the channel properties.
+#[derive(Debug, Clone, Copy)]
+struct Link {
+    peer: NodeRef,
+    peer_port: PortId,
+    delay_ns: u64,
+    /// In-flight loss probability in per-mille. 0 = lossless (and the
+    /// RNG is never consulted, so lossless runs are unchanged by the
+    /// feature). Models a fading wireless channel; set per direction
+    /// via [`Simulator::set_link_loss`].
+    loss_permille: u16,
+}
+
+struct SwitchNode {
+    asic: Asic,
+    tx_busy: Vec<bool>,
+}
+
+struct HostNode {
+    app: Box<dyn HostApp>,
+    mac: EthernetAddress,
+    nic_rate_kbps: u32,
+    nic_queue: VecDeque<Vec<u8>>,
+    nic_busy: bool,
+}
+
+/// The assembled network simulation.
+pub struct Simulator {
+    now_ns: u64,
+    started: bool,
+    events: EventQueue,
+    switches: Vec<SwitchNode>,
+    hosts: Vec<HostNode>,
+    conn: HashMap<(NodeRef, PortId), Link>,
+    tick_interval_ns: u64,
+    rng: StdRng,
+    link_losses: HashMap<(NodeRef, PortId), u64>,
+    taps: HashMap<(NodeRef, PortId), Vec<TapRecord>>,
+}
+
+impl Simulator {
+    /// Current simulation time, ns.
+    pub fn now(&self) -> u64 {
+        self.now_ns
+    }
+
+    /// Number of switches.
+    pub fn num_switches(&self) -> usize {
+        self.switches.len()
+    }
+
+    /// Number of hosts.
+    pub fn num_hosts(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Immutable access to a switch's ASIC (for sampling ground truth in
+    /// experiments and tests).
+    pub fn switch(&self, id: SwitchId) -> &Asic {
+        &self.switches[id.0].asic
+    }
+
+    /// Mutable access to a switch's ASIC (control-plane operations:
+    /// installing routes, flow entries, SRAM initialization).
+    pub fn switch_mut(&mut self, id: SwitchId) -> &mut Asic {
+        &mut self.switches[id.0].asic
+    }
+
+    /// A host's MAC address.
+    pub fn host_mac(&self, id: HostId) -> EthernetAddress {
+        self.hosts[id.0].mac
+    }
+
+    /// Downcast a host's app to its concrete type.
+    ///
+    /// # Panics
+    /// Panics if the app at `id` is not a `T`.
+    pub fn host_app<T: HostApp>(&self, id: HostId) -> &T {
+        self.hosts[id.0]
+            .app
+            .as_any()
+            .downcast_ref::<T>()
+            .expect("host app type mismatch")
+    }
+
+    /// Mutable downcast of a host's app.
+    ///
+    /// # Panics
+    /// Panics if the app at `id` is not a `T`.
+    pub fn host_app_mut<T: HostApp>(&mut self, id: HostId) -> &mut T {
+        self.hosts[id.0]
+            .app
+            .as_any_mut()
+            .downcast_mut::<T>()
+            .expect("host app type mismatch")
+    }
+
+    /// Bytes currently backlogged in a host's NIC queue.
+    pub fn host_nic_backlog(&self, id: HostId) -> usize {
+        self.hosts[id.0].nic_queue.iter().map(Vec::len).sum()
+    }
+
+    /// Set the in-flight loss probability (per-mille) of the link
+    /// direction transmitted from `from`. Models a degrading wireless
+    /// channel; change it over time to model fading.
+    ///
+    /// # Panics
+    /// Panics if `from` is not connected.
+    pub fn set_link_loss(&mut self, from: Endpoint, loss_permille: u16) {
+        let key = (from.node(), from.port());
+        let link = self
+            .conn
+            .get_mut(&key)
+            .unwrap_or_else(|| panic!("{from:?} is not connected"));
+        link.loss_permille = loss_permille.min(1000);
+    }
+
+    /// Frames lost in flight on the link direction transmitted from
+    /// `from`.
+    pub fn link_losses(&self, from: Endpoint) -> u64 {
+        self.link_losses
+            .get(&(from.node(), from.port()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Start capturing frame summaries at an endpoint (both directions).
+    pub fn enable_tap(&mut self, at: Endpoint) {
+        self.taps.entry((at.node(), at.port())).or_default();
+    }
+
+    /// The frames captured at a tapped endpoint so far (empty for
+    /// untapped endpoints).
+    pub fn tap_records(&self, at: Endpoint) -> &[TapRecord] {
+        self.taps
+            .get(&(at.node(), at.port()))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    fn tap(&mut self, node: NodeRef, port: PortId, dir: TapDir, frame: &[u8]) {
+        let now = self.now_ns;
+        if let Some(records) = self.taps.get_mut(&(node, port)) {
+            if let Some(record) = TapRecord::capture(now, dir, frame) {
+                records.push(record);
+            }
+        }
+    }
+
+    /// Install L2 forwarding entries for every host at every switch along
+    /// shortest paths (BFS over the physical topology). Call once after
+    /// `build()`; this plays the role of a pre-converged control plane.
+    pub fn populate_l2(&mut self) {
+        for h in 0..self.hosts.len() {
+            let host = HostId(h);
+            let mac = self.hosts[h].mac;
+            // BFS from the host; `reached_via` is the port at each
+            // discovered switch that faces back toward the host.
+            let mut visited: HashMap<NodeRef, ()> = HashMap::new();
+            let mut frontier: VecDeque<NodeRef> = VecDeque::new();
+            let start = NodeRef::Host(host);
+            visited.insert(start, ());
+            frontier.push_back(start);
+            while let Some(node) = frontier.pop_front() {
+                let ports: Vec<PortId> = match node {
+                    NodeRef::Host(_) => vec![0],
+                    NodeRef::Switch(s) => {
+                        (0..self.switches[s.0].asic.num_ports() as PortId).collect()
+                    }
+                };
+                for port in ports {
+                    let Some(&Link {
+                        peer, peer_port, ..
+                    }) = self.conn.get(&(node, port))
+                    else {
+                        continue;
+                    };
+                    if visited.contains_key(&peer) {
+                        continue;
+                    }
+                    visited.insert(peer, ());
+                    if let NodeRef::Switch(s) = peer {
+                        // At `peer`, the way back toward the host is the
+                        // port we arrived on.
+                        self.switches[s.0].asic.l2_mut().insert(mac, peer_port);
+                        frontier.push_back(peer);
+                    }
+                    // Hosts terminate the search along this branch but
+                    // are still marked visited.
+                }
+            }
+        }
+    }
+
+    /// Run the event loop until simulation time `t_end_ns`.
+    ///
+    /// May be called repeatedly with increasing times; experiments step
+    /// the clock in increments to sample ground-truth state in between.
+    pub fn run_until(&mut self, t_end_ns: u64) {
+        if !self.started {
+            self.started = true;
+            self.events
+                .push(self.now_ns + self.tick_interval_ns, EventKind::StatsTick);
+            for h in 0..self.hosts.len() {
+                self.call_host(HostId(h), |app, ctx| app.on_start(ctx));
+            }
+        }
+        while let Some(t) = self.events.peek_time() {
+            if t > t_end_ns {
+                break;
+            }
+            let event = self.events.pop().expect("peeked");
+            self.now_ns = event.time;
+            self.dispatch(event.kind);
+        }
+        self.now_ns = self.now_ns.max(t_end_ns);
+    }
+
+    /// Run until the event queue only contains future stats ticks (i.e.
+    /// all traffic has drained), or `t_limit_ns` is reached.
+    pub fn run_until_quiescent(&mut self, t_limit_ns: u64) {
+        // StatsTicks self-perpetuate, so "quiescent" means stepping tick
+        // by tick until no other events remain.
+        while self.now_ns < t_limit_ns {
+            let next = self.now_ns + self.tick_interval_ns;
+            self.run_until(next.min(t_limit_ns));
+            if self.events.len() <= 1 {
+                break;
+            }
+        }
+    }
+
+    fn dispatch(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::FrameArrive { node, port, frame } => match node {
+                NodeRef::Switch(s) => {
+                    self.tap(node, port, TapDir::Rx, &frame);
+                    let now = self.now_ns;
+                    let outcome = self.switches[s.0].asic.handle_frame(frame, port, now);
+                    if let Outcome::Enqueued { port: out, .. } = outcome {
+                        self.try_tx_switch(s, out);
+                    }
+                }
+                NodeRef::Host(h) => {
+                    self.tap(node, 0, TapDir::Rx, &frame);
+                    self.call_host(h, |app, ctx| app.on_frame(frame, ctx));
+                }
+            },
+            EventKind::LinkFree { node, port } => match node {
+                NodeRef::Switch(s) => {
+                    self.switches[s.0].tx_busy[port as usize] = false;
+                    self.try_tx_switch(s, port);
+                }
+                NodeRef::Host(h) => {
+                    self.hosts[h.0].nic_busy = false;
+                    self.try_tx_host(h);
+                }
+            },
+            EventKind::Timer { host, token } => {
+                self.call_host(host, |app, ctx| app.on_timer(token, ctx));
+            }
+            EventKind::StatsTick => {
+                let now = self.now_ns;
+                for sw in &mut self.switches {
+                    sw.asic.tick(now);
+                }
+                self.events
+                    .push(now + self.tick_interval_ns, EventKind::StatsTick);
+            }
+        }
+    }
+
+    /// Start transmitting the next queued frame on a switch port, if the
+    /// transmitter is idle and the port is connected.
+    fn try_tx_switch(&mut self, s: SwitchId, port: PortId) {
+        if self.switches[s.0].tx_busy[port as usize] {
+            return;
+        }
+        let Some(&link) = self.conn.get(&(NodeRef::Switch(s), port)) else {
+            // Unconnected port: black-hole anything queued there.
+            while self.switches[s.0].asic.dequeue(port).is_some() {}
+            return;
+        };
+        let Some(frame) = self.switches[s.0].asic.dequeue(port) else {
+            return;
+        };
+        let rate = self.switches[s.0].asic.port_capacity_kbps(port);
+        let tx = tx_time_ns(frame.len(), rate);
+        self.switches[s.0].tx_busy[port as usize] = true;
+        self.events.push(
+            self.now_ns + tx,
+            EventKind::LinkFree {
+                node: NodeRef::Switch(s),
+                port,
+            },
+        );
+        self.transmit(NodeRef::Switch(s), port, link, tx, frame);
+    }
+
+    /// Start transmitting the next queued frame from a host NIC.
+    fn try_tx_host(&mut self, h: HostId) {
+        if self.hosts[h.0].nic_busy {
+            return;
+        }
+        let Some(&link) = self.conn.get(&(NodeRef::Host(h), 0)) else {
+            self.hosts[h.0].nic_queue.clear();
+            return;
+        };
+        let Some(frame) = self.hosts[h.0].nic_queue.pop_front() else {
+            return;
+        };
+        let rate = self.hosts[h.0].nic_rate_kbps;
+        let tx = tx_time_ns(frame.len(), rate);
+        self.hosts[h.0].nic_busy = true;
+        self.events.push(
+            self.now_ns + tx,
+            EventKind::LinkFree {
+                node: NodeRef::Host(h),
+                port: 0,
+            },
+        );
+        self.transmit(NodeRef::Host(h), 0, link, tx, frame);
+    }
+
+    /// Put a frame on the wire: deliver after serialization +
+    /// propagation, unless the channel eats it.
+    fn transmit(&mut self, from: NodeRef, port: PortId, link: Link, tx_ns: u64, frame: Vec<u8>) {
+        self.tap(from, port, TapDir::Tx, &frame);
+        if link.loss_permille > 0 && self.rng.gen_range(0..1000u32) < link.loss_permille as u32 {
+            *self.link_losses.entry((from, port)).or_insert(0) += 1;
+            return;
+        }
+        self.events.push(
+            self.now_ns + tx_ns + link.delay_ns,
+            EventKind::FrameArrive {
+                node: link.peer,
+                port: link.peer_port,
+                frame,
+            },
+        );
+    }
+
+    /// Invoke a host-app callback and apply the actions it requested.
+    fn call_host<F>(&mut self, h: HostId, f: F)
+    where
+        F: FnOnce(&mut dyn HostApp, &mut HostCtx<'_>),
+    {
+        let mut actions = Vec::new();
+        {
+            let host = &mut self.hosts[h.0];
+            let mut ctx = HostCtx {
+                now_ns: self.now_ns,
+                host: h,
+                mac: host.mac,
+                actions: &mut actions,
+            };
+            f(host.app.as_mut(), &mut ctx);
+        }
+        for action in actions {
+            match action {
+                HostAction::Send(frame) => {
+                    self.hosts[h.0].nic_queue.push_back(frame);
+                    self.try_tx_host(h);
+                }
+                HostAction::Timer { delay_ns, token } => {
+                    self.events
+                        .push(self.now_ns + delay_ns, EventKind::Timer { host: h, token });
+                }
+            }
+        }
+    }
+}

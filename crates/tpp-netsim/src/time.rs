@@ -1,0 +1,60 @@
+//! Time helpers. Simulation time is `u64` nanoseconds everywhere; these
+//! constructors keep experiment code readable.
+
+/// Nanoseconds per microsecond.
+pub const NS_PER_US: u64 = 1_000;
+/// Nanoseconds per millisecond.
+pub const NS_PER_MS: u64 = 1_000_000;
+/// Nanoseconds per second.
+pub const NS_PER_SEC: u64 = 1_000_000_000;
+
+/// `n` microseconds in nanoseconds.
+pub const fn micros(n: u64) -> u64 {
+    n * NS_PER_US
+}
+
+/// `n` milliseconds in nanoseconds.
+pub const fn millis(n: u64) -> u64 {
+    n * NS_PER_MS
+}
+
+/// `n` seconds in nanoseconds.
+pub const fn secs(n: u64) -> u64 {
+    n * NS_PER_SEC
+}
+
+/// Nanoseconds as fractional seconds (for reporting).
+pub fn as_secs_f64(ns: u64) -> f64 {
+    ns as f64 / NS_PER_SEC as f64
+}
+
+/// Serialization time of `bytes` at `rate_kbps`, in nanoseconds
+/// (rounded up: a frame is only "done" when its last bit left).
+pub fn tx_time_ns(bytes: usize, rate_kbps: u32) -> u64 {
+    let bits = bytes as u64 * 8;
+    // ns = bits / (kbps * 1e3 / 1e9) = bits * 1e6 / kbps
+    (bits * 1_000_000).div_ceil(rate_kbps as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(micros(3), 3_000);
+        assert_eq!(millis(2), 2_000_000);
+        assert_eq!(secs(1), 1_000_000_000);
+        assert!((as_secs_f64(secs(2)) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serialization_times() {
+        // 1500 bytes at 10 Mb/s = 1.2 ms.
+        assert_eq!(tx_time_ns(1500, 10_000), 1_200_000);
+        // 64 bytes at 10 Gb/s = 51.2 ns.
+        assert_eq!(tx_time_ns(64, 10_000_000), 52, "rounded up");
+        // 1 byte at 1 kb/s = 8 ms.
+        assert_eq!(tx_time_ns(1, 1), 8_000_000);
+    }
+}

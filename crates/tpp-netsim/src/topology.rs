@@ -1,0 +1,473 @@
+//! Canned topologies for experiments.
+//!
+//! Three shapes cover the paper's evaluation needs:
+//!
+//! * [`linear_chain`] — the Figure 1 setting: a TPP walking a multi-hop
+//!   path, recording one value per hop;
+//! * [`dumbbell`] — the Figure 2 setting: N sender/receiver pairs sharing
+//!   one bottleneck link (the classic congestion-control topology);
+//! * [`leaf_spine`] — the §2.1 setting: a two-tier datacenter fabric
+//!   where incast across leaves creates micro-bursts.
+//!
+//! Every builder assigns each switch a distinct `Switch:SwitchID`
+//! (chain/dumbbell: `1 + index`; leaf-spine: leaves `0x10 + l`, spines
+//! `0x20 + s`), installs shortest-path L2 routes, and returns handle
+//! structs so experiments can reach any element.
+
+use crate::node::{HostApp, HostId, SwitchId};
+use crate::sim::{Endpoint, NetworkBuilder, Simulator};
+use tpp_asic::{AsicConfig, PortId};
+
+/// Parameters for [`linear_chain`].
+#[derive(Debug, Clone)]
+pub struct LinearChainParams {
+    /// Number of switches on the path.
+    pub n_switches: usize,
+    /// Capacity of every link, kbps.
+    pub link_kbps: u32,
+    /// Egress queue limit at every switch port, bytes.
+    pub queue_limit_bytes: u32,
+    /// Propagation delay of every link, ns.
+    pub delay_ns: u64,
+    /// Host NIC rate, kbps.
+    pub host_nic_kbps: u32,
+}
+
+impl Default for LinearChainParams {
+    fn default() -> Self {
+        LinearChainParams {
+            n_switches: 3,
+            link_kbps: 10_000_000, // 10 Gb/s
+            queue_limit_bytes: 512 * 1024,
+            delay_ns: crate::time::micros(1),
+            host_nic_kbps: 10_000_000,
+        }
+    }
+}
+
+/// Handles into a linear chain.
+#[derive(Debug)]
+pub struct LinearChain {
+    /// The switches, left to right.
+    pub switches: Vec<SwitchId>,
+    /// Host attached left of the first switch.
+    pub left: HostId,
+    /// Host attached right of the last switch.
+    pub right: HostId,
+}
+
+/// Build `left -- s0 -- s1 -- ... -- s(n-1) -- right`.
+///
+/// Each switch uses port 0 toward the left, port 1 toward the right.
+pub fn linear_chain(
+    params: LinearChainParams,
+    left_app: Box<dyn HostApp>,
+    right_app: Box<dyn HostApp>,
+) -> (Simulator, LinearChain) {
+    assert!(params.n_switches >= 1, "chain needs at least one switch");
+    let mut net = NetworkBuilder::new();
+    let switches: Vec<SwitchId> = (0..params.n_switches)
+        .map(|i| {
+            net.add_switch(
+                AsicConfig::with_ports(1 + i as u32, 2)
+                    .capacity_kbps(params.link_kbps)
+                    .queue_limit_bytes(params.queue_limit_bytes),
+            )
+        })
+        .collect();
+    let left = net.add_host(left_app, params.host_nic_kbps);
+    let right = net.add_host(right_app, params.host_nic_kbps);
+    net.connect(
+        Endpoint::host(left),
+        Endpoint::switch(switches[0], 0),
+        params.delay_ns,
+    );
+    for w in switches.windows(2) {
+        net.connect(
+            Endpoint::switch(w[0], 1),
+            Endpoint::switch(w[1], 0),
+            params.delay_ns,
+        );
+    }
+    net.connect(
+        Endpoint::host(right),
+        Endpoint::switch(*switches.last().unwrap(), 1),
+        params.delay_ns,
+    );
+    let mut sim = net.build();
+    sim.populate_l2();
+    (
+        sim,
+        LinearChain {
+            switches,
+            left,
+            right,
+        },
+    )
+}
+
+/// Parameters for [`dumbbell`].
+#[derive(Debug, Clone)]
+pub struct DumbbellParams {
+    /// Sender/receiver pairs.
+    pub n_pairs: usize,
+    /// Capacity of the host-facing edge links, kbps.
+    pub edge_kbps: u32,
+    /// Capacity of the shared bottleneck link, kbps.
+    pub bottleneck_kbps: u32,
+    /// Egress queue limit, bytes.
+    pub queue_limit_bytes: u32,
+    /// Propagation delay of every link, ns.
+    pub delay_ns: u64,
+    /// Host NIC rate, kbps.
+    pub host_nic_kbps: u32,
+}
+
+impl Default for DumbbellParams {
+    fn default() -> Self {
+        DumbbellParams {
+            n_pairs: 3,
+            edge_kbps: 100_000,      // 100 Mb/s edges
+            bottleneck_kbps: 10_000, // the paper's 10 Mb/s bottleneck
+            queue_limit_bytes: 128 * 1024,
+            delay_ns: crate::time::micros(500),
+            host_nic_kbps: 100_000,
+        }
+    }
+}
+
+/// Handles into a dumbbell.
+#[derive(Debug)]
+pub struct Dumbbell {
+    /// Left (sender-side) switch; its last port is the bottleneck egress.
+    pub left: SwitchId,
+    /// Right (receiver-side) switch.
+    pub right: SwitchId,
+    /// Sender hosts, attached to the left switch.
+    pub senders: Vec<HostId>,
+    /// Receiver hosts, attached to the right switch.
+    pub receivers: Vec<HostId>,
+    /// The left switch's bottleneck egress port (where the interesting
+    /// queue lives).
+    pub bottleneck_port: PortId,
+}
+
+/// Build N sender/receiver pairs around one bottleneck:
+///
+/// ```text
+/// s0..sN -> [left switch] --bottleneck--> [right switch] -> r0..rN
+/// ```
+pub fn dumbbell(
+    params: DumbbellParams,
+    apps: Vec<(Box<dyn HostApp>, Box<dyn HostApp>)>,
+) -> (Simulator, Dumbbell) {
+    assert_eq!(apps.len(), params.n_pairs, "one app pair per host pair");
+    let n = params.n_pairs;
+    let mut net = NetworkBuilder::new();
+    // Ports 0..n face hosts at edge rate; port n is the bottleneck.
+    let mk_cfg = |id: u32| {
+        let mut cfg = AsicConfig::with_ports(id, n + 1)
+            .capacity_kbps(params.edge_kbps)
+            .queue_limit_bytes(params.queue_limit_bytes);
+        cfg.ports[n].capacity_kbps = params.bottleneck_kbps;
+        cfg
+    };
+    let left = net.add_switch(mk_cfg(1));
+    let right = net.add_switch(mk_cfg(2));
+    let mut senders = Vec::new();
+    let mut receivers = Vec::new();
+    for (i, (sender_app, receiver_app)) in apps.into_iter().enumerate() {
+        let s = net.add_host(sender_app, params.host_nic_kbps);
+        let r = net.add_host(receiver_app, params.host_nic_kbps);
+        net.connect(
+            Endpoint::host(s),
+            Endpoint::switch(left, i as PortId),
+            params.delay_ns,
+        );
+        net.connect(
+            Endpoint::host(r),
+            Endpoint::switch(right, i as PortId),
+            params.delay_ns,
+        );
+        senders.push(s);
+        receivers.push(r);
+    }
+    net.connect(
+        Endpoint::switch(left, n as PortId),
+        Endpoint::switch(right, n as PortId),
+        params.delay_ns,
+    );
+    let mut sim = net.build();
+    sim.populate_l2();
+    (
+        sim,
+        Dumbbell {
+            left,
+            right,
+            senders,
+            receivers,
+            bottleneck_port: n as PortId,
+        },
+    )
+}
+
+/// Parameters for [`leaf_spine`].
+#[derive(Debug, Clone)]
+pub struct LeafSpineParams {
+    /// Number of leaf (top-of-rack) switches.
+    pub n_leaves: usize,
+    /// Number of spine switches.
+    pub n_spines: usize,
+    /// Hosts per leaf.
+    pub hosts_per_leaf: usize,
+    /// Host-facing link capacity, kbps.
+    pub host_link_kbps: u32,
+    /// Leaf-spine fabric link capacity, kbps.
+    pub fabric_link_kbps: u32,
+    /// Egress queue limit, bytes.
+    pub queue_limit_bytes: u32,
+    /// Propagation delay of every link, ns.
+    pub delay_ns: u64,
+    /// Host NIC rate, kbps.
+    pub host_nic_kbps: u32,
+}
+
+impl Default for LeafSpineParams {
+    fn default() -> Self {
+        LeafSpineParams {
+            n_leaves: 4,
+            n_spines: 2,
+            hosts_per_leaf: 4,
+            host_link_kbps: 10_000_000,   // 10 Gb/s to hosts
+            fabric_link_kbps: 40_000_000, // 40 Gb/s fabric
+            queue_limit_bytes: 256 * 1024,
+            delay_ns: crate::time::micros(1),
+            host_nic_kbps: 10_000_000,
+        }
+    }
+}
+
+/// Handles into a leaf-spine fabric.
+#[derive(Debug)]
+pub struct LeafSpine {
+    /// Leaf switches.
+    pub leaves: Vec<SwitchId>,
+    /// Spine switches.
+    pub spines: Vec<SwitchId>,
+    /// `hosts[l][i]` is host `i` under leaf `l`.
+    pub hosts: Vec<Vec<HostId>>,
+}
+
+impl LeafSpine {
+    /// All hosts, flattened in (leaf, index) order.
+    pub fn all_hosts(&self) -> impl Iterator<Item = HostId> + '_ {
+        self.hosts.iter().flatten().copied()
+    }
+}
+
+/// Parameters for [`fat_tree`].
+#[derive(Debug, Clone)]
+pub struct FatTreeParams {
+    /// The fat-tree arity `k` (must be even): `k` pods, each with `k/2`
+    /// edge and `k/2` aggregation switches; `(k/2)^2` core switches;
+    /// `k^3/4` hosts.
+    pub k: usize,
+    /// Capacity of every link, kbps (classic fat-trees are uniform).
+    pub link_kbps: u32,
+    /// Egress queue limit, bytes.
+    pub queue_limit_bytes: u32,
+    /// Propagation delay of every link, ns.
+    pub delay_ns: u64,
+    /// Host NIC rate, kbps.
+    pub host_nic_kbps: u32,
+}
+
+impl Default for FatTreeParams {
+    fn default() -> Self {
+        FatTreeParams {
+            k: 4,
+            link_kbps: 10_000_000,
+            queue_limit_bytes: 256 * 1024,
+            delay_ns: crate::time::micros(1),
+            host_nic_kbps: 10_000_000,
+        }
+    }
+}
+
+/// Handles into a fat-tree.
+#[derive(Debug)]
+pub struct FatTree {
+    /// `edges[pod][e]` — edge (ToR) switches.
+    pub edges: Vec<Vec<SwitchId>>,
+    /// `aggs[pod][a]` — aggregation switches.
+    pub aggs: Vec<Vec<SwitchId>>,
+    /// Core switches.
+    pub cores: Vec<SwitchId>,
+    /// `hosts[pod][e][h]` — hosts under each edge switch.
+    pub hosts: Vec<Vec<Vec<HostId>>>,
+}
+
+impl FatTree {
+    /// All hosts in (pod, edge, index) order.
+    pub fn all_hosts(&self) -> impl Iterator<Item = HostId> + '_ {
+        self.hosts.iter().flatten().flatten().copied()
+    }
+}
+
+/// Build the classic 3-tier k-ary fat-tree of Al-Fares et al. — the §4
+/// "datacenters" deployment environment at realistic structure. Switch
+/// IDs: edge `0x100 + pod*16 + e`, aggregation `0x200 + pod*16 + a`,
+/// core `0x300 + c`. Routing is shortest-path L2 (BFS; no ECMP).
+///
+/// # Panics
+/// Panics if `k` is odd or zero, or if the app count ≠ `k^3/4`.
+pub fn fat_tree(params: FatTreeParams, apps: Vec<Box<dyn HostApp>>) -> (Simulator, FatTree) {
+    let k = params.k;
+    assert!(k >= 2 && k.is_multiple_of(2), "fat-tree arity must be even");
+    let half = k / 2;
+    assert_eq!(apps.len(), k * half * half, "one app per host (k^3/4)");
+    let mut net = NetworkBuilder::new();
+
+    // Edge switch ports: 0..half hosts, half..k up to aggs.
+    // Agg switch ports: 0..half down to edges, half..k up to cores.
+    // Core switch ports: one per pod.
+    let mk_cfg = |id: u32, ports: usize| {
+        AsicConfig::with_ports(id, ports)
+            .capacity_kbps(params.link_kbps)
+            .queue_limit_bytes(params.queue_limit_bytes)
+    };
+    let mut edges = Vec::new();
+    let mut aggs = Vec::new();
+    for pod in 0..k {
+        edges.push(
+            (0..half)
+                .map(|e| net.add_switch(mk_cfg(0x100 + (pod * 16 + e) as u32, k)))
+                .collect::<Vec<_>>(),
+        );
+        aggs.push(
+            (0..half)
+                .map(|a| net.add_switch(mk_cfg(0x200 + (pod * 16 + a) as u32, k)))
+                .collect::<Vec<_>>(),
+        );
+    }
+    let cores: Vec<SwitchId> = (0..half * half)
+        .map(|c| net.add_switch(mk_cfg(0x300 + c as u32, k)))
+        .collect();
+
+    let mut apps = apps.into_iter();
+    let mut hosts = Vec::new();
+    for pod in 0..k {
+        let mut pod_hosts = Vec::new();
+        for (e, &edge) in edges[pod].clone().iter().enumerate() {
+            // Hosts.
+            let mut under = Vec::new();
+            for h in 0..half {
+                let host = net.add_host(apps.next().expect("counted"), params.host_nic_kbps);
+                net.connect(
+                    Endpoint::host(host),
+                    Endpoint::switch(edge, h as PortId),
+                    params.delay_ns,
+                );
+                under.push(host);
+            }
+            pod_hosts.push(under);
+            // Edge -> every agg in the pod.
+            for (a, agg) in aggs[pod].iter().enumerate() {
+                net.connect(
+                    Endpoint::switch(edge, (half + a) as PortId),
+                    Endpoint::switch(*agg, e as PortId),
+                    params.delay_ns,
+                );
+            }
+        }
+        // Agg a -> cores [a*half .. a*half + half).
+        for (a, agg) in aggs[pod].iter().enumerate() {
+            for j in 0..half {
+                let core = cores[a * half + j];
+                net.connect(
+                    Endpoint::switch(*agg, (half + j) as PortId),
+                    Endpoint::switch(core, pod as PortId),
+                    params.delay_ns,
+                );
+            }
+        }
+        hosts.push(pod_hosts);
+    }
+    let mut sim = net.build();
+    sim.populate_l2();
+    (
+        sim,
+        FatTree {
+            edges,
+            aggs,
+            cores,
+            hosts,
+        },
+    )
+}
+
+/// Build a two-tier leaf-spine fabric. Leaf `l` uses ports
+/// `0..hosts_per_leaf` for hosts and `hosts_per_leaf + s` toward spine
+/// `s`; spine `s` uses port `l` toward leaf `l`. Routing is shortest-path
+/// L2 (no ECMP: BFS picks the lowest-numbered spine deterministically).
+pub fn leaf_spine(params: LeafSpineParams, apps: Vec<Box<dyn HostApp>>) -> (Simulator, LeafSpine) {
+    assert_eq!(
+        apps.len(),
+        params.n_leaves * params.hosts_per_leaf,
+        "one app per host"
+    );
+    let mut net = NetworkBuilder::new();
+    let leaves: Vec<SwitchId> = (0..params.n_leaves)
+        .map(|l| {
+            let mut cfg =
+                AsicConfig::with_ports(0x10 + l as u32, params.hosts_per_leaf + params.n_spines)
+                    .capacity_kbps(params.host_link_kbps)
+                    .queue_limit_bytes(params.queue_limit_bytes);
+            for s in 0..params.n_spines {
+                cfg.ports[params.hosts_per_leaf + s].capacity_kbps = params.fabric_link_kbps;
+            }
+            net.add_switch(cfg)
+        })
+        .collect();
+    let spines: Vec<SwitchId> = (0..params.n_spines)
+        .map(|s| {
+            net.add_switch(
+                AsicConfig::with_ports(0x20 + s as u32, params.n_leaves)
+                    .capacity_kbps(params.fabric_link_kbps)
+                    .queue_limit_bytes(params.queue_limit_bytes),
+            )
+        })
+        .collect();
+    let mut apps = apps.into_iter();
+    let mut hosts = Vec::new();
+    for (l, leaf) in leaves.iter().enumerate() {
+        let mut under = Vec::new();
+        for i in 0..params.hosts_per_leaf {
+            let h = net.add_host(apps.next().expect("counted"), params.host_nic_kbps);
+            net.connect(
+                Endpoint::host(h),
+                Endpoint::switch(*leaf, i as PortId),
+                params.delay_ns,
+            );
+            under.push(h);
+        }
+        for (s, spine) in spines.iter().enumerate() {
+            net.connect(
+                Endpoint::switch(*leaf, (params.hosts_per_leaf + s) as PortId),
+                Endpoint::switch(*spine, l as PortId),
+                params.delay_ns,
+            );
+        }
+        hosts.push(under);
+    }
+    let mut sim = net.build();
+    sim.populate_l2();
+    (
+        sim,
+        LeafSpine {
+            leaves,
+            spines,
+            hosts,
+        },
+    )
+}

@@ -1,0 +1,160 @@
+//! The RCP control equation of §2.2:
+//!
+//! ```text
+//!                 (         α (y(t) − C) + β q(t)/d  )
+//! R(t+T) = R(t) · ( 1 − T/d ·------------------------ )
+//!                 (                    C              )
+//! ```
+//!
+//! where `y(t)` is the average ingress link utilization (offered load,
+//! bits/s), `q(t)` the average queue size (bytes), `d` the average RTT of
+//! flows on the link, `C` the link capacity, and `α`, `β` configurable
+//! gains. The paper (and our Figure 2 reproduction) uses α = 0.5, β = 1.
+//!
+//! This one function is deliberately the *single* implementation of the
+//! law in the workspace: the in-router reference (`fluid`) and the
+//! end-host RCP\* controller (`tpp-apps::rcpstar`) both call it, which is
+//! exactly the refactoring claim of the paper — same computation, moved
+//! from the ASIC to the end-host, fed by TPP reads instead of local
+//! registers.
+
+/// Parameters of an RCP-controlled link.
+#[derive(Debug, Clone, Copy)]
+pub struct RcpParams {
+    /// Gain on the rate mismatch term. Paper: 0.5.
+    pub alpha: f64,
+    /// Gain on the queue drain term. Paper: 1.0.
+    pub beta: f64,
+    /// Control period T, seconds (typically ~ the RTT).
+    pub period_s: f64,
+    /// Average round-trip time d of flows through the link, seconds.
+    pub rtt_s: f64,
+    /// Link capacity C, bits/s.
+    pub capacity_bps: f64,
+    /// Floor for R, bits/s (keeps the multiplicative law away from 0,
+    /// from which it could never recover).
+    pub min_rate_bps: f64,
+    /// Per-update multiplicative step bound: the factor is clamped to
+    /// `[1/step_bound, step_bound]`. `f64::INFINITY` disables the clamp
+    /// (used by the ablation study; the ns-2 reference also bounds its
+    /// per-step rate change).
+    pub step_bound: f64,
+}
+
+impl RcpParams {
+    /// The paper's Figure 2 configuration on a given link: α = 0.5,
+    /// β = 1, control period = RTT.
+    pub fn paper_defaults(capacity_bps: f64, rtt_s: f64) -> Self {
+        RcpParams {
+            alpha: 0.5,
+            beta: 1.0,
+            period_s: rtt_s,
+            rtt_s,
+            capacity_bps,
+            min_rate_bps: capacity_bps * 1e-3,
+            step_bound: 2.0,
+        }
+    }
+}
+
+/// One step of the RCP control law: the new fair-share rate from the
+/// previous rate `r_bps`, measured offered load `y_bps`, and measured
+/// average queue `q_bytes`.
+///
+/// Two practical clamps, both also present in the ns-2 RCP reference
+/// implementation the paper compared against:
+///
+/// * the multiplicative step is bounded to `[0.5, 2.0]` per update, so a
+///   transient measurement spike (a queue burst sampled against a stale
+///   small RTT) can at worst halve the rate rather than crash it to the
+///   floor and trigger a starve/overshoot limit cycle;
+/// * the result is clamped to `[min_rate_bps, capacity_bps]`: a link can
+///   never hand out more than itself, and never starves a flow
+///   completely.
+pub fn rcp_update(r_bps: f64, y_bps: f64, q_bytes: f64, p: &RcpParams) -> f64 {
+    let q_bits = q_bytes * 8.0;
+    let pressure = p.alpha * (y_bps - p.capacity_bps) + p.beta * q_bits / p.rtt_s;
+    let raw = 1.0 - (p.period_s / p.rtt_s) * pressure / p.capacity_bps;
+    let factor = if p.step_bound.is_finite() {
+        raw.clamp(1.0 / p.step_bound, p.step_bound)
+    } else {
+        raw.max(0.0)
+    };
+    (r_bps * factor).clamp(p.min_rate_bps, p.capacity_bps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> RcpParams {
+        RcpParams::paper_defaults(10e6, 0.01) // 10 Mb/s, 10 ms RTT
+    }
+
+    #[test]
+    fn underload_grows_rate() {
+        let p = params();
+        // Half-utilized link, empty queue: rate must increase.
+        let r = rcp_update(5e6, 5e6, 0.0, &p);
+        assert!(r > 5e6, "got {r}");
+    }
+
+    #[test]
+    fn overload_shrinks_rate() {
+        let p = params();
+        let r = rcp_update(10e6, 20e6, 0.0, &p);
+        assert!(r < 10e6, "got {r}");
+    }
+
+    #[test]
+    fn standing_queue_shrinks_rate_even_at_capacity() {
+        let p = params();
+        // y == C exactly, but a standing queue must push the rate down.
+        let r = rcp_update(10e6, 10e6, 50_000.0, &p);
+        assert!(r < 10e6, "got {r}");
+    }
+
+    #[test]
+    fn fixed_point_at_full_utilization_empty_queue() {
+        let p = params();
+        // y == C, q == 0: pressure is zero, R unchanged.
+        let r = rcp_update(7e6, 10e6, 0.0, &p);
+        assert!((r - 7e6).abs() < 1.0, "got {r}");
+    }
+
+    #[test]
+    fn clamps_to_capacity_and_floor() {
+        let p = params();
+        // Idle link: rate grows but never beyond C.
+        let mut r = 9.9e6;
+        for _ in 0..100 {
+            r = rcp_update(r, 0.0, 0.0, &p);
+        }
+        assert_eq!(r, p.capacity_bps);
+        // Catastrophic overload: rate shrinks but never below the floor.
+        let mut r = 1e6;
+        for _ in 0..1000 {
+            r = rcp_update(r, 100e6, 1e6, &p);
+        }
+        assert_eq!(r, p.min_rate_bps);
+    }
+
+    #[test]
+    fn converges_to_fair_share_with_n_compliant_flows() {
+        // N flows each sending at R: y = N*R. Iterating the law must
+        // settle near C/N — the max-min fair share.
+        let p = params();
+        for n in [1usize, 2, 3, 5] {
+            let mut r = p.capacity_bps; // initialized to capacity (§2.2 fn 3)
+            for _ in 0..500 {
+                let y = n as f64 * r;
+                r = rcp_update(r, y, 0.0, &p);
+            }
+            let fair = p.capacity_bps / n as f64;
+            assert!(
+                (r - fair).abs() / fair < 0.05,
+                "n={n}: got {r}, want ~{fair}"
+            );
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! The "RCP: simulation" curve of Figure 2 — a self-contained simulation
+//! of a single RCP-enabled bottleneck whose router implements the control
+//! law natively in its dataplane (what the paper's ns-2 run modelled).
+//!
+//! The model: `N(t)` compliant flows each transmit at the router's
+//! advertised rate `R(t)` (in real RCP the rate rides in the packet
+//! header and each router stamps the minimum; with one bottleneck that
+//! minimum *is* this router's rate, one RTT delayed — we model the
+//! one-RTT feedback lag explicitly). The router measures offered load and
+//! queue over each control period `T` and steps the law.
+
+use crate::equation::{rcp_update, RcpParams};
+
+/// When a flow is active.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowSchedule {
+    /// Start time, seconds.
+    pub start_s: f64,
+    /// Stop time, seconds (`None` = runs forever).
+    pub stop_s: Option<f64>,
+}
+
+impl FlowSchedule {
+    /// A flow that starts at `start_s` and never stops.
+    pub fn starting_at(start_s: f64) -> Self {
+        FlowSchedule {
+            start_s,
+            stop_s: None,
+        }
+    }
+
+    fn active(&self, t: f64) -> bool {
+        t >= self.start_s && self.stop_s.is_none_or(|stop| t < stop)
+    }
+}
+
+/// One sample of the simulation's state.
+#[derive(Debug, Clone, Copy)]
+pub struct RcpSamplePoint {
+    /// Time, seconds.
+    pub t_s: f64,
+    /// The router's advertised fair-share rate, bits/s.
+    pub rate_bps: f64,
+    /// `rate_bps / capacity` — the paper's Figure 2 y-axis.
+    pub r_over_c: f64,
+    /// Number of active flows.
+    pub n_active: usize,
+    /// Bottleneck queue, bytes.
+    pub queue_bytes: f64,
+    /// Offered load over the last control period, bits/s.
+    pub y_bps: f64,
+}
+
+/// A single-bottleneck reference RCP simulation.
+#[derive(Debug, Clone)]
+pub struct RcpFluidSim {
+    /// Link and control-law parameters.
+    pub params: RcpParams,
+    /// The flows and their lifetimes.
+    pub flows: Vec<FlowSchedule>,
+    /// Integration step, seconds (must be ≤ the control period).
+    pub dt_s: f64,
+}
+
+impl RcpFluidSim {
+    /// Build a simulation with the paper's defaults and a 1 ms step.
+    pub fn new(params: RcpParams, flows: Vec<FlowSchedule>) -> Self {
+        RcpFluidSim {
+            params,
+            flows,
+            dt_s: 1e-3,
+        }
+    }
+
+    /// Run for `duration_s`, sampling once per control period.
+    pub fn run(&self, duration_s: f64) -> Vec<RcpSamplePoint> {
+        let p = &self.params;
+        assert!(self.dt_s > 0.0 && self.dt_s <= p.period_s);
+        // The router's advertised rate starts at capacity: "a control
+        // plane program initializes each link's fair share rate to its
+        // capacity" (§2.2, footnote 3).
+        let mut rate = p.capacity_bps;
+        // Flows react to the rate they learned one RTT ago.
+        let mut flow_rate = rate;
+        let lag_steps = (p.rtt_s / self.dt_s).round().max(1.0) as usize;
+        let mut rate_history = std::collections::VecDeque::from(vec![rate; lag_steps]);
+
+        let mut queue_bytes = 0.0f64;
+        let mut window_bits = 0.0f64;
+        let mut window_queue_sum = 0.0f64;
+        let mut window_steps = 0usize;
+        let mut next_update = p.period_s;
+        let mut samples = Vec::new();
+        let mut t = 0.0f64;
+
+        while t < duration_s {
+            let n_active = self.flows.iter().filter(|f| f.active(t)).count();
+            // Arrivals this step: n flows at the lagged advertised rate.
+            let arrival_bps = n_active as f64 * flow_rate;
+            window_bits += arrival_bps * self.dt_s;
+            // Queue evolution: arrivals minus service.
+            let delta_bits = (arrival_bps - p.capacity_bps) * self.dt_s;
+            queue_bytes = (queue_bytes + delta_bits / 8.0).max(0.0);
+            window_queue_sum += queue_bytes;
+            window_steps += 1;
+
+            // Feedback lag.
+            rate_history.push_back(rate);
+            flow_rate = rate_history.pop_front().expect("non-empty");
+
+            t += self.dt_s;
+            if t + 1e-12 >= next_update {
+                let y_bps = window_bits / p.period_s;
+                let q_avg = window_queue_sum / window_steps.max(1) as f64;
+                rate = rcp_update(rate, y_bps, q_avg, p);
+                samples.push(RcpSamplePoint {
+                    t_s: t,
+                    rate_bps: rate,
+                    r_over_c: rate / p.capacity_bps,
+                    n_active,
+                    queue_bytes,
+                    y_bps,
+                });
+                window_bits = 0.0;
+                window_queue_sum = 0.0;
+                window_steps = 0;
+                next_update += p.period_s;
+            }
+        }
+        samples
+    }
+}
+
+/// Mean of `r_over_c` over samples with `lo <= t < hi` (experiment
+/// helper: "where did R/C settle in this window?").
+pub fn mean_r_over_c(samples: &[RcpSamplePoint], lo_s: f64, hi_s: f64) -> f64 {
+    let window: Vec<f64> = samples
+        .iter()
+        .filter(|s| s.t_s >= lo_s && s.t_s < hi_s)
+        .map(|s| s.r_over_c)
+        .collect();
+    if window.is_empty() {
+        return f64::NAN;
+    }
+    window.iter().sum::<f64>() / window.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Figure 2 scenario: 10 Mb/s bottleneck, flows starting
+    /// at t = 0, 10, 20 s, α = 0.5, β = 1.
+    fn figure2_sim() -> RcpFluidSim {
+        let params = RcpParams::paper_defaults(10e6, 0.05);
+        RcpFluidSim::new(
+            params,
+            vec![
+                FlowSchedule::starting_at(0.0),
+                FlowSchedule::starting_at(10.0),
+                FlowSchedule::starting_at(20.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn figure2_convergence_shape() {
+        let samples = figure2_sim().run(30.0);
+        // Settled windows well after each join: R/C ~ 1, 1/2, 1/3.
+        let w1 = mean_r_over_c(&samples, 5.0, 10.0);
+        let w2 = mean_r_over_c(&samples, 15.0, 20.0);
+        let w3 = mean_r_over_c(&samples, 25.0, 30.0);
+        assert!((w1 - 1.0).abs() < 0.05, "one flow: {w1}");
+        assert!((w2 - 0.5).abs() < 0.05, "two flows: {w2}");
+        assert!((w3 - 1.0 / 3.0).abs() < 0.04, "three flows: {w3}");
+    }
+
+    #[test]
+    fn convergence_is_fast() {
+        // "they both show quick convergence" — within 2 s (40 RTTs) of
+        // the second flow joining, R/C is already near 0.5.
+        let samples = figure2_sim().run(13.0);
+        let just_after = mean_r_over_c(&samples, 11.5, 12.5);
+        assert!(
+            (just_after - 0.5).abs() < 0.1,
+            "slow convergence: {just_after}"
+        );
+    }
+
+    #[test]
+    fn queue_stays_bounded() {
+        let samples = figure2_sim().run(30.0);
+        let max_q = samples.iter().map(|s| s.queue_bytes).fold(0.0, f64::max);
+        // RCP's β-term drains standing queues; transient spikes at flow
+        // joins are expected but bounded (well under 1 s of buffering).
+        assert!(max_q < 10e6 / 8.0, "unbounded queue: {max_q}");
+        // And the queue at the end (steady state) is near-empty.
+        let last = samples.last().unwrap();
+        assert!(
+            last.queue_bytes < 20_000.0,
+            "standing queue: {}",
+            last.queue_bytes
+        );
+    }
+
+    #[test]
+    fn flow_departure_reclaims_bandwidth() {
+        let params = RcpParams::paper_defaults(10e6, 0.05);
+        let sim = RcpFluidSim::new(
+            params,
+            vec![
+                FlowSchedule::starting_at(0.0),
+                FlowSchedule {
+                    start_s: 5.0,
+                    stop_s: Some(15.0),
+                },
+            ],
+        );
+        let samples = sim.run(25.0);
+        let shared = mean_r_over_c(&samples, 10.0, 15.0);
+        let alone = mean_r_over_c(&samples, 20.0, 25.0);
+        assert!((shared - 0.5).abs() < 0.05, "shared: {shared}");
+        assert!((alone - 1.0).abs() < 0.05, "reclaimed: {alone}");
+    }
+
+    #[test]
+    fn utilization_is_high_in_steady_state() {
+        let samples = figure2_sim().run(30.0);
+        // y ≈ C from t=6s on (one flow at R≈C).
+        let late: Vec<&RcpSamplePoint> = samples.iter().filter(|s| s.t_s > 6.0).collect();
+        let mean_util = late.iter().map(|s| s.y_bps / 10e6).sum::<f64>() / late.len() as f64;
+        assert!(mean_util > 0.9, "wasted capacity: {mean_util}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = figure2_sim().run(5.0);
+        let b = figure2_sim().run(5.0);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.rate_bps.to_bits(), y.rate_bps.to_bits());
+        }
+    }
+}

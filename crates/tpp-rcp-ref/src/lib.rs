@@ -1,0 +1,35 @@
+//! # tpp-rcp-ref — reference congestion-control baselines
+//!
+//! Figure 2 of the paper compares RCP\* (the TPP + end-host refactoring)
+//! against "a simulation of the original RCP algorithm" from ns-2. This
+//! crate plays ns-2's role:
+//!
+//! * [`equation`] — the RCP control law of §2.2, shared verbatim by the
+//!   reference simulation *and* by RCP\*'s end-host rate controller (the
+//!   paper's point is that the *computation* is identical, only its
+//!   location differs);
+//! * [`fluid`] — a self-contained packet-granularity simulation of RCP
+//!   routers that implement the law natively in the dataplane: the
+//!   "RCP: simulation" curve of Figure 2;
+//! * [`aimd`] — a TCP-Reno-flavoured AIMD rate-based sender on the
+//!   shared network simulator, used as an extra baseline to contrast
+//!   RCP-style explicit feedback with loss-driven control (an extension
+//!   beyond the paper's figures, see DESIGN.md);
+//! * [`dctcp`] — a DCTCP-flavoured sender driven by the ASIC's
+//!   fixed-function ECN marks, the §4 "one anticipated bit" design point
+//!   that TPPs generalize.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aimd;
+pub mod dctcp;
+pub mod equation;
+pub mod fluid;
+pub mod native;
+
+pub use aimd::{AimdAcker, AimdSender};
+pub use dctcp::{DctcpConfig, DctcpReceiver, DctcpSender};
+pub use equation::{rcp_update, RcpParams};
+pub use fluid::{FlowSchedule, RcpFluidSim, RcpSamplePoint};
+pub use native::NativeRcpRouter;

@@ -1,0 +1,88 @@
+//! Property-based tests for the wire formats: round-trips and the
+//! "arbitrary bytes never panic" robustness guarantee.
+
+use proptest::prelude::*;
+use tpp_wire::ethernet::{build_frame, EtherType, EthernetAddress, Frame};
+use tpp_wire::tpp::{AddressingMode, TppBuilder, TppPacket, MAX_INSTRUCTIONS};
+
+proptest! {
+    /// Any frame we build parses back with identical fields.
+    #[test]
+    fn ethernet_roundtrip(dst in any::<[u8; 6]>(), src in any::<[u8; 6]>(),
+                          ethertype in any::<u16>(), payload in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let buf = build_frame(
+            EthernetAddress(dst),
+            EthernetAddress(src),
+            EtherType(ethertype),
+            &payload,
+        );
+        let frame = Frame::new_checked(&buf[..]).unwrap();
+        prop_assert_eq!(frame.dst_addr(), EthernetAddress(dst));
+        prop_assert_eq!(frame.src_addr(), EthernetAddress(src));
+        prop_assert_eq!(frame.ethertype(), EtherType(ethertype));
+        prop_assert_eq!(frame.payload(), &payload[..]);
+    }
+
+    /// Any TPP we build parses back with identical sections.
+    #[test]
+    fn tpp_roundtrip(insns in proptest::collection::vec(any::<u32>(), 0..MAX_INSTRUCTIONS),
+                     mem in proptest::collection::vec(any::<u32>(), 0..64),
+                     per_hop in 0usize..8,
+                     hop_mode in any::<bool>(),
+                     payload in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let mode = if hop_mode { AddressingMode::Hop } else { AddressingMode::Stack };
+        let bytes = TppBuilder::new(mode)
+            .instructions(&insns)
+            .memory_init(&mem)
+            .per_hop_words(per_hop)
+            .payload(&payload)
+            .build();
+        let tpp = TppPacket::new_checked(&bytes[..]).unwrap();
+        prop_assert_eq!(tpp.instruction_words(), insns);
+        prop_assert_eq!(tpp.memory_words(), mem);
+        prop_assert_eq!(tpp.addressing_mode(), mode);
+        prop_assert_eq!(tpp.per_hop_len(), per_hop * 4);
+        prop_assert_eq!(tpp.inner_payload(), &payload[..]);
+    }
+
+    /// Arbitrary garbage bytes either parse (and then all accessors are
+    /// in-bounds) or fail cleanly — never panic. This is the §6 failure
+    /// injection requirement: a corrupted TPP must not take down the
+    /// pipeline.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        if let Ok(tpp) = TppPacket::new_checked(&bytes[..]) {
+            // Exercising every accessor must stay in bounds.
+            let _ = tpp.version();
+            let _ = tpp.flags();
+            let _ = tpp.instruction_words();
+            let _ = tpp.memory_words();
+            let _ = tpp.stack_words();
+            let _ = tpp.inner_payload();
+            let _ = tpp.hop_base();
+        }
+    }
+
+    /// Pushing words never writes outside packet memory, and the stack
+    /// content equals the sequence of successful pushes.
+    #[test]
+    fn push_respects_preallocated_memory(words in proptest::collection::vec(any::<u32>(), 0..32),
+                                         capacity in 0usize..16) {
+        let mut bytes = TppBuilder::new(AddressingMode::Stack)
+            .instructions(&[0])
+            .memory_words(capacity)
+            .build();
+        let before_len = bytes.len();
+        let mut tpp = TppPacket::new_checked(&mut bytes[..]).unwrap();
+        let mut expected = Vec::new();
+        for w in &words {
+            if tpp.push_word(*w).is_ok() {
+                expected.push(*w);
+            }
+        }
+        prop_assert_eq!(expected.len(), words.len().min(capacity));
+        prop_assert_eq!(tpp.stack_words(), expected);
+        // "The TPP never grows/shrinks inside the network" (Fig. 1).
+        prop_assert_eq!(bytes.len(), before_len);
+    }
+}

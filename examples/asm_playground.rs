@@ -1,0 +1,135 @@
+//! The TPP toolchain in one binary: assemble a program (from the command
+//! line or a built-in demo), lint it against a deployment plan, show its
+//! encoding, execute it on a staged switch, and dump the resulting packet
+//! state — the workflow an operator iterating on a new network task
+//! would live in.
+//!
+//! Run with the built-in demo program:
+//! ```console
+//! $ cargo run --release --example asm_playground
+//! ```
+//! or assemble your own (one instruction per argument):
+//! ```console
+//! $ cargo run --release --example asm_playground \
+//!     "PUSH [Switch:SwitchID]" "PUSH [Queue:QueueSize]"
+//! ```
+
+use tpp::asic::{Asic, AsicConfig, Outcome};
+use tpp::isa::{assemble, disassemble, lint};
+use tpp::wire::ethernet::{build_frame, EtherType, Frame};
+use tpp::wire::tpp::{AddressingMode, TppBuilder, TppPacket};
+use tpp::wire::EthernetAddress;
+
+const DEMO: &str = "PUSH [Switch:SwitchID]\n\
+                    PUSH [Queue:QueueSize]\n\
+                    PUSH [Link:RX-Bytes]\n\
+                    CEXEC [Switch:SwitchID], [Packet:12]\n\
+                    STORE [Switch:Scratch[0]], [Packet:14]";
+
+const HOPS: usize = 3;
+const MEM_WORDS: usize = 16;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let source = if args.is_empty() {
+        DEMO.to_string()
+    } else {
+        args.join("\n")
+    };
+
+    // --- Assemble ---
+    println!("=== source ===\n{source}\n");
+    let program = match assemble(&source) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("assembly error: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    // --- Lint against the deployment plan ---
+    println!("=== lint (plan: {HOPS} hops, {MEM_WORDS} memory words) ===");
+    let lints = lint(&program, HOPS, MEM_WORDS);
+    if lints.is_empty() {
+        println!("clean\n");
+    } else {
+        for l in &lints {
+            println!("warning: {l}");
+        }
+        println!();
+    }
+
+    // --- Encoding ---
+    println!(
+        "=== encoding ({} bytes of instructions) ===",
+        program.wire_len()
+    );
+    let words = program.encode_words().expect("encodable");
+    for (insn, word) in disassemble(&program).lines().zip(&words) {
+        println!("  {word:#010x}  {insn}");
+    }
+    println!();
+
+    // --- Execute on a staged switch ---
+    let dst = EthernetAddress::from_host_id(1);
+    let mut asic = Asic::new(AsicConfig::with_ports(0xb0b, 2));
+    asic.l2_mut().insert(dst, 1);
+    // Stage some state so reads return something interesting.
+    let filler = build_frame(
+        dst,
+        EthernetAddress::from_host_id(7),
+        EtherType(0x0802),
+        &[0u8; 150],
+    );
+    asic.handle_frame(filler, 0, 0);
+    // CEXEC demo operands: mask at word 12, value at word 13; STORE
+    // source at word 14.
+    let mut memory = vec![0u32; MEM_WORDS];
+    memory[12] = 0xffff_ffff;
+    memory[13] = 0xb0b;
+    memory[14] = 4242;
+    let payload = TppBuilder::new(AddressingMode::Stack)
+        .instructions(&words)
+        .memory_init(&memory)
+        .build();
+    let frame = build_frame(
+        dst,
+        EthernetAddress::from_host_id(0),
+        EtherType::TPP,
+        &payload,
+    );
+
+    println!("=== execution on switch 0xb0b (egress queue staged to 164 B) ===");
+    let outcome = asic.handle_frame(frame, 0, 1_000);
+    let Outcome::Enqueued { port, exec, .. } = outcome else {
+        println!("packet dropped: {outcome:?}");
+        return;
+    };
+    if let Some(report) = exec {
+        println!(
+            "executed {} instruction(s) in {} cycles{}",
+            report.instructions_executed,
+            report.cycles,
+            match report.halt {
+                None => " (completed)".to_string(),
+                Some(h) => format!(" (halted: {h:?})"),
+            }
+        );
+    }
+    asic.dequeue(port); // the filler
+    let sent = asic.dequeue(port).expect("program packet forwarded");
+    let parsed = Frame::new_checked(&sent[..]).unwrap();
+    let tpp = TppPacket::new_checked(parsed.payload()).unwrap();
+    println!("\n=== packet state after 1 hop ===");
+    println!("hop = {}, SP = {:#x}", tpp.hop(), tpp.sp());
+    for (i, w) in tpp.memory_words().iter().enumerate() {
+        let marker = if i * 4 < tpp.sp() { " <- pushed" } else { "" };
+        if *w != 0 || i * 4 < tpp.sp() {
+            println!("  mem[{i:2}] = {w:#010x} ({w}){marker}");
+        }
+    }
+    println!(
+        "\nswitch scratch after execution: Scratch[0] = {}",
+        asic.global_sram_word(0)
+    );
+}

@@ -1,0 +1,162 @@
+//! §2.2 / Figure 2 — RCP\* vs. the reference RCP simulation.
+//!
+//! Three flows share a 10 Mb/s bottleneck; they start at t = 0 s, 10 s
+//! and 20 s (α = 0.5, β = 1, as in the paper). The figure's claim: the
+//! end-host RCP\* implementation — switches only expose read/write TPPs,
+//! all control logic at the senders — tracks the behaviour of RCP
+//! implemented natively in the router: R(t)/C converges quickly to 1,
+//! then 1/2, then 1/3.
+//!
+//! Run with: `cargo run --release --example rcp_fairness`
+
+use tpp::apps::rcpstar::{init_rate_registers, RcpStarConfig, RcpStarSender};
+use tpp::host::EchoReceiver;
+use tpp::netsim::{dumbbell, time, DumbbellParams, HostApp};
+use tpp::rcp_ref::{FlowSchedule, RcpFluidSim, RcpParams};
+use tpp::wire::EthernetAddress;
+
+const CAPACITY_BPS: f64 = 10e6;
+const DURATION_S: u64 = 30;
+
+fn main() {
+    // --- RCP: the reference simulation (the ns-2 role) ---
+    let reference = RcpFluidSim::new(
+        RcpParams::paper_defaults(CAPACITY_BPS, 0.05),
+        vec![
+            FlowSchedule::starting_at(0.0),
+            FlowSchedule::starting_at(10.0),
+            FlowSchedule::starting_at(20.0),
+        ],
+    )
+    .run(DURATION_S as f64);
+
+    // --- RCP*: TPP + end-hosts on the packet simulator ---
+    let starts = [0u64, time::secs(10), time::secs(20)];
+    let apps: Vec<(Box<dyn HostApp>, Box<dyn HostApp>)> = starts
+        .iter()
+        .enumerate()
+        .map(|(i, start)| {
+            let dst = EthernetAddress::from_host_id((2 * i + 1) as u32);
+            let cfg = RcpStarConfig {
+                start_ns: *start,
+                ..Default::default()
+            };
+            (
+                Box::new(RcpStarSender::new(dst, cfg)) as Box<dyn HostApp>,
+                Box::new(EchoReceiver::default()) as Box<dyn HostApp>,
+            )
+        })
+        .collect();
+    let (mut sim, bell) = dumbbell(
+        DumbbellParams {
+            n_pairs: 3,
+            ..Default::default()
+        },
+        apps,
+    );
+    for sw in [bell.left, bell.right] {
+        init_rate_registers(sim.switch_mut(sw));
+    }
+    sim.run_until(time::secs(DURATION_S));
+
+    // --- The Figure 2 series: R(t)/C for both systems ---
+    let flow0 = &sim.host_app::<RcpStarSender>(bell.senders[0]).rate_trace;
+    println!("# Figure 2: Ratio R(t)/C on the 10 Mb/s bottleneck");
+    println!("# flows start at t = 0 s, 10 s, 20 s; alpha = 0.5, beta = 1");
+    println!(
+        "{:>6} {:>18} {:>18}",
+        "t(s)", "RCP(simulation)", "RCP*(TPP+endhost)"
+    );
+    for half_sec in 0..(DURATION_S * 2) {
+        let t_lo = half_sec as f64 * 0.5;
+        let t_hi = t_lo + 0.5;
+        let ref_mean = mean(
+            reference
+                .iter()
+                .filter(|s| s.t_s >= t_lo && s.t_s < t_hi)
+                .map(|s| s.r_over_c),
+        );
+        let star_mean = mean(
+            flow0
+                .iter()
+                .filter(|(t, _)| {
+                    let ts = *t as f64 / 1e9;
+                    ts >= t_lo && ts < t_hi
+                })
+                .map(|(_, r)| *r as f64 / CAPACITY_BPS),
+        );
+        println!("{t_lo:>6.1} {ref_mean:>18.3} {star_mean:>18.3}");
+    }
+
+    // --- Settled-window summary (what the figure shows at a glance) ---
+    println!("\n# settled windows (mean R/C):");
+    println!(
+        "{:>12} {:>8} {:>8} {:>8}",
+        "system", "1 flow", "2 flows", "3 flows"
+    );
+    let windows = [(5.0, 10.0), (15.0, 20.0), (25.0, 30.0)];
+    let ref_vals: Vec<f64> = windows
+        .iter()
+        .map(|(lo, hi)| {
+            mean(
+                reference
+                    .iter()
+                    .filter(|s| s.t_s >= *lo && s.t_s < *hi)
+                    .map(|s| s.r_over_c),
+            )
+        })
+        .collect();
+    let star_vals: Vec<f64> = windows
+        .iter()
+        .map(|(lo, hi)| {
+            mean(
+                flow0
+                    .iter()
+                    .filter(|(t, _)| {
+                        let ts = *t as f64 / 1e9;
+                        ts >= *lo && ts < *hi
+                    })
+                    .map(|(_, r)| *r as f64 / CAPACITY_BPS),
+            )
+        })
+        .collect();
+    println!(
+        "{:>12} {:>8.3} {:>8.3} {:>8.3}",
+        "RCP", ref_vals[0], ref_vals[1], ref_vals[2]
+    );
+    println!(
+        "{:>12} {:>8.3} {:>8.3} {:>8.3}",
+        "RCP*", star_vals[0], star_vals[1], star_vals[2]
+    );
+    println!(
+        "{:>12} {:>8.3} {:>8.3} {:>8.3}",
+        "ideal",
+        1.0,
+        0.5,
+        1.0 / 3.0
+    );
+
+    // --- Goodput fairness across the three RCP* flows ---
+    println!("\n# RCP* goodput while all three flows were active (25-30 s):");
+    for (i, r) in bell.receivers.iter().enumerate() {
+        let echo = sim.host_app::<EchoReceiver>(*r);
+        println!(
+            "  flow {}: {:.2} Mb/s mean over its lifetime",
+            i,
+            echo.data_bytes as f64 * 8.0 / (time::secs(DURATION_S) - starts[i]) as f64 * 1e9 / 1e6
+        );
+    }
+    let q = sim.switch(bell.left).queue_stats(bell.bottleneck_port, 0);
+    println!(
+        "\nbottleneck queue: high watermark {} B, drops {}",
+        q.high_watermark_bytes, q.packets_dropped
+    );
+}
+
+fn mean(iter: impl Iterator<Item = f64>) -> f64 {
+    let values: Vec<f64> = iter.collect();
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
