@@ -302,7 +302,9 @@ mod tests {
         sim.run_until(time::secs(30));
         let value = sim
             .switch(bell.left)
-            .global_sram_word(counter_addr().word_index());
+            .global_sram()
+            .word(counter_addr().word_index())
+            .unwrap();
         (sim, bell, value)
     }
 
@@ -348,7 +350,9 @@ mod tests {
         let (sim, bell, _) = run(2, 10, CounterWriteMode::Linearizable);
         assert_eq!(
             sim.switch(bell.right)
-                .global_sram_word(counter_addr().word_index()),
+                .global_sram()
+                .word(counter_addr().word_index())
+                .unwrap(),
             0
         );
         // (Also a sanity check that the stat symbol we gate on exists.)

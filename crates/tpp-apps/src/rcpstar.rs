@@ -465,7 +465,9 @@ impl HostApp for RcpStarSender {
 pub fn init_rate_registers(asic: &mut tpp_asic::Asic) {
     for port in 0..asic.num_ports() as tpp_asic::PortId {
         let kbps = asic.port_capacity_kbps(port);
-        asic.set_link_sram_word(port, RCP_RATE_REGISTER.word_index(), kbps);
+        asic.link_sram_mut(port)
+            .and_then(|mut sram| sram.set_word(RCP_RATE_REGISTER.word_index(), kbps))
+            .expect("RCP rate register out of the link SRAM region");
     }
 }
 
@@ -564,7 +566,9 @@ mod tests {
         // And its rate register was actually rewritten below capacity.
         let reg = sim
             .switch(bell.left)
-            .link_sram_word(bell.bottleneck_port, RCP_RATE_REGISTER.word_index());
+            .link_sram(bell.bottleneck_port)
+            .and_then(|s| s.word(RCP_RATE_REGISTER.word_index()))
+            .unwrap();
         assert!(reg > 0 && reg <= 10_000, "register holds kbps: {reg}");
     }
 

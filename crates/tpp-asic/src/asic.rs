@@ -14,9 +14,11 @@ use crate::config::{AsicConfig, PortConfig, StripAction};
 use crate::memmap::Mmu;
 pub use crate::memmap::PacketMeta;
 use crate::queue::DropTailQueue;
+use crate::sram::{SramError, SramView, SramViewMut};
 use crate::stats::{PortStats, QueueStats, SwitchRegs};
 use crate::tables::{FlowAction, FlowEntry, FlowKey, L2Table, LpmTable, Tcam};
 use crate::tcpu::{ExecReport, Tcpu};
+use tpp_telemetry::{DropKind, LookupKind, TcpuOutcome, TraceEvent, TraceEventKind, TraceSink};
 use tpp_wire::ethernet::{EtherType, Frame, ETHERNET_HEADER_LEN};
 use tpp_wire::tpp::TppPacket;
 
@@ -24,7 +26,11 @@ pub use crate::memmap::QueueId;
 pub use crate::tables::PortId;
 
 /// Why the pipeline dropped a frame.
+///
+/// Marked `#[non_exhaustive]`: future pipeline stages may add reasons, so
+/// downstream matches need a wildcard arm.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum DropReason {
     /// No table produced an egress port.
     NoRoute,
@@ -44,8 +50,33 @@ pub enum DropReason {
     ParseError,
 }
 
+impl DropReason {
+    /// The telemetry mirror of this reason.
+    pub fn kind(&self) -> DropKind {
+        match self {
+            DropReason::NoRoute => DropKind::NoRoute,
+            DropReason::QueueFull { .. } => DropKind::QueueFull,
+            DropReason::FlowDrop { .. } => DropKind::FlowDrop,
+            DropReason::EdgeFiltered => DropKind::EdgeFiltered,
+            DropReason::ParseError => DropKind::ParseError,
+        }
+    }
+
+    /// The egress port involved, when the drop happened after a lookup.
+    pub fn port(&self) -> Option<PortId> {
+        match self {
+            DropReason::QueueFull { port } => Some(*port),
+            _ => None,
+        }
+    }
+}
+
 /// The pipeline's verdict on one frame.
+///
+/// Marked `#[non_exhaustive]` (a future pipeline could, say, punt frames
+/// to a slow path); prefer the accessors over exhaustive matching.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum Outcome {
     /// Enqueued for transmission.
     Enqueued {
@@ -68,6 +99,35 @@ impl Outcome {
     /// True if the frame survived the pipeline.
     pub fn is_enqueued(&self) -> bool {
         matches!(self, Outcome::Enqueued { .. })
+    }
+
+    /// True if the frame was dropped.
+    pub fn is_drop(&self) -> bool {
+        matches!(self, Outcome::Dropped { .. })
+    }
+
+    /// The TCPU execution report, when the frame carried a TPP that ran.
+    pub fn exec_report(&self) -> Option<&ExecReport> {
+        match self {
+            Outcome::Enqueued { exec, .. } => exec.as_ref(),
+            _ => None,
+        }
+    }
+
+    /// The egress `(port, queue)` the frame was admitted to, if any.
+    pub fn egress(&self) -> Option<(PortId, QueueId)> {
+        match self {
+            Outcome::Enqueued { port, queue, .. } => Some((*port, *queue)),
+            _ => None,
+        }
+    }
+
+    /// Why the frame was dropped, if it was.
+    pub fn drop_reason(&self) -> Option<DropReason> {
+        match self {
+            Outcome::Dropped { reason } => Some(*reason),
+            _ => None,
+        }
     }
 }
 
@@ -104,6 +164,9 @@ pub struct Asic {
     tcam: Tcam,
     global_sram: Vec<u32>,
     tcpu: Tcpu,
+    /// Structured trace sink; `None` (the default) keeps every stage's
+    /// emission down to one branch.
+    trace: Option<Box<dyn TraceSink>>,
 }
 
 impl Asic {
@@ -122,7 +185,39 @@ impl Asic {
             tcam: Tcam::new(),
             global_sram: vec![0; config.global_sram_words],
             tcpu: Tcpu::new(config.tcpu_cycle_budget),
+            trace: None,
             config,
+        }
+    }
+
+    /// Attach (or with `None`, detach) a structured trace sink. While a
+    /// sink is attached every pipeline stage emits one
+    /// [`TraceEvent`] per transition; detached, tracing costs one branch
+    /// per stage.
+    pub fn set_trace_sink(&mut self, sink: Option<Box<dyn TraceSink>>) {
+        self.trace = sink;
+    }
+
+    /// True when a trace sink is attached.
+    pub fn is_traced(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Emit one trace event (no-op without a sink). `seq` is the
+    /// current `packets_processed` register, so all events of one
+    /// packet's walk share a sequence number. `#[cold]` keeps the
+    /// emission blocks (and the event construction feeding them) out of
+    /// the untraced hot path's code layout.
+    #[cold]
+    #[inline(never)]
+    fn emit(&mut self, kind: TraceEventKind) {
+        if let Some(sink) = self.trace.as_mut() {
+            sink.record(TraceEvent {
+                t_ns: self.regs.wall_clock_ns,
+                switch_id: self.regs.switch_id,
+                seq: self.regs.packets_processed,
+                kind,
+            });
         }
     }
 
@@ -205,26 +300,88 @@ impl Asic {
         self.ports[port as usize].stats.snr_decidb = snr_decidb;
     }
 
+    /// Checked read-only view of the global SRAM (control-plane / test
+    /// access).
+    pub fn global_sram(&self) -> SramView<'_> {
+        SramView::new(&self.global_sram)
+    }
+
+    /// Checked mutable view of the global SRAM (control-plane
+    /// initialization, e.g. "a control plane program initializes each
+    /// link's fair share rate", §2.2 footnote).
+    pub fn global_sram_mut(&mut self) -> SramViewMut<'_> {
+        SramViewMut::new(&mut self.global_sram)
+    }
+
+    /// Checked read-only view of a port's link SRAM.
+    pub fn link_sram(&self, port: PortId) -> Result<SramView<'_>, SramError> {
+        match self.ports.get(port as usize) {
+            Some(p) => Ok(SramView::new(&p.link_sram)),
+            None => Err(SramError::NoSuchPort {
+                port,
+                num_ports: self.ports.len(),
+            }),
+        }
+    }
+
+    /// Checked mutable view of a port's link SRAM.
+    pub fn link_sram_mut(&mut self, port: PortId) -> Result<SramViewMut<'_>, SramError> {
+        let num_ports = self.ports.len();
+        match self.ports.get_mut(port as usize) {
+            Some(p) => Ok(SramViewMut::new(&mut p.link_sram)),
+            None => Err(SramError::NoSuchPort { port, num_ports }),
+        }
+    }
+
     /// Read a global-SRAM word (control-plane / test access).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `global_sram().word(..)`, which returns Result instead of panicking"
+    )]
     pub fn global_sram_word(&self, word: usize) -> u32 {
         self.global_sram[word]
     }
 
-    /// Write a global-SRAM word (control-plane initialization, e.g. "a
-    /// control plane program initializes each link's fair share rate",
-    /// §2.2 footnote).
+    /// Write a global-SRAM word.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `global_sram_mut().set_word(..)`, which returns Result instead of panicking"
+    )]
     pub fn set_global_sram_word(&mut self, word: usize, value: u32) {
         self.global_sram[word] = value;
     }
 
     /// Read a link-SRAM word of a port.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `link_sram(port)?.word(..)`, which returns Result instead of panicking"
+    )]
     pub fn link_sram_word(&self, port: PortId, word: usize) -> u32 {
         self.ports[port as usize].link_sram[word]
     }
 
     /// Write a link-SRAM word of a port (control-plane initialization).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `link_sram_mut(port)?.set_word(..)`, which returns Result instead of panicking"
+    )]
     pub fn set_link_sram_word(&mut self, port: PortId, word: usize, value: u32) {
         self.ports[port as usize].link_sram[word] = value;
+    }
+
+    /// Export this switch's registers, port stats and queue stats into a
+    /// metrics registry under stable `switch.*` / `port.*` / `queue.*`
+    /// names. Exporting many switches into one registry aggregates them
+    /// (counters sum, distributions merge) — the view the simulator
+    /// publishes on every stats tick.
+    pub fn export_metrics(&self, registry: &mut tpp_telemetry::MetricsRegistry) {
+        self.regs.export_metrics(registry);
+        for port in &self.ports {
+            port.stats.export_metrics(registry);
+            for queue in &port.queues {
+                queue.stats().export_metrics(registry);
+            }
+        }
     }
 
     /// Fold per-port byte windows into the utilization EWMAs. The owner
@@ -247,35 +404,80 @@ impl Asic {
         self.regs.packets_processed += 1;
 
         // --- Header parser (Fig. 3) ---
+        let frame_len = frame.len() as u32;
         let parsed = match Frame::new_checked(&frame[..]) {
             Ok(f) => f,
             Err(_) => {
+                if self.trace.is_some() {
+                    self.emit(TraceEventKind::Parse {
+                        in_port,
+                        len: frame_len,
+                        is_tpp: false,
+                        ok: false,
+                    });
+                    self.emit(TraceEventKind::Drop {
+                        reason: DropKind::ParseError,
+                        port: None,
+                    });
+                }
                 return Outcome::Dropped {
                     reason: DropReason::ParseError,
-                }
+                };
             }
         };
         let is_tpp = parsed.is_tpp();
+        if self.trace.is_some() {
+            self.emit(TraceEventKind::Parse {
+                in_port,
+                len: frame_len,
+                is_tpp,
+                ok: true,
+            });
+        }
 
         // --- §4 edge security filter on ingress ---
         let frame = if is_tpp {
             match self.ports[in_port as usize].config.ingress_tpp_filter {
                 Some(StripAction::Drop) => {
+                    if self.trace.is_some() {
+                        self.emit(TraceEventKind::EdgeFilter {
+                            in_port,
+                            action: "drop",
+                        });
+                        self.emit(TraceEventKind::Drop {
+                            reason: DropKind::EdgeFiltered,
+                            port: None,
+                        });
+                    }
                     return Outcome::Dropped {
                         reason: DropReason::EdgeFiltered,
-                    }
+                    };
                 }
-                Some(StripAction::Unwrap) => match strip_tpp(&frame) {
-                    Some(stripped) => {
-                        // The stripped frame is an ordinary packet now.
-                        return self.forward_plain(stripped, in_port, now_ns);
+                Some(StripAction::Unwrap) => {
+                    if self.trace.is_some() {
+                        self.emit(TraceEventKind::EdgeFilter {
+                            in_port,
+                            action: "unwrap",
+                        });
                     }
-                    None => {
-                        return Outcome::Dropped {
-                            reason: DropReason::EdgeFiltered,
+                    match strip_tpp(&frame) {
+                        Some(stripped) => {
+                            // The stripped frame is an ordinary packet now.
+                            return self.forward_plain(stripped, in_port, now_ns);
+                        }
+                        None => {
+                            if self.trace.is_some() {
+                                self.emit(TraceEventKind::Drop {
+                                    reason: DropKind::EdgeFiltered,
+                                    port: None,
+                                });
+                            }
+                            return Outcome::Dropped {
+                                reason: DropReason::EdgeFiltered,
+                            };
                         }
                     }
-                },
+                }
                 None => frame,
             }
         } else {
@@ -295,10 +497,21 @@ impl Asic {
         // TCAM first (highest precedence, SDN-style), then L3 for IPv4,
         // then L2 exact match.
         if let Some(entry) = self.tcam.lookup(key) {
+            // Copy the matched fields out before emitting: `emit` needs
+            // `&mut self` while `entry` borrows the TCAM.
+            let (action, entry_id, entry_version) = (entry.action, entry.id, entry.version);
             self.regs.tcam_hits += 1;
-            return match entry.action {
+            return match action {
                 FlowAction::Forward(port) => {
-                    Ok((port, 0, entry.id, entry.version, self.route_diversity(key)))
+                    if self.trace.is_some() {
+                        self.emit(TraceEventKind::Lookup {
+                            table: LookupKind::Tcam,
+                            out_port: port,
+                            queue: 0,
+                            entry_id,
+                        });
+                    }
+                    Ok((port, 0, entry_id, entry_version, self.route_diversity(key)))
                 }
                 FlowAction::ForwardQueue(port, queue) => {
                     let n_queues = self
@@ -309,26 +522,53 @@ impl Asic {
                     // An action naming a queue the port does not have
                     // degrades to the lowest-priority queue.
                     let queue = (queue as usize).min(n_queues.saturating_sub(1)) as QueueId;
+                    if self.trace.is_some() {
+                        self.emit(TraceEventKind::Lookup {
+                            table: LookupKind::Tcam,
+                            out_port: port,
+                            queue,
+                            entry_id,
+                        });
+                    }
                     Ok((
                         port,
                         queue,
-                        entry.id,
-                        entry.version,
+                        entry_id,
+                        entry_version,
                         self.route_diversity(key),
                     ))
                 }
-                FlowAction::Drop => Err(DropReason::FlowDrop { entry_id: entry.id }),
+                FlowAction::Drop => Err(DropReason::FlowDrop { entry_id }),
             };
         }
         if let Some(ip) = key.ipv4_dst {
             if let Some(port) = self.l3.lookup(ip) {
                 self.regs.l3_hits += 1;
+                if self.trace.is_some() {
+                    self.emit(TraceEventKind::Lookup {
+                        table: LookupKind::L3,
+                        out_port: port,
+                        queue: 0,
+                        entry_id: 0,
+                    });
+                }
                 return Ok((port, 0, 0, 0, self.route_diversity(key)));
             }
         }
         if let Some(port) = self.l2.lookup(key.dst_mac) {
             self.regs.l2_hits += 1;
+            if self.trace.is_some() {
+                self.emit(TraceEventKind::Lookup {
+                    table: LookupKind::L2,
+                    out_port: port,
+                    queue: 0,
+                    entry_id: 0,
+                });
+            }
             return Ok((port, 0, 0, 0, self.route_diversity(key)));
+        }
+        if self.trace.is_some() {
+            self.emit(TraceEventKind::LookupMiss);
         }
         Err(DropReason::NoRoute)
     }
@@ -353,31 +593,34 @@ impl Asic {
     fn forward_plain(&mut self, frame: Vec<u8>, in_port: PortId, _now_ns: u64) -> Outcome {
         let key = match flow_key(&frame, in_port) {
             Some(k) => k,
-            None => {
-                return Outcome::Dropped {
-                    reason: DropReason::ParseError,
-                }
-            }
+            None => return self.drop_frame(DropReason::ParseError),
         };
         let (out_port, queue_id, _, _, _) = match self.lookup(&key) {
             Ok(ok) => ok,
-            Err(reason) => return Outcome::Dropped { reason },
+            Err(reason) => return self.drop_frame(reason),
         };
         self.enqueue(frame, out_port, queue_id, None)
+    }
+
+    /// Record a drop in the trace and build the outcome.
+    fn drop_frame(&mut self, reason: DropReason) -> Outcome {
+        if self.trace.is_some() {
+            self.emit(TraceEventKind::Drop {
+                reason: reason.kind(),
+                port: reason.port(),
+            });
+        }
+        Outcome::Dropped { reason }
     }
 
     fn forward_tpp(&mut self, mut frame: Vec<u8>, in_port: PortId, now_ns: u64) -> Outcome {
         let key = match flow_key(&frame, in_port) {
             Some(k) => k,
-            None => {
-                return Outcome::Dropped {
-                    reason: DropReason::ParseError,
-                }
-            }
+            None => return self.drop_frame(DropReason::ParseError),
         };
         let (out_port, queue_id, entry_id, entry_version, alternates) = match self.lookup(&key) {
             Ok(ok) => ok,
-            Err(reason) => return Outcome::Dropped { reason },
+            Err(reason) => return self.drop_frame(reason),
         };
         let meta = PacketMeta {
             input_port: in_port,
@@ -419,6 +662,23 @@ impl Asic {
                     };
                     let report = self.tcpu.execute(&mut tpp, &mut mmu);
                     self.regs.tpps_executed += 1;
+                    if self.trace.is_some() {
+                        let outcome = match report.halt {
+                            None => TcpuOutcome::Completed,
+                            Some(h) => TcpuOutcome::Halted(h.name()),
+                        };
+                        let hop = tpp.hop();
+                        let budget = self.tcpu.cycle_budget();
+                        self.emit(TraceEventKind::TcpuExec {
+                            out_port,
+                            instructions: report.instructions_executed,
+                            cycles: report.cycles,
+                            budget,
+                            outcome,
+                            hop,
+                            wrote_switch: report.wrote_switch,
+                        });
+                    }
                     Some(report)
                 }
                 // A malformed TPP section is forwarded untouched: the
@@ -441,21 +701,26 @@ impl Asic {
         exec: Option<ExecReport>,
     ) -> Outcome {
         let len = frame.len() as u64;
+        let traced = self.trace.is_some();
         let port = &mut self.ports[out_port as usize];
+        // Occupancy *before* this frame — the value ECN compares against
+        // and the value a TPP's `PUSH [Queue:QueueSize]` read this walk.
+        let depth_before = port.queues[queue_id as usize].len_bytes();
+        let mut ecn_marked = false;
         // ECN: "a router stamps a bit ... whenever the egress queue
         // occupancy exceeds a configurable threshold" (§4). Marking is
         // supported on TPP-format frames (the reproduction's marked
         // header); occupancy is measured at enqueue, DCTCP-style.
         if let Some(threshold) = port.config.ecn_threshold_bytes {
-            let occupancy = port.queues[queue_id as usize].len_bytes();
             let is_tpp = Frame::new_checked(&frame[..])
                 .map(|f| f.is_tpp())
                 .unwrap_or(false);
-            if occupancy >= threshold as u64 && is_tpp {
+            if depth_before >= threshold as u64 && is_tpp {
                 if let Ok(mut tpp) = TppPacket::new_checked(&mut frame[ETHERNET_HEADER_LEN..]) {
                     let flags = tpp.flags();
                     tpp.set_flags(flags | tpp_wire::tpp::FLAG_ECN);
                     port.stats.ecn_marked += 1;
+                    ecn_marked = true;
                 }
             }
         }
@@ -463,15 +728,35 @@ impl Asic {
         port.stats.rx_bytes += len;
         port.stats.rx_packets += 1;
         port.stats.rx_window_bytes += len;
-        if port.queues[queue_id as usize].enqueue(frame) {
+        let accepted = port.queues[queue_id as usize].enqueue(frame);
+        if accepted {
             port.stats.bytes_enqueued += len;
+        } else {
+            port.stats.bytes_dropped += len;
+        }
+        if traced {
+            if accepted {
+                self.emit(TraceEventKind::Enqueue {
+                    port: out_port,
+                    queue: queue_id,
+                    depth_bytes: depth_before,
+                    len: len as u32,
+                    ecn_marked,
+                });
+            } else {
+                self.emit(TraceEventKind::Drop {
+                    reason: DropKind::QueueFull,
+                    port: Some(out_port),
+                });
+            }
+        }
+        if accepted {
             Outcome::Enqueued {
                 port: out_port,
                 queue: queue_id,
                 exec,
             }
         } else {
-            port.stats.bytes_dropped += len;
             Outcome::Dropped {
                 reason: DropReason::QueueFull { port: out_port },
             }
@@ -480,18 +765,29 @@ impl Asic {
 
     /// Transmit the next frame of a port (the scheduler): queues are
     /// served in strict priority order, queue 0 first.
-    pub fn dequeue(&mut self, port: PortId) -> Option<Vec<u8>> {
-        let port = &mut self.ports[port as usize];
-        for queue in &mut port.queues {
+    pub fn dequeue(&mut self, port_id: PortId) -> Option<Vec<u8>> {
+        let port = &mut self.ports[port_id as usize];
+        let mut served: Option<(QueueId, Vec<u8>, u64)> = None;
+        for (queue_id, queue) in port.queues.iter_mut().enumerate() {
             if let Some(frame) = queue.dequeue() {
                 let len = frame.len() as u64;
                 port.stats.tx_bytes += len;
                 port.stats.tx_packets += 1;
                 port.stats.tx_window_bytes += len;
-                return Some(frame);
+                served = Some((queue_id as QueueId, frame, queue.len_bytes()));
+                break;
             }
         }
-        None
+        let (queue, frame, depth_after) = served?;
+        if self.trace.is_some() {
+            self.emit(TraceEventKind::Dequeue {
+                port: port_id,
+                queue,
+                len: frame.len() as u32,
+                depth_bytes: depth_after,
+            });
+        }
+        Some(frame)
     }
 
     /// True if the port has nothing queued.
@@ -1026,6 +1322,65 @@ mod tests {
         let parsed = Frame::new_checked(&sent[..]).unwrap();
         let tpp = TppPacket::new_checked(parsed.payload()).unwrap();
         assert_eq!(tpp.stack_words(), vec![257]);
+    }
+
+    #[test]
+    fn trace_records_full_pipeline_walk() {
+        use tpp_telemetry::SharedSink;
+
+        let shared = SharedSink::new(64);
+        let mut asic = asic();
+        asic.set_trace_sink(Some(Box::new(shared.clone())));
+        assert!(asic.is_traced());
+        let frame = tpp_frame("PUSH [Switch:SwitchID]", 2);
+        assert!(asic.handle_frame(frame, 0, 7_000).is_enqueued());
+        asic.dequeue(1).unwrap();
+        let events = shared.events();
+        let names: Vec<&str> = events.iter().map(|e| e.kind.name()).collect();
+        assert_eq!(
+            names,
+            vec!["parse", "lookup_hit", "tcpu_exec", "enqueue", "dequeue"]
+        );
+        // All per-arrival events share the packet's sequence number.
+        assert!(events[..4].iter().all(|e| e.seq == 1 && e.t_ns == 7_000));
+        match &events[3].kind {
+            TraceEventKind::Enqueue {
+                port,
+                queue,
+                depth_bytes,
+                ..
+            } => {
+                assert_eq!((*port, *queue, *depth_bytes), (1, 0, 0));
+            }
+            other => panic!("expected enqueue, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_records_drops() {
+        use tpp_telemetry::SharedSink;
+
+        let shared = SharedSink::new(64);
+        let mut asic = asic();
+        asic.set_trace_sink(Some(Box::new(shared.clone())));
+        // Unknown destination: parse ok, lookup miss, drop(no_route).
+        let frame = build_frame(
+            EthernetAddress::from_host_id(77),
+            EthernetAddress::from_host_id(1),
+            EtherType(0x0800),
+            &[],
+        );
+        assert!(asic.handle_frame(frame, 0, 0).is_drop());
+        let events = shared.events();
+        let names: Vec<&str> = events.iter().map(|e| e.kind.name()).collect();
+        assert_eq!(names, vec!["parse", "lookup_miss", "drop"]);
+        match events[2].kind {
+            TraceEventKind::Drop { reason, port } => {
+                assert_eq!(reason, DropKind::NoRoute);
+                assert_eq!(port, None);
+            }
+            ref other => panic!("expected drop, got {other:?}"),
+        }
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub mod asic;
 pub mod config;
 pub mod memmap;
 pub mod queue;
+pub mod sram;
 pub mod stats;
 pub mod tables;
 pub mod tcpu;
@@ -48,6 +49,7 @@ pub use asic::{Asic, DropReason, Outcome, PacketMeta, PortId, QueueId};
 pub use config::{AsicConfig, PortConfig, StripAction};
 pub use memmap::{Mmu, MmuFault};
 pub use queue::DropTailQueue;
+pub use sram::{SramError, SramView, SramViewMut};
 pub use stats::{PortStats, QueueStats, SwitchRegs};
 pub use tables::{FlowAction, FlowEntry, FlowKey, FlowMatch, L2Table, LpmTable, Tcam};
 pub use tcpu::{ExecReport, HaltReason, Tcpu};

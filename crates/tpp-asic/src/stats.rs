@@ -43,6 +43,19 @@ impl SwitchRegs {
             wall_clock_ns: 0,
         }
     }
+
+    /// Export the registers into a [`tpp_telemetry::MetricsRegistry`]
+    /// under stable `switch.*` names. Counters are exported with `add`,
+    /// so exporting several switches into one registry sums them —
+    /// which is the fleet-wide view the simulator publishes on every
+    /// stats tick.
+    pub fn export_metrics(&self, registry: &mut tpp_telemetry::MetricsRegistry) {
+        registry.add("switch.packets_processed", self.packets_processed);
+        registry.add("switch.tpps_executed", self.tpps_executed);
+        registry.add("switch.l2_hits", self.l2_hits);
+        registry.add("switch.l3_hits", self.l3_hits);
+        registry.add("switch.tcam_hits", self.tcam_hits);
+    }
 }
 
 /// Per-port (link) registers.
@@ -91,6 +104,29 @@ pub struct PortStats {
 }
 
 impl PortStats {
+    /// Export the port counters into a [`tpp_telemetry::MetricsRegistry`]
+    /// under stable `port.*` names (summed across ports and switches;
+    /// see [`SwitchRegs::export_metrics`]). Utilization EWMAs are
+    /// observed as histogram samples so the aggregate view keeps the
+    /// distribution, not just a meaningless sum.
+    pub fn export_metrics(&self, registry: &mut tpp_telemetry::MetricsRegistry) {
+        registry.add("port.rx_bytes", self.rx_bytes);
+        registry.add("port.rx_packets", self.rx_packets);
+        registry.add("port.tx_bytes", self.tx_bytes);
+        registry.add("port.tx_packets", self.tx_packets);
+        registry.add("port.bytes_dropped", self.bytes_dropped);
+        registry.add("port.bytes_enqueued", self.bytes_enqueued);
+        registry.add("port.ecn_marked", self.ecn_marked);
+        registry.observe(
+            "port.rx_utilization_permille",
+            self.rx_utilization_permille as u64,
+        );
+        registry.observe(
+            "port.tx_utilization_permille",
+            self.tx_utilization_permille as u64,
+        );
+    }
+
     /// Fold the bytes seen since the last tick into the utilization EWMAs.
     ///
     /// Called periodically by the ASIC owner (the simulator); `alpha` is
@@ -140,6 +176,22 @@ pub struct QueueStats {
     pub packets_dropped: u64,
     /// `Queue:HighWatermark` — maximum occupancy ever observed, bytes.
     pub high_watermark_bytes: u64,
+}
+
+impl QueueStats {
+    /// Export the queue counters into a [`tpp_telemetry::MetricsRegistry`]
+    /// under stable `queue.*` names. Occupancy and high-watermark go in
+    /// as histogram samples (one per queue per export), so the
+    /// cross-switch aggregate exposes the *distribution* of queue state
+    /// — the quantity the paper's microburst use case cares about.
+    pub fn export_metrics(&self, registry: &mut tpp_telemetry::MetricsRegistry) {
+        registry.add("queue.bytes_enqueued", self.bytes_enqueued);
+        registry.add("queue.bytes_dropped", self.bytes_dropped);
+        registry.add("queue.packets_enqueued", self.packets_enqueued);
+        registry.add("queue.packets_dropped", self.packets_dropped);
+        registry.observe("queue.depth_bytes", self.queue_size_bytes);
+        registry.observe("queue.high_watermark_bytes", self.high_watermark_bytes);
+    }
 }
 
 #[cfg(test)]

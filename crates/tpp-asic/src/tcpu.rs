@@ -61,6 +61,19 @@ pub enum HaltReason {
     },
 }
 
+impl HaltReason {
+    /// A stable short label for trace events and log lines.
+    pub fn name(&self) -> &'static str {
+        match self {
+            HaltReason::CexecFailed { .. } => "cexec_failed",
+            HaltReason::Mmu { .. } => "mmu_fault",
+            HaltReason::PacketMemory { .. } => "packet_memory",
+            HaltReason::BadInstruction { .. } => "bad_instruction",
+            HaltReason::BudgetExceeded { .. } => "budget_exceeded",
+        }
+    }
+}
+
 /// The outcome of executing one TPP at one switch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExecReport {

@@ -36,7 +36,11 @@ fn run(n_hosts: usize, mode: CounterWriteMode) -> (u32, u32, u64, u64) {
         apps,
     );
     sim.run_until(time::secs(60));
-    let value = sim.switch(bell.left).global_sram_word(COUNTER_WORD);
+    let value = sim
+        .switch(bell.left)
+        .global_sram()
+        .word(COUNTER_WORD)
+        .unwrap();
     let expected = n_hosts as u32 * GOAL;
     let mut conflicts = 0;
     let mut round_trips = 0;

@@ -3,8 +3,10 @@
 //! and the queue-size snapshots landing in packet memory.
 
 use tpp_asic::{Asic, AsicConfig, Outcome};
+use tpp_bench::{trace_arg, write_trace};
 use tpp_host::DATA_ETHERTYPE;
 use tpp_isa::assemble;
+use tpp_telemetry::SharedSink;
 use tpp_wire::ethernet::{build_frame, EtherType, Frame};
 use tpp_wire::tpp::{AddressingMode, TppBuilder, TppPacket};
 use tpp_wire::EthernetAddress;
@@ -25,6 +27,8 @@ fn show(tag: &str, frame: &[u8]) {
 }
 
 fn main() {
+    let trace_to = trace_arg();
+    let sink = SharedSink::new(4096);
     println!("Figure 1: a TPP querying the network for queue sizes\n");
     println!("program: PUSH [Queue:QueueSize]\n");
 
@@ -42,6 +46,9 @@ fn main() {
     // port, matching the figure's 0x00 / 0xa0 / 0x0e annotations.
     for (i, backlog) in [(1u32, 0x00usize), (2, 0xa0), (3, 0x0e)] {
         let mut asic = Asic::new(AsicConfig::with_ports(i, 2));
+        if trace_to.is_some() {
+            asic.set_trace_sink(Some(Box::new(sink.clone())));
+        }
         asic.l2_mut().insert(dst, 1);
         // Pre-fill the egress queue with `backlog` bytes.
         if backlog > 0 {
@@ -64,4 +71,8 @@ fn main() {
     println!("\nThe packet memory was preallocated by the end-host and the");
     println!("TPP never grew or shrank inside the network; each switch");
     println!("recorded its egress queue depth the instant the packet passed.");
+
+    if let Some(path) = trace_to {
+        write_trace(&path, &sink.events());
+    }
 }

@@ -7,7 +7,7 @@
 //! bursts; "today's monitoring mechanisms" at 10s-of-seconds scale see none.
 
 use tpp_apps::{detect_bursts, MicroburstMonitor};
-use tpp_bench::print_table;
+use tpp_bench::{print_table, trace_arg, write_trace};
 use tpp_host::{EchoReceiver, DATA_ETHERTYPE};
 use tpp_netsim::{dumbbell, time, DumbbellParams, HostApp, HostCtx};
 use tpp_wire::ethernet::build_frame;
@@ -78,6 +78,10 @@ fn main() {
         },
         apps,
     );
+    // With `--trace`, capture the most recent pipeline events fleet-wide
+    // (bounded ring: this run processes hundreds of thousands of frames).
+    let trace_to = trace_arg();
+    let sink = trace_to.as_ref().map(|_| sim.trace_all(65_536));
 
     // Ground truth + pollers at several rates, all sampled in one pass.
     let poll_intervals_ns: Vec<(String, u64)> = vec![
@@ -156,4 +160,11 @@ fn main() {
         monitor.probes_sent * 54,
         monitor.probes_sent as f64 * 54.0 * 8.0 / (100e6 * RUN_MS as f64 / 1e3) * 100.0
     );
+
+    if let (Some(path), Some(sink)) = (trace_to, sink) {
+        if sink.shed() > 0 {
+            println!("(ring buffer shed {} older events)", sink.shed());
+        }
+        write_trace(&path, &sink.events());
+    }
 }

@@ -8,7 +8,7 @@
 
 use tpp_apps::ndb::{missing_ids, NdbProbeSender, PathPolicy, TraceCollector, Violation};
 use tpp_asic::{FlowAction, FlowMatch};
-use tpp_bench::print_table;
+use tpp_bench::{print_table, trace_arg, write_trace};
 use tpp_control::NetworkController;
 use tpp_netsim::{linear_chain, time, LinearChainParams};
 use tpp_wire::EthernetAddress;
@@ -127,7 +127,10 @@ fn main() {
     }
     print_table(&["fault", "injected at", "detected", "localized"], &rows);
 
-    // Sanity row: no fault -> no violations.
+    // Sanity row: no fault -> no violations. With `--trace`, this run is
+    // the one captured: every switch's pipeline events of the healthy
+    // probe traffic, fleet-wide in one stream.
+    let trace_to = trace_arg();
     let mut controller = NetworkController::new();
     let dst = EthernetAddress::from_host_id(1);
     let (mut sim, chain) = linear_chain(
@@ -156,6 +159,7 @@ fn main() {
             FlowAction::Forward(1),
         );
     }
+    let sink = trace_to.as_ref().map(|_| sim.trace_all(65_536));
     sim.run_until(time::millis(20));
     let policy = PathPolicy {
         expected_path: (1..=N_SWITCHES as u32).collect(),
@@ -167,4 +171,8 @@ fn main() {
         "\nhealthy-network false positives: {false_positives} (over {} traces)",
         traces.len()
     );
+
+    if let (Some(path), Some(sink)) = (trace_to, sink) {
+        write_trace(&path, &sink.events());
+    }
 }

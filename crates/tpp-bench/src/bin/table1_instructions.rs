@@ -15,7 +15,7 @@ fn run(src: &str, init: &[u32]) -> (Vec<u32>, u32, bool) {
     let dst = EthernetAddress::from_host_id(1);
     let mut asic = Asic::new(AsicConfig::with_ports(0xb0b, 2));
     asic.l2_mut().insert(dst, 1);
-    asic.set_global_sram_word(0, 7); // a pre-existing switch value
+    asic.global_sram_mut().set_word(0, 7).unwrap(); // a pre-existing switch value
     let program = assemble(src).unwrap();
     let payload = TppBuilder::new(AddressingMode::Stack)
         .instructions(&program.encode_words().unwrap())
@@ -41,7 +41,7 @@ fn run(src: &str, init: &[u32]) -> (Vec<u32>, u32, bool) {
     let tpp = TppPacket::new_checked(parsed.payload()).unwrap();
     (
         tpp.memory_words(),
-        asic.global_sram_word(0),
+        asic.global_sram().word(0).unwrap(),
         report.completed(),
     )
 }

@@ -15,7 +15,9 @@ fn main() {
     let src = EthernetAddress::from_host_id(0);
     let mut asic = Asic::new(AsicConfig::with_ports(0x42, 2));
     asic.l2_mut().insert(dst, 1);
-    asic.set_link_sram_word(1, 0, 10_000);
+    asic.link_sram_mut(1)
+        .and_then(|mut sram| sram.set_word(0, 10_000))
+        .unwrap();
     let filler = build_frame(dst, src, EtherType(0x0802), &[0u8; 100]);
     asic.handle_frame(filler, 0, 0);
 

@@ -49,6 +49,46 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
     }
 }
 
+/// Parse a `--trace <path>` (or `--trace=<path>`) flag from the process
+/// arguments. Reproduction binaries use it to opt into writing their
+/// pipeline trace as JSON lines; absent the flag, tracing stays off and
+/// the run is byte-identical to before the flag existed.
+pub fn trace_arg() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--trace" {
+            match args.next() {
+                Some(path) => return Some(path.into()),
+                None => {
+                    eprintln!("--trace requires a file path");
+                    std::process::exit(2);
+                }
+            }
+        } else if let Some(path) = arg.strip_prefix("--trace=") {
+            return Some(path.into());
+        }
+    }
+    None
+}
+
+/// Write trace events to `path` as JSON lines, reporting how many.
+pub fn write_trace(path: &std::path::Path, events: &[tpp_telemetry::TraceEvent]) {
+    let file = std::fs::File::create(path).unwrap_or_else(|e| {
+        eprintln!("cannot create {}: {e}", path.display());
+        std::process::exit(2);
+    });
+    let mut out = std::io::BufWriter::new(file);
+    tpp_telemetry::write_jsonl(&mut out, events).unwrap_or_else(|e| {
+        eprintln!("cannot write {}: {e}", path.display());
+        std::process::exit(2);
+    });
+    println!(
+        "\nwrote {} trace events to {}",
+        events.len(),
+        path.display()
+    );
+}
+
 /// Mean of an f64 iterator; NaN when empty.
 pub fn mean(values: impl Iterator<Item = f64>) -> f64 {
     let v: Vec<f64> = values.collect();

@@ -10,6 +10,7 @@ use crate::event::{EventKind, EventQueue, NodeRef};
 use crate::node::{HostAction, HostApp, HostCtx, HostId, SwitchId};
 use crate::time::tx_time_ns;
 use tpp_asic::{Asic, AsicConfig, Outcome, PortId};
+use tpp_telemetry::{MetricsRegistry, SharedSink};
 use tpp_wire::ethernet::Frame;
 use tpp_wire::tpp::TppPacket;
 use tpp_wire::EthernetAddress;
@@ -182,6 +183,7 @@ impl NetworkBuilder {
             rng: StdRng::seed_from_u64(0x7199_7199),
             link_losses: HashMap::new(),
             taps: HashMap::new(),
+            metrics: MetricsRegistry::new(),
         }
     }
 }
@@ -276,6 +278,8 @@ pub struct Simulator {
     rng: StdRng,
     link_losses: HashMap<(NodeRef, PortId), u64>,
     taps: HashMap<(NodeRef, PortId), Vec<TapRecord>>,
+    /// Fleet-wide metrics, rebuilt from every switch on each stats tick.
+    metrics: MetricsRegistry,
 }
 
 impl Simulator {
@@ -385,6 +389,41 @@ impl Simulator {
                 records.push(record);
             }
         }
+    }
+
+    /// Attach one shared trace sink (a ring buffer of `capacity` events)
+    /// to every switch, so the whole fleet's pipeline events interleave
+    /// in one stream ordered by emission. Returns a handle to read the
+    /// events back; call again to replace the fleet's sink.
+    pub fn trace_all(&mut self, capacity: usize) -> SharedSink {
+        let sink = SharedSink::new(capacity);
+        for sw in &mut self.switches {
+            sw.asic.set_trace_sink(Some(Box::new(sink.clone())));
+        }
+        sink
+    }
+
+    /// Attach a shared trace sink to one switch only.
+    pub fn trace_switch(&mut self, id: SwitchId, capacity: usize) -> SharedSink {
+        let sink = SharedSink::new(capacity);
+        self.switches[id.0]
+            .asic
+            .set_trace_sink(Some(Box::new(sink.clone())));
+        sink
+    }
+
+    /// Detach every switch's trace sink.
+    pub fn trace_off(&mut self) {
+        for sw in &mut self.switches {
+            sw.asic.set_trace_sink(None);
+        }
+    }
+
+    /// The fleet-wide metrics registry, rebuilt from every switch's
+    /// registers on the most recent stats tick (counters summed across
+    /// switches, distributions merged). Empty before the first tick.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// Install L2 forwarding entries for every host at every switch along
@@ -503,6 +542,10 @@ impl Simulator {
                 let now = self.now_ns;
                 for sw in &mut self.switches {
                     sw.asic.tick(now);
+                }
+                self.metrics.clear();
+                for sw in &self.switches {
+                    sw.asic.export_metrics(&mut self.metrics);
                 }
                 self.events
                     .push(now + self.tick_interval_ns, EventKind::StatsTick);

@@ -94,9 +94,16 @@ impl NativeRcpRouter {
                 min_rate_bps: capacity_bps * 1e-3,
                 step_bound: 2.0,
             };
-            let prev_bps = asic.link_sram_word(pid, 0) as f64 * 1e3;
+            let prev_bps = asic
+                .link_sram(pid)
+                .and_then(|sram| sram.word(0))
+                .expect("RCP rate register (link SRAM word 0) unavailable")
+                as f64
+                * 1e3;
             let next = rcp_update(prev_bps, y_bps, q_bytes, &params);
-            asic.set_link_sram_word(pid, 0, (next / 1e3).round().max(1.0) as u32);
+            asic.link_sram_mut(pid)
+                .and_then(|mut sram| sram.set_word(0, (next / 1e3).round().max(1.0) as u32))
+                .expect("RCP rate register (link SRAM word 0) unavailable");
         }
     }
 }
@@ -114,7 +121,9 @@ mod tests {
         let mut asic = Asic::new(AsicConfig::with_ports(1, 2).capacity_kbps(10_000));
         // Initialize registers to capacity, as the control plane does.
         for p in 0..2 {
-            asic.set_link_sram_word(p, 0, 10_000);
+            asic.link_sram_mut(p)
+                .and_then(|mut sram| sram.set_word(0, 10_000))
+                .unwrap();
         }
         let mut router = NativeRcpRouter::paper_defaults(2, 0.05, 0.01);
         router.step(&mut asic, 0); // initialization pass
@@ -132,14 +141,14 @@ mod tests {
             asic.handle_frame(frame, 0, i * 400_000);
         }
         router.step(&mut asic, 10_000_000);
-        let reg = asic.link_sram_word(1, 0);
+        let reg = asic.link_sram(1).and_then(|s| s.word(0)).unwrap();
         assert!(
             reg < 10_000,
             "overloaded port must advertise below C: {reg}"
         );
         // The idle port decays toward... an idle port with no queue has
         // y=0 < C: rate grows (clamped at capacity).
-        assert_eq!(asic.link_sram_word(0, 0), 10_000);
+        assert_eq!(asic.link_sram(0).and_then(|s| s.word(0)).unwrap(), 10_000);
     }
 
     #[test]

@@ -1,0 +1,583 @@
+//! The trace event schema: one typed record per pipeline stage, plus
+//! JSON-lines and CSV serialization.
+//!
+//! The schema mirrors Figure 3's pipeline. A packet walking one switch
+//! produces, in order: `Parse` → (`EdgeFilter`)? → `Lookup` → (`TcpuExec`)?
+//! → `Enqueue` | `Drop`, and later a `Dequeue` when the scheduler
+//! transmits it. End-host decoders add `HostHopRecord` events for each
+//! hop of an echoed TPP, so network- and host-side telemetry share one
+//! stream (the way the paper's ndb consumes both).
+
+use std::io::{self, Write};
+
+/// A pipeline stage, used to label events and metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Stage {
+    /// Header parser.
+    Parse,
+    /// §4 ingress edge filter.
+    EdgeFilter,
+    /// L2 / L3 / TCAM forwarding lookup.
+    Lookup,
+    /// TCPU execution.
+    Tcpu,
+    /// Egress enqueue (MMU admission).
+    Enqueue,
+    /// Scheduler dequeue / transmit.
+    Dequeue,
+    /// End-host decode of an echoed TPP.
+    Host,
+}
+
+impl Stage {
+    /// Stable lowercase name used in serialized output and metric keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Parse => "parse",
+            Stage::EdgeFilter => "edge_filter",
+            Stage::Lookup => "lookup",
+            Stage::Tcpu => "tcpu",
+            Stage::Enqueue => "enqueue",
+            Stage::Dequeue => "dequeue",
+            Stage::Host => "host",
+        }
+    }
+}
+
+/// Which forwarding table produced the egress decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupKind {
+    /// TCAM flow entry (highest precedence).
+    Tcam,
+    /// L3 longest-prefix match.
+    L3,
+    /// L2 exact MAC match.
+    L2,
+}
+
+impl LookupKind {
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            LookupKind::Tcam => "tcam",
+            LookupKind::L3 => "l3",
+            LookupKind::L2 => "l2",
+        }
+    }
+}
+
+/// Why a frame was dropped — the telemetry mirror of the dataplane's
+/// `DropReason` (kept separate so this crate stays at the bottom of the
+/// dependency stack).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropKind {
+    /// No table produced an egress port.
+    NoRoute,
+    /// Drop-tail egress queue overflow.
+    QueueFull,
+    /// A TCAM entry's action was `Drop`.
+    FlowDrop,
+    /// The §4 edge policy dropped a TPP from an untrusted port.
+    EdgeFiltered,
+    /// The frame failed to parse.
+    ParseError,
+}
+
+impl DropKind {
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DropKind::NoRoute => "no_route",
+            DropKind::QueueFull => "queue_full",
+            DropKind::FlowDrop => "flow_drop",
+            DropKind::EdgeFiltered => "edge_filtered",
+            DropKind::ParseError => "parse_error",
+        }
+    }
+}
+
+/// How a TCPU execution ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TcpuOutcome {
+    /// The whole program ran.
+    Completed,
+    /// Execution stopped early; the code names the halt cause
+    /// (`cexec_failed`, `mmu_fault`, `packet_memory`, `bad_instruction`,
+    /// `budget_exceeded`).
+    Halted(&'static str),
+}
+
+impl TcpuOutcome {
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TcpuOutcome::Completed => "completed",
+            TcpuOutcome::Halted(code) => code,
+        }
+    }
+}
+
+/// One pipeline stage transition.
+///
+/// `seq` is the emitting switch's `packets_processed` counter at emit
+/// time, so all events of one packet's walk through one switch share a
+/// sequence number (`Dequeue` events carry the sequence current at
+/// transmit time instead — the scheduler does not know which arrival it
+/// is serving, exactly like real egress pipelines).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Emission time, ns (switch-local wall clock).
+    pub t_ns: u64,
+    /// `Switch:SwitchID` of the emitting switch (0 for host events).
+    pub switch_id: u32,
+    /// Packet sequence number at the emitting switch.
+    pub seq: u64,
+    /// What happened.
+    pub kind: TraceEventKind,
+}
+
+/// The per-stage payload of a [`TraceEvent`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// Header parser verdict.
+    Parse {
+        /// Ingress port.
+        in_port: u16,
+        /// Frame length in bytes.
+        len: u32,
+        /// The frame carries a TPP section.
+        is_tpp: bool,
+        /// The frame parsed as valid Ethernet.
+        ok: bool,
+    },
+    /// The §4 ingress edge filter acted on a TPP.
+    EdgeFilter {
+        /// Ingress port.
+        in_port: u16,
+        /// `"drop"` or `"unwrap"`.
+        action: &'static str,
+    },
+    /// A forwarding table produced an egress decision.
+    Lookup {
+        /// The winning table.
+        table: LookupKind,
+        /// Chosen egress port.
+        out_port: u16,
+        /// Chosen egress queue.
+        queue: u8,
+        /// Matched TCAM entry id (0 off the TCAM path).
+        entry_id: u32,
+    },
+    /// No table matched.
+    LookupMiss,
+    /// The TCPU ran a TPP (per-instruction cycle accounting from
+    /// `tpp-asic::tcpu`).
+    TcpuExec {
+        /// Egress port the TPP saw.
+        out_port: u16,
+        /// Instructions that completed.
+        instructions: u32,
+        /// Cycles consumed (pipeline latency + 1/instruction).
+        cycles: u32,
+        /// The configured per-packet cycle budget.
+        budget: u32,
+        /// How execution ended.
+        outcome: TcpuOutcome,
+        /// Hop counter after this execution.
+        hop: u8,
+        /// Whether any instruction wrote switch SRAM.
+        wrote_switch: bool,
+    },
+    /// A frame was admitted to an egress queue.
+    Enqueue {
+        /// Egress port.
+        port: u16,
+        /// Egress queue.
+        queue: u8,
+        /// Queue occupancy in bytes *before* this frame was added —
+        /// the value a TPP's `PUSH [Queue:QueueSize]` read this walk.
+        depth_bytes: u64,
+        /// Frame length.
+        len: u32,
+        /// The frame got an ECN mark at this enqueue.
+        ecn_marked: bool,
+    },
+    /// The pipeline dropped the frame.
+    Drop {
+        /// Why.
+        reason: DropKind,
+        /// Egress port, when the drop happened after a lookup.
+        port: Option<u16>,
+    },
+    /// The scheduler transmitted a frame.
+    Dequeue {
+        /// Egress port.
+        port: u16,
+        /// Queue served.
+        queue: u8,
+        /// Frame length.
+        len: u32,
+        /// Occupancy remaining in that queue after the dequeue.
+        depth_bytes: u64,
+    },
+    /// An end-host decoded one hop's record out of an echoed TPP.
+    HostHopRecord {
+        /// 0-based hop index along the path.
+        hop: u32,
+        /// The words the program recorded at that hop.
+        words: Vec<u32>,
+    },
+}
+
+impl TraceEventKind {
+    /// The pipeline stage this event belongs to.
+    pub fn stage(&self) -> Stage {
+        match self {
+            TraceEventKind::Parse { .. } => Stage::Parse,
+            TraceEventKind::EdgeFilter { .. } => Stage::EdgeFilter,
+            TraceEventKind::Lookup { .. } | TraceEventKind::LookupMiss => Stage::Lookup,
+            TraceEventKind::TcpuExec { .. } => Stage::Tcpu,
+            TraceEventKind::Enqueue { .. } => Stage::Enqueue,
+            TraceEventKind::Drop { .. } => Stage::Enqueue,
+            TraceEventKind::Dequeue { .. } => Stage::Dequeue,
+            TraceEventKind::HostHopRecord { .. } => Stage::Host,
+        }
+    }
+
+    /// Stable event name used in serialized output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEventKind::Parse { .. } => "parse",
+            TraceEventKind::EdgeFilter { .. } => "edge_filter",
+            TraceEventKind::Lookup { .. } => "lookup_hit",
+            TraceEventKind::LookupMiss => "lookup_miss",
+            TraceEventKind::TcpuExec { .. } => "tcpu_exec",
+            TraceEventKind::Enqueue { .. } => "enqueue",
+            TraceEventKind::Drop { .. } => "drop",
+            TraceEventKind::Dequeue { .. } => "dequeue",
+            TraceEventKind::HostHopRecord { .. } => "host_hop",
+        }
+    }
+}
+
+impl TraceEvent {
+    /// Serialize as one JSON object (no trailing newline). The field set
+    /// varies by event kind; `event`, `t_ns`, `switch` and `seq` are
+    /// always present.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(128);
+        s.push_str(&format!(
+            "{{\"event\":\"{}\",\"stage\":\"{}\",\"t_ns\":{},\"switch\":{},\"seq\":{}",
+            self.kind.name(),
+            self.kind.stage().name(),
+            self.t_ns,
+            self.switch_id,
+            self.seq
+        ));
+        match &self.kind {
+            TraceEventKind::Parse {
+                in_port,
+                len,
+                is_tpp,
+                ok,
+            } => {
+                s.push_str(&format!(
+                    ",\"in_port\":{in_port},\"len\":{len},\"is_tpp\":{is_tpp},\"ok\":{ok}"
+                ));
+            }
+            TraceEventKind::EdgeFilter { in_port, action } => {
+                s.push_str(&format!(",\"in_port\":{in_port},\"action\":\"{action}\""));
+            }
+            TraceEventKind::Lookup {
+                table,
+                out_port,
+                queue,
+                entry_id,
+            } => {
+                s.push_str(&format!(
+                    ",\"table\":\"{}\",\"out_port\":{out_port},\"queue\":{queue},\"entry_id\":{entry_id}",
+                    table.name()
+                ));
+            }
+            TraceEventKind::LookupMiss => {}
+            TraceEventKind::TcpuExec {
+                out_port,
+                instructions,
+                cycles,
+                budget,
+                outcome,
+                hop,
+                wrote_switch,
+            } => {
+                s.push_str(&format!(
+                    ",\"out_port\":{out_port},\"instructions\":{instructions},\"cycles\":{cycles},\
+                     \"budget\":{budget},\"outcome\":\"{}\",\"hop\":{hop},\"wrote_switch\":{wrote_switch}",
+                    outcome.name()
+                ));
+            }
+            TraceEventKind::Enqueue {
+                port,
+                queue,
+                depth_bytes,
+                len,
+                ecn_marked,
+            } => {
+                s.push_str(&format!(
+                    ",\"port\":{port},\"queue\":{queue},\"depth_bytes\":{depth_bytes},\
+                     \"len\":{len},\"ecn_marked\":{ecn_marked}"
+                ));
+            }
+            TraceEventKind::Drop { reason, port } => {
+                s.push_str(&format!(",\"reason\":\"{}\"", reason.name()));
+                if let Some(p) = port {
+                    s.push_str(&format!(",\"port\":{p}"));
+                }
+            }
+            TraceEventKind::Dequeue {
+                port,
+                queue,
+                len,
+                depth_bytes,
+            } => {
+                s.push_str(&format!(
+                    ",\"port\":{port},\"queue\":{queue},\"len\":{len},\"depth_bytes\":{depth_bytes}"
+                ));
+            }
+            TraceEventKind::HostHopRecord { hop, words } => {
+                let joined: Vec<String> = words.iter().map(u32::to_string).collect();
+                s.push_str(&format!(",\"hop\":{hop},\"words\":[{}]", joined.join(",")));
+            }
+        }
+        s.push('}');
+        s
+    }
+
+    /// Serialize as one CSV row of the fixed column set written by
+    /// [`write_csv`]. Fields a kind does not define are left empty.
+    pub fn to_csv_row(&self) -> String {
+        // Columns: event,stage,t_ns,switch,seq,port,queue,len,depth_bytes,detail
+        let (port, queue, len, depth, detail): (
+            Option<u16>,
+            Option<u8>,
+            Option<u32>,
+            Option<u64>,
+            String,
+        ) = match &self.kind {
+            TraceEventKind::Parse {
+                in_port,
+                len,
+                is_tpp,
+                ok,
+            } => (
+                Some(*in_port),
+                None,
+                Some(*len),
+                None,
+                format!("is_tpp={is_tpp} ok={ok}"),
+            ),
+            TraceEventKind::EdgeFilter { in_port, action } => {
+                (Some(*in_port), None, None, None, (*action).to_string())
+            }
+            TraceEventKind::Lookup {
+                table,
+                out_port,
+                queue,
+                entry_id,
+            } => (
+                Some(*out_port),
+                Some(*queue),
+                None,
+                None,
+                format!("{} entry={entry_id}", table.name()),
+            ),
+            TraceEventKind::LookupMiss => (None, None, None, None, String::new()),
+            TraceEventKind::TcpuExec {
+                out_port,
+                instructions,
+                cycles,
+                budget,
+                outcome,
+                hop,
+                ..
+            } => (
+                Some(*out_port),
+                None,
+                None,
+                None,
+                format!(
+                    "insns={instructions} cycles={cycles}/{budget} {} hop={hop}",
+                    outcome.name()
+                ),
+            ),
+            TraceEventKind::Enqueue {
+                port,
+                queue,
+                depth_bytes,
+                len,
+                ecn_marked,
+            } => (
+                Some(*port),
+                Some(*queue),
+                Some(*len),
+                Some(*depth_bytes),
+                format!("ecn={ecn_marked}"),
+            ),
+            TraceEventKind::Drop { reason, port } => {
+                (*port, None, None, None, reason.name().to_string())
+            }
+            TraceEventKind::Dequeue {
+                port,
+                queue,
+                len,
+                depth_bytes,
+            } => (
+                Some(*port),
+                Some(*queue),
+                Some(*len),
+                Some(*depth_bytes),
+                String::new(),
+            ),
+            TraceEventKind::HostHopRecord { hop, words } => {
+                let joined: Vec<String> = words.iter().map(u32::to_string).collect();
+                (
+                    None,
+                    None,
+                    None,
+                    None,
+                    format!("hop={hop} words={}", joined.join("|")),
+                )
+            }
+        };
+        let opt = |x: Option<u64>| x.map(|v| v.to_string()).unwrap_or_default();
+        format!(
+            "{},{},{},{},{},{},{},{},{},{}",
+            self.kind.name(),
+            self.kind.stage().name(),
+            self.t_ns,
+            self.switch_id,
+            self.seq,
+            opt(port.map(u64::from)),
+            opt(queue.map(u64::from)),
+            opt(len.map(u64::from)),
+            opt(depth),
+            detail
+        )
+    }
+}
+
+/// Write events as JSON lines (one object per line).
+pub fn write_jsonl<'a, W: Write>(
+    out: &mut W,
+    events: impl IntoIterator<Item = &'a TraceEvent>,
+) -> io::Result<()> {
+    for ev in events {
+        writeln!(out, "{}", ev.to_json())?;
+    }
+    Ok(())
+}
+
+/// Write events as CSV with a header row.
+pub fn write_csv<'a, W: Write>(
+    out: &mut W,
+    events: impl IntoIterator<Item = &'a TraceEvent>,
+) -> io::Result<()> {
+    writeln!(
+        out,
+        "event,stage,t_ns,switch,seq,port,queue,len,depth_bytes,detail"
+    )?;
+    for ev in events {
+        writeln!(out, "{}", ev.to_csv_row())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: TraceEventKind) -> TraceEvent {
+        TraceEvent {
+            t_ns: 1000,
+            switch_id: 0xA1,
+            seq: 7,
+            kind,
+        }
+    }
+
+    #[test]
+    fn json_has_common_envelope() {
+        let e = ev(TraceEventKind::Enqueue {
+            port: 1,
+            queue: 0,
+            depth_bytes: 78,
+            len: 64,
+            ecn_marked: false,
+        });
+        let j = e.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        for needle in [
+            "\"event\":\"enqueue\"",
+            "\"stage\":\"enqueue\"",
+            "\"t_ns\":1000",
+            "\"switch\":161",
+            "\"seq\":7",
+            "\"depth_bytes\":78",
+            "\"ecn_marked\":false",
+        ] {
+            assert!(j.contains(needle), "{j} missing {needle}");
+        }
+    }
+
+    #[test]
+    fn json_tcpu_exec_carries_cycle_accounting() {
+        let e = ev(TraceEventKind::TcpuExec {
+            out_port: 2,
+            instructions: 5,
+            cycles: 9,
+            budget: 300,
+            outcome: TcpuOutcome::Completed,
+            hop: 1,
+            wrote_switch: false,
+        });
+        let j = e.to_json();
+        assert!(j.contains("\"cycles\":9"));
+        assert!(j.contains("\"budget\":300"));
+        assert!(j.contains("\"outcome\":\"completed\""));
+    }
+
+    #[test]
+    fn jsonl_and_csv_roundtrip_line_counts() {
+        let events = vec![
+            ev(TraceEventKind::LookupMiss),
+            ev(TraceEventKind::Drop {
+                reason: DropKind::NoRoute,
+                port: None,
+            }),
+            ev(TraceEventKind::HostHopRecord {
+                hop: 2,
+                words: vec![1, 2, 3],
+            }),
+        ];
+        let mut jsonl = Vec::new();
+        write_jsonl(&mut jsonl, &events).unwrap();
+        assert_eq!(String::from_utf8(jsonl).unwrap().lines().count(), 3);
+        let mut csv = Vec::new();
+        write_csv(&mut csv, &events).unwrap();
+        let csv = String::from_utf8(csv).unwrap();
+        assert_eq!(csv.lines().count(), 4, "header + 3 rows");
+        assert!(csv.lines().nth(3).unwrap().contains("words=1|2|3"));
+    }
+
+    #[test]
+    fn stage_assignment() {
+        assert_eq!(TraceEventKind::LookupMiss.stage(), Stage::Lookup);
+        assert_eq!(
+            TraceEventKind::Drop {
+                reason: DropKind::QueueFull,
+                port: Some(1)
+            }
+            .stage(),
+            Stage::Enqueue
+        );
+    }
+}

@@ -1,0 +1,282 @@
+//! Named counters and log₂-bucket histograms, aggregated across switches.
+//!
+//! `tpp-asic` exports its registers into a [`MetricsRegistry`] under
+//! stable dotted names (`switch.packets_processed`, `port.tx_bytes`,
+//! `queue.depth_bytes` …); `tpp-netsim::Simulator` rebuilds one registry
+//! over all switches on every stats tick, so the ad-hoc register structs
+//! stay the (fast, faithful) backing store and the registry is the
+//! uniform exported *view* — the shape a production system would scrape.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A power-of-two bucketed histogram of `u64` samples.
+///
+/// Bucket `i` counts samples in `[2^(i-1), 2^i)` (bucket 0 counts
+/// zeros and ones). 65 buckets cover the whole `u64` range; sum, count
+/// and max ride along so averages and tails survive aggregation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one sample.
+    pub fn observe(&mut self, value: u64) {
+        let bucket = (64 - value.leading_zeros()) as usize; // 0 for 0 and 1
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest sample seen.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of samples, 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest upper bound `2^i` such that at least `q` (0..=1) of the
+    /// samples fall below it — a coarse quantile for tail inspection.
+    pub fn quantile_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return if i >= 64 { u64::MAX } else { 1u64 << i };
+            }
+        }
+        u64::MAX
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A registry of named counters and histograms.
+///
+/// Names are dotted paths (`stage.metric`); aggregation across switches
+/// is a plain merge (counters add, histograms merge), which is correct
+/// because every exported value is a monotonic count or a sample stream.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `delta` to a counter, creating it at zero first if needed.
+    pub fn add(&mut self, name: &str, delta: u64) {
+        match self.counters.get_mut(name) {
+            Some(v) => *v += delta,
+            None => {
+                self.counters.insert(name.to_string(), delta);
+            }
+        }
+    }
+
+    /// Set a counter to an absolute value (for gauge-like registers).
+    pub fn set(&mut self, name: &str, value: u64) {
+        self.counters.insert(name.to_string(), value);
+    }
+
+    /// Read a counter (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Record a histogram sample.
+    pub fn observe(&mut self, name: &str, value: u64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .observe(value);
+    }
+
+    /// Read a histogram, if it exists.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Iterate counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterate histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Merge another registry into this one (counters add, histograms
+    /// merge).
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, value) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += value;
+        }
+        for (name, hist) in &other.histograms {
+            self.histograms.entry(name.clone()).or_default().merge(hist);
+        }
+    }
+
+    /// Reset everything to empty.
+    pub fn clear(&mut self) {
+        self.counters.clear();
+        self.histograms.clear();
+    }
+
+    /// An owned point-in-time copy, stamped with the capture time.
+    pub fn snapshot(&self, t_ns: u64) -> MetricsSnapshot {
+        MetricsSnapshot {
+            t_ns,
+            registry: self.clone(),
+        }
+    }
+
+    /// Render as one JSON object: `{"counters":{...},"histograms":{...}}`.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\"counters\":{");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\"{name}\":{value}");
+        }
+        s.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "\"{name}\":{{\"count\":{},\"sum\":{},\"max\":{},\"mean\":{:.3}}}",
+                h.count(),
+                h.sum(),
+                h.max(),
+                h.mean()
+            );
+        }
+        s.push_str("}}");
+        s
+    }
+}
+
+/// A point-in-time copy of a registry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Capture time, ns.
+    pub t_ns: u64,
+    /// The captured values.
+    pub registry: MetricsRegistry,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 2, 3, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1006);
+        assert_eq!(h.max(), 1000);
+        assert!((h.mean() - 201.2).abs() < 1e-9);
+        // 4 of 5 samples are <= 3 < 4: the 0.8 quantile bound is small.
+        assert!(h.quantile_bound(0.8) <= 4);
+        assert_eq!(h.quantile_bound(1.0), 1024, "1000 < 2^10");
+    }
+
+    #[test]
+    fn registry_counters_and_merge() {
+        let mut a = MetricsRegistry::new();
+        a.add("switch.packets_processed", 10);
+        a.add("switch.packets_processed", 5);
+        a.observe("queue.depth_bytes", 100);
+
+        let mut b = MetricsRegistry::new();
+        b.add("switch.packets_processed", 7);
+        b.add("switch.tpps_executed", 3);
+        b.observe("queue.depth_bytes", 300);
+
+        a.merge(&b);
+        assert_eq!(a.counter("switch.packets_processed"), 22);
+        assert_eq!(a.counter("switch.tpps_executed"), 3);
+        assert_eq!(a.counter("absent"), 0);
+        let h = a.histogram("queue.depth_bytes").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 400);
+    }
+
+    #[test]
+    fn snapshot_is_independent() {
+        let mut r = MetricsRegistry::new();
+        r.add("x", 1);
+        let snap = r.snapshot(500);
+        r.add("x", 1);
+        assert_eq!(snap.registry.counter("x"), 1);
+        assert_eq!(r.counter("x"), 2);
+        assert_eq!(snap.t_ns, 500);
+    }
+
+    #[test]
+    fn json_rendering() {
+        let mut r = MetricsRegistry::new();
+        r.add("a.b", 2);
+        r.observe("h", 8);
+        let j = r.to_json();
+        assert!(j.contains("\"a.b\":2"));
+        assert!(j.contains("\"count\":1"));
+        assert!(j.contains("\"sum\":8"));
+    }
+}

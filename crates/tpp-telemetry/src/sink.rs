@@ -1,0 +1,193 @@
+//! Trace sinks: where pipeline events go.
+//!
+//! The dataplane holds an `Option<Box<dyn TraceSink>>` and emits only
+//! when one is attached — the disabled path is a null check, which is
+//! what lets tracing live inside `handle_frame` without taxing the
+//! line-rate benchmarks.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use crate::event::TraceEvent;
+
+/// A consumer of [`TraceEvent`]s.
+///
+/// Implementations must be cheap: the dataplane calls [`record`] inline
+/// from `handle_frame`. Anything expensive (serialization, IO) belongs in
+/// an exporter run after the fact over a buffered sink.
+///
+/// [`record`]: TraceSink::record
+pub trait TraceSink {
+    /// Consume one event.
+    fn record(&mut self, event: TraceEvent);
+}
+
+/// A bounded ring buffer of the most recent events.
+///
+/// When full, the oldest event is shed and counted in
+/// [`RingBufferSink::shed`] — tracing must never grow without bound
+/// inside a long simulation.
+#[derive(Debug)]
+pub struct RingBufferSink {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    shed: u64,
+}
+
+impl RingBufferSink {
+    /// A ring buffer holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        RingBufferSink {
+            events: VecDeque::with_capacity(capacity.clamp(1, 4096)),
+            capacity: capacity.max(1),
+            shed: 0,
+        }
+    }
+
+    /// The buffered events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events shed because the buffer was full.
+    pub fn shed(&self) -> u64 {
+        self.shed
+    }
+
+    /// Drain all buffered events, oldest first.
+    pub fn drain(&mut self) -> Vec<TraceEvent> {
+        self.events.drain(..).collect()
+    }
+}
+
+impl TraceSink for RingBufferSink {
+    fn record(&mut self, event: TraceEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.shed += 1;
+        }
+        self.events.push_back(event);
+    }
+}
+
+/// An unbounded sink, for short unit-test runs where shedding would hide
+/// the assertion target.
+#[derive(Debug, Default)]
+pub struct VecSink {
+    /// The recorded events, oldest first.
+    pub events: Vec<TraceEvent>,
+}
+
+impl TraceSink for VecSink {
+    fn record(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+}
+
+/// A clonable handle over a shared [`RingBufferSink`], letting one
+/// buffer collect the event streams of many switches (and letting the
+/// caller keep a handle to read events back out after the dataplane has
+/// consumed the boxed sink).
+///
+/// The whole simulator is single-threaded by design, so this is
+/// `Rc<RefCell<…>>`, not a lock.
+#[derive(Debug, Clone)]
+pub struct SharedSink(Rc<RefCell<RingBufferSink>>);
+
+impl SharedSink {
+    /// A shared ring buffer of `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        SharedSink(Rc::new(RefCell::new(RingBufferSink::new(capacity))))
+    }
+
+    /// Snapshot the buffered events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.0.borrow().events().cloned().collect()
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.0.borrow().len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.0.borrow().is_empty()
+    }
+
+    /// Events shed because the buffer was full.
+    pub fn shed(&self) -> u64 {
+        self.0.borrow().shed()
+    }
+
+    /// Drain all buffered events, oldest first.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        self.0.borrow_mut().drain()
+    }
+}
+
+impl TraceSink for SharedSink {
+    fn record(&mut self, event: TraceEvent) {
+        self.0.borrow_mut().record(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEventKind;
+
+    fn ev(seq: u64) -> TraceEvent {
+        TraceEvent {
+            t_ns: seq,
+            switch_id: 1,
+            seq,
+            kind: TraceEventKind::LookupMiss,
+        }
+    }
+
+    #[test]
+    fn ring_buffer_sheds_oldest() {
+        let mut sink = RingBufferSink::new(3);
+        for i in 0..5 {
+            sink.record(ev(i));
+        }
+        assert_eq!(sink.len(), 3);
+        assert_eq!(sink.shed(), 2);
+        let seqs: Vec<u64> = sink.events().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4], "oldest shed first");
+    }
+
+    #[test]
+    fn shared_sink_fans_in() {
+        let shared = SharedSink::new(16);
+        let mut a: Box<dyn TraceSink> = Box::new(shared.clone());
+        let mut b: Box<dyn TraceSink> = Box::new(shared.clone());
+        a.record(ev(1));
+        b.record(ev(2));
+        a.record(ev(3));
+        assert_eq!(shared.len(), 3);
+        let seqs: Vec<u64> = shared.events().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![1, 2, 3], "arrival order preserved");
+    }
+
+    #[test]
+    fn drain_empties() {
+        let shared = SharedSink::new(4);
+        let mut s = shared.clone();
+        s.record(ev(9));
+        assert_eq!(shared.drain().len(), 1);
+        assert!(shared.is_empty());
+    }
+}

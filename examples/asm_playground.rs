@@ -14,11 +14,8 @@
 //!     "PUSH [Switch:SwitchID]" "PUSH [Queue:QueueSize]"
 //! ```
 
-use tpp::asic::{Asic, AsicConfig, Outcome};
-use tpp::isa::{assemble, disassemble, lint};
-use tpp::wire::ethernet::{build_frame, EtherType, Frame};
-use tpp::wire::tpp::{AddressingMode, TppBuilder, TppPacket};
-use tpp::wire::EthernetAddress;
+use tpp::isa::{disassemble, lint};
+use tpp::prelude::*;
 
 const DEMO: &str = "PUSH [Switch:SwitchID]\n\
                     PUSH [Queue:QueueSize]\n\
@@ -130,6 +127,6 @@ fn main() {
     }
     println!(
         "\nswitch scratch after execution: Scratch[0] = {}",
-        asic.global_sram_word(0)
+        asic.global_sram().word(0).unwrap()
     );
 }

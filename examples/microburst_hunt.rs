@@ -14,10 +14,7 @@
 //! Run with: `cargo run --release --example microburst_hunt`
 
 use tpp::apps::{detect_bursts, MicroburstMonitor};
-use tpp::host::DATA_ETHERTYPE;
-use tpp::netsim::{leaf_spine, time, HostApp, HostCtx, LeafSpineParams};
-use tpp::wire::ethernet::build_frame;
-use tpp::wire::EthernetAddress;
+use tpp::prelude::*;
 
 /// Burst `frames_per_burst` frames at `victim` every `interval_ns`.
 struct Burster {

@@ -16,10 +16,8 @@
 //! Run with: `cargo run --release --example ndb_debugging`
 
 use tpp::apps::ndb::{missing_ids, NdbProbeSender, PathPolicy, TraceCollector};
-use tpp::asic::{FlowAction, FlowMatch};
 use tpp::control::NetworkController;
-use tpp::netsim::{leaf_spine, linear_chain, time, HostApp, LeafSpineParams, LinearChainParams};
-use tpp::wire::EthernetAddress;
+use tpp::prelude::*;
 
 fn main() {
     let mut controller = NetworkController::new();

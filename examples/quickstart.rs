@@ -9,11 +9,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use tpp::host::{split_hops, ProbeBuilder};
-use tpp::isa::assemble;
-use tpp::netsim::{linear_chain, time, HostApp, HostCtx, LinearChainParams};
-use tpp::wire::tpp::TppPacket;
-use tpp::wire::{EthernetAddress, Frame};
+use tpp::prelude::*;
 
 /// Sends one telemetry probe at t = 0.
 struct Prober;

@@ -10,10 +10,8 @@
 //! Run with: `cargo run --release --example rcp_fairness`
 
 use tpp::apps::rcpstar::{init_rate_registers, RcpStarConfig, RcpStarSender};
-use tpp::host::EchoReceiver;
-use tpp::netsim::{dumbbell, time, DumbbellParams, HostApp};
+use tpp::prelude::*;
 use tpp::rcp_ref::{FlowSchedule, RcpFluidSim, RcpParams};
-use tpp::wire::EthernetAddress;
 
 const CAPACITY_BPS: f64 = 10e6;
 const DURATION_S: u64 = 30;

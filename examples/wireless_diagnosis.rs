@@ -24,11 +24,7 @@
 use std::collections::BTreeMap;
 
 use tpp::apps::wireless::{classify_loss, DiagnosisConfig, LinkHealthMonitor, LossCause};
-use tpp::asic::AsicConfig;
-use tpp::host::DATA_ETHERTYPE;
-use tpp::netsim::{time, Endpoint, HostApp, HostCtx, NetworkBuilder};
-use tpp::wire::ethernet::{build_frame, Frame};
-use tpp::wire::EthernetAddress;
+use tpp::prelude::*;
 
 const RUN_NS: u64 = time::secs(6);
 const PHASE_NS: u64 = time::secs(2);

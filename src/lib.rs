@@ -66,4 +66,33 @@ pub use tpp_host as host;
 pub use tpp_isa as isa;
 pub use tpp_netsim as netsim;
 pub use tpp_rcp_ref as rcp_ref;
+pub use tpp_telemetry as telemetry;
 pub use tpp_wire as wire;
+
+/// The commonly-used surface in one import: `use tpp::prelude::*;`.
+///
+/// Covers the quickstart path — assemble a program, mint a probe, wire a
+/// simulated network, run it, decode the echo — plus the telemetry layer
+/// (trace sinks, metrics). Anything deeper (individual tables, the MMU,
+/// RCP internals) stays behind the per-crate modules above.
+pub mod prelude {
+    pub use crate::asic::{
+        Asic, AsicConfig, DropReason, ExecReport, FlowAction, FlowEntry, FlowMatch, Outcome,
+        PortConfig, PortId, QueueId, SramError, StripAction,
+    };
+    pub use crate::host::{
+        decode_echo, split_hops, EchoReceiver, HopView, PathSample, ProbeBuilder, DATA_ETHERTYPE,
+    };
+    pub use crate::isa::{assemble, Program};
+    pub use crate::netsim::{
+        dumbbell, fat_tree, leaf_spine, linear_chain, time, Dumbbell, DumbbellParams, Endpoint,
+        FatTree, FatTreeParams, HostApp, HostCtx, HostId, LeafSpine, LeafSpineParams, LinearChain,
+        LinearChainParams, NetworkBuilder, Simulator, SwitchId,
+    };
+    pub use crate::telemetry::{
+        write_csv, write_jsonl, MetricsRegistry, SharedSink, TraceEvent, TraceEventKind, TraceSink,
+    };
+    pub use crate::wire::ethernet::{build_frame, EtherType, Frame};
+    pub use crate::wire::tpp::{AddressingMode, TppBuilder, TppPacket};
+    pub use crate::wire::EthernetAddress;
+}

@@ -101,7 +101,7 @@ fn build_and_run() -> (Simulator, tpp::netsim::LeafSpine, Snapshot) {
             .host_app::<MicroburstMonitor>(fabric.hosts[3][0])
             .samples
             .len(),
-        counter_value: sim.switch(fabric.spines[0]).global_sram_word(0),
+        counter_value: sim.switch(fabric.spines[0]).global_sram().word(0).unwrap(),
         total_packets: fabric
             .leaves
             .iter()

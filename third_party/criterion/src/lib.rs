@@ -1,0 +1,242 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the subset of the criterion API its benches use:
+//! `Criterion`, `benchmark_group` (with `sample_size`, `throughput`,
+//! `bench_function`, `bench_with_input`, `finish`), `Bencher::iter`,
+//! `BenchmarkId`, `Throughput`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement model: each benchmark is warmed up, then timed over
+//! `sample_size` samples whose iteration counts are auto-scaled so a
+//! sample takes roughly [`TARGET_SAMPLE`]. The report prints the median
+//! sample in ns/iter plus derived throughput — no statistics engine, no
+//! HTML, no comparison to saved baselines. Good enough to spot
+//! order-of-magnitude regressions by eye, which is what the acceptance
+//! criteria ask of it.
+
+// Vendored stand-in: keep clippy out of it so `-D warnings` gates
+// only first-party code.
+#![allow(clippy::all)]
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Wall-clock budget per timed sample.
+const TARGET_SAMPLE: Duration = Duration::from_millis(25);
+
+/// Wall-clock budget for warm-up before iteration scaling.
+const WARMUP: Duration = Duration::from_millis(50);
+
+/// Throughput annotation for a benchmark, used to derive rate lines.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus a parameter value.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new<P: fmt::Display>(name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            name: name.to_string(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.name, self.parameter)
+    }
+}
+
+/// The timing context handed to benchmark closures.
+pub struct Bencher {
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Time `routine`, auto-scaling iteration count to the sample
+    /// budget. The routine's return value is consumed (kept alive past
+    /// the timed region) so its construction isn't optimized away.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: also yields a first cost estimate.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(0.5);
+        let iters = ((TARGET_SAMPLE.as_nanos() as f64 / est_ns) as u64).clamp(1, 1_000_000_000);
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(routine());
+        }
+        self.ns_per_iter = start.elapsed().as_nanos() as f64 / iters as f64;
+    }
+}
+
+/// One benchmark result, printed by the harness.
+fn report(label: &str, samples: &[f64], throughput: Option<Throughput>) {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let median = sorted[sorted.len() / 2];
+    let lo = sorted[0];
+    let hi = sorted[sorted.len() - 1];
+    print!("{label:<40} time: [{lo:>10.1} ns {median:>10.1} ns {hi:>10.1} ns]");
+    match throughput {
+        Some(Throughput::Elements(n)) if median > 0.0 => {
+            println!("  thrpt: {:.3} Melem/s", n as f64 * 1e3 / median);
+        }
+        Some(Throughput::Bytes(n)) if median > 0.0 => {
+            println!(
+                "  thrpt: {:.3} MiB/s",
+                n as f64 * 1e9 / median / (1024.0 * 1024.0)
+            );
+        }
+        _ => println!(),
+    }
+}
+
+/// The top-level benchmark manager.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_bench(name, 10, None, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing sample-size and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (min 3).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Annotate following benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_bench(&label, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Run one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_bench(&label, self.sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// End the group (explicit, to mirror upstream's API).
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    label: &str,
+    sample_size: usize,
+    tp: Option<Throughput>,
+    mut f: F,
+) {
+    // Cap samples: the stand-in's per-sample cost is fixed, so large
+    // upstream sample sizes (criterion defaults to 100) would only slow
+    // the run without improving the median estimate much.
+    let samples: Vec<f64> = (0..sample_size.clamp(3, 20))
+        .map(|_| {
+            let mut bencher = Bencher { ns_per_iter: 0.0 };
+            f(&mut bencher);
+            bencher.ns_per_iter
+        })
+        .collect();
+    report(label, &samples, tp);
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_surface_smoke() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(1));
+        group.bench_function("add", |b| b.iter(|| 1u64 + 1));
+        group.bench_with_input(BenchmarkId::new("param", 4), &4u64, |b, n| b.iter(|| n * 2));
+        group.finish();
+        c.bench_function("standalone", |b| b.iter(|| 3u32.pow(2)));
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("entries", 16).to_string(), "entries/16");
+    }
+}

@@ -1,0 +1,650 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the subset of the proptest API its property tests
+//! actually use: the `proptest!` / `prop_oneof!` / `prop_assert*!`
+//! macros, `Strategy` with `prop_map`, `Just`, `any`, integer-range and
+//! tuple strategies, `collection::vec` and `sample::subsequence`.
+//!
+//! Semantics: each test runs `ProptestConfig::cases` randomized cases
+//! from a fixed per-test seed (deterministic across runs, like a pinned
+//! `PROPTEST_RNG_SEED`). There is **no shrinking** — a failing case
+//! reports its inputs via the panic message of the failed assertion
+//! instead of a minimized counterexample. That trades debugging comfort
+//! for a zero-dependency, fully offline runner; the properties being
+//! checked are identical.
+
+// Vendored stand-in: keep clippy out of it so `-D warnings` gates
+// only first-party code.
+#![allow(clippy::all)]
+#![forbid(unsafe_code)]
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A strategy producing `Vec`s of `element` with a length drawn
+    /// uniformly from `size` (half-open, like upstream's `SizeRange`).
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.usize_in(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies (`proptest::sample::subsequence`).
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A strategy picking an order-preserving subsequence of `items`
+    /// whose length is drawn uniformly from `size` (half-open).
+    pub fn subsequence<T: Clone>(items: Vec<T>, size: Range<usize>) -> Subsequence<T> {
+        Subsequence { items, size }
+    }
+
+    /// See [`subsequence`].
+    #[derive(Debug, Clone)]
+    pub struct Subsequence<T> {
+        items: Vec<T>,
+        size: Range<usize>,
+    }
+
+    impl<T: Clone> Strategy for Subsequence<T> {
+        type Value = Vec<T>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+            let n = self.items.len();
+            let lo = self.size.start.min(n);
+            let hi = self.size.end.min(n + 1).max(lo + 1);
+            let k = rng.usize_in(lo..hi);
+            // Partial Fisher-Yates over the index set, then restore
+            // order so the result is a true subsequence.
+            let mut idx: Vec<usize> = (0..n).collect();
+            for i in 0..k {
+                let j = i + rng.usize_in(0..(n - i).max(1));
+                idx.swap(i, j);
+            }
+            let mut chosen = idx[..k].to_vec();
+            chosen.sort_unstable();
+            chosen.into_iter().map(|i| self.items[i].clone()).collect()
+        }
+    }
+}
+
+/// The glob-import surface user tests pull in.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Core strategy trait and combinators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::Range;
+    use std::rc::Rc;
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Object-safe core is [`generate`](Strategy::generate); combinators
+    /// are `Self: Sized` so `Rc<dyn Strategy>` works for `prop_oneof!`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draw one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+
+        /// Type-erase for heterogeneous unions.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    /// A reference-counted type-erased strategy (clonable, single
+    /// threaded — tests run one case at a time).
+    pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Always produces a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// Uniform choice between type-erased alternatives (`prop_oneof!`).
+    #[derive(Clone)]
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// A union over `arms` (must be non-empty).
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.usize_in(0..self.arms.len());
+            self.arms[i].generate(rng)
+        }
+    }
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draw an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_uint {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+        fn arbitrary(rng: &mut TestRng) -> [T; N] {
+            std::array::from_fn(|_| T::arbitrary(rng))
+        }
+    }
+
+    /// The `any::<T>()` strategy.
+    #[derive(Debug)]
+    pub struct Any<A>(PhantomData<A>);
+
+    impl<A> Clone for Any<A> {
+        fn clone(&self) -> Self {
+            Any(PhantomData)
+        }
+    }
+
+    impl<A: Arbitrary> Strategy for Any<A> {
+        type Value = A;
+        fn generate(&self, rng: &mut TestRng) -> A {
+            A::arbitrary(rng)
+        }
+    }
+
+    /// Any value of `A` at all.
+    pub fn any<A: Arbitrary>() -> Any<A> {
+        Any(PhantomData)
+    }
+
+    macro_rules! impl_strategy_for_uint_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.next_u64() % span) as $t
+                }
+            }
+        )*};
+    }
+    impl_strategy_for_uint_range!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_strategy_for_int_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                    self.start.wrapping_add((rng.next_u64() % span) as $t)
+                }
+            }
+        )*};
+    }
+    impl_strategy_for_int_range!(i8, i16, i32, i64, isize);
+
+    macro_rules! impl_strategy_for_tuple {
+        ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+    impl_strategy_for_tuple!((A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3),);
+
+    /// Upstream treats `&str` as a regex strategy over `String`. This
+    /// stand-in supports the subset the workspace uses: an optional
+    /// trailing `{lo,hi}` length quantifier over a character class,
+    /// where `\PC` (any printable char) is honored and any other class
+    /// falls back to printable ASCII. Enough to fuzz "arbitrary text
+    /// never panics the parser" properties.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (class, lo, hi) = parse_pattern(self);
+            let len = rng.usize_in(lo..hi + 1);
+            (0..len).map(|_| class.sample(rng)).collect()
+        }
+    }
+
+    enum CharClass {
+        /// `\PC`: any printable character, occasionally non-ASCII.
+        Printable,
+        /// Fallback: printable ASCII only.
+        Ascii,
+    }
+
+    impl CharClass {
+        fn sample(&self, rng: &mut TestRng) -> char {
+            match self {
+                CharClass::Ascii => (0x20 + (rng.next_u64() % 95) as u8) as char,
+                CharClass::Printable => {
+                    if rng.next_u64() % 8 == 0 {
+                        // Occasionally exercise multibyte chars.
+                        char::from_u32(0xA1 + (rng.next_u64() % 0xFF00) as u32).unwrap_or('¿')
+                    } else {
+                        (0x20 + (rng.next_u64() % 95) as u8) as char
+                    }
+                }
+            }
+        }
+    }
+
+    fn parse_pattern(pattern: &str) -> (CharClass, usize, usize) {
+        let (class_part, lo, hi) = match pattern.rfind('{') {
+            Some(open) if pattern.ends_with('}') => {
+                let body = &pattern[open + 1..pattern.len() - 1];
+                let (a, b) = body.split_once(',').unwrap_or((body, body));
+                (
+                    &pattern[..open],
+                    a.trim().parse().unwrap_or(0),
+                    b.trim().parse().unwrap_or(32),
+                )
+            }
+            _ => (pattern, 0usize, 32usize),
+        };
+        let class = if class_part.contains("\\PC") {
+            CharClass::Printable
+        } else {
+            CharClass::Ascii
+        };
+        (class, lo, hi.max(lo))
+    }
+}
+
+/// Runner configuration, RNG, and error type.
+pub mod test_runner {
+    use std::fmt;
+    use std::ops::Range;
+
+    /// Per-test runner settings (`#![proptest_config(...)]`).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of randomized cases each property runs.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Default config with `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// A failed property case. Created by the `prop_assert*!` macros;
+    /// the runner panics with this message (no shrinking).
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// A failure carrying `message`.
+        pub fn fail(message: String) -> Self {
+            TestCaseError { message }
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// The runner's deterministic RNG (SplitMix64, seeded per test from
+    /// the test's name so streams are stable across runs and across
+    /// test-order changes).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A generator seeded from the property name.
+        pub fn deterministic(name: &str) -> Self {
+            // FNV-1a over the name: stable, well-spread seeds.
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next 64 uniform bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw from a half-open usize range.
+        pub fn usize_in(&mut self, range: Range<usize>) -> usize {
+            if range.start >= range.end {
+                return range.start;
+            }
+            let span = (range.end - range.start) as u64;
+            range.start + (self.next_u64() % span) as usize
+        }
+    }
+}
+
+/// Define property tests: each `fn name(binding in strategy, ...) { body }`
+/// becomes a test running `cases` randomized cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident( $($pname:ident in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for case in 0..config.cases {
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $(let $pname =
+                                $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(err) = outcome {
+                        panic!(
+                            "property `{}` failed at case {}/{}: {}",
+                            stringify!($name),
+                            case + 1,
+                            config.cases,
+                            err
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Property assertion: on failure the current case returns an error
+/// (usable only inside `proptest!` bodies).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Property equality assertion (see [`prop_assert!`]).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                if !(*left == *right) {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!(
+                            "assertion failed: `{} == {}`\n  left: `{:?}`\n right: `{:?}`",
+                            stringify!($left), stringify!($right), left, right
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                if !(*left == *right) {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!(
+                            "{}\n  left: `{:?}`\n right: `{:?}`",
+                            format!($($fmt)+), left, right
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Property inequality assertion (see [`prop_assert!`]).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                if *left == *right {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!(
+                            "assertion failed: `{} != {}`\n  both: `{:?}`",
+                            stringify!($left),
+                            stringify!($right),
+                            left
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_and_maps_generate_in_bounds() {
+        let mut rng = TestRng::deterministic("ranges");
+        let s = (10u16..20).prop_map(|v| v * 2);
+        for _ in 0..1000 {
+            let v = s.generate(&mut rng);
+            assert!(v >= 20 && v < 40 && v % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        let mut rng = TestRng::deterministic("oneof");
+        let s = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut seen = [false; 4];
+        for _ in 0..256 {
+            seen[s.generate(&mut rng) as usize] = true;
+        }
+        assert_eq!(seen, [false, true, true, true]);
+    }
+
+    #[test]
+    fn collection_vec_respects_size() {
+        let mut rng = TestRng::deterministic("vec");
+        let s = crate::collection::vec(any::<u8>(), 2..5);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn subsequence_preserves_order() {
+        let mut rng = TestRng::deterministic("subseq");
+        let s = crate::sample::subsequence(vec![1, 2, 3, 4, 5, 6], 1..6);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!(!v.is_empty() && v.len() < 6);
+            assert!(v.windows(2).all(|w| w[0] < w[1]), "order preserved: {v:?}");
+        }
+    }
+
+    #[test]
+    fn string_pattern_lengths() {
+        let mut rng = TestRng::deterministic("strings");
+        let s = "\\PC{0,200}";
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!(v.chars().count() <= 200);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The macro surface itself: bindings, tuples, early return.
+        #[test]
+        fn macro_roundtrip(a in 0u32..100, pair in (0u8..4, any::<bool>())) {
+            if pair.1 {
+                return Ok(());
+            }
+            prop_assert!(a < 100);
+            prop_assert_eq!(pair.0 as u32 + a, a + pair.0 as u32);
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the *tiny* subset of the `rand 0.8` API it actually
+//! uses: a seedable deterministic generator (`rngs::StdRng` +
+//! `SeedableRng::seed_from_u64`) and uniform integer sampling
+//! (`Rng::gen_range` over half-open ranges).
+//!
+//! The simulator only needs *deterministic, well-mixed* draws — it seeds
+//! every run with a fixed constant so experiments replay bit-for-bit.
+//! The generator here is SplitMix64 (Steele et al., "Fast splittable
+//! pseudorandom number generators"), which passes BigCrush and is more
+//! than adequate for packet-loss coin flips. It is intentionally NOT the
+//! same stream as upstream `StdRng` (ChaCha12); nothing in the workspace
+//! depends on a specific stream, only on determinism.
+
+// Vendored stand-in: keep clippy out of it so `-D warnings` gates
+// only first-party code.
+#![allow(clippy::all)]
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Core generator interface: a source of uniform 64-bit words.
+pub trait RngCore {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly distributed bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction from a seed, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed. Identical seeds produce
+    /// identical streams.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing sampling methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// A uniform sample from `range`. Panics on an empty range, like
+    /// upstream.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// A uniform boolean with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Ranges that can be sampled uniformly.
+pub trait SampleRange<T> {
+    /// Draw one uniform sample.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                // Modulo bias is < span/2^64 — irrelevant for the
+                // simulator's coin flips; determinism is what matters.
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                self.start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            StdRng { state }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64: state += golden gamma; output = mix(state).
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let da: Vec<u32> = (0..32).map(|_| a.gen_range(0..1000u32)).collect();
+        let db: Vec<u32> = (0..32).map(|_| b.gen_range(0..1000u32)).collect();
+        assert_eq!(da, db);
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10..20u32);
+            assert!((10..20).contains(&v));
+        }
+        for _ in 0..10_000 {
+            let v = rng.gen_range(0..1000u32);
+            assert!(v < 1000);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let da: Vec<u32> = (0..8).map(|_| a.gen_range(0..u32::MAX)).collect();
+        let db: Vec<u32> = (0..8).map(|_| b.gen_range(0..u32::MAX)).collect();
+        assert_ne!(da, db);
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        // 100k draws over 10 buckets: every bucket within ±10% of mean.
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut buckets = [0u32; 10];
+        for _ in 0..100_000 {
+            buckets[rng.gen_range(0..10usize)] += 1;
+        }
+        for &b in &buckets {
+            assert!((9_000..11_000).contains(&b), "bucket count {b} off-uniform");
+        }
+    }
+}
