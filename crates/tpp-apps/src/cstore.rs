@@ -16,12 +16,32 @@
 //! conditioned on the value read, retried on conflict — and no update is
 //! ever lost. Experiment E8 quantifies the difference.
 //!
+//! Reliability is layered on top with [`ProbeManager`] (timeouts,
+//! bounded retries, nonce dedup) plus a per-writer *sequence guard* in
+//! the increment program itself:
+//!
+//! ```text
+//! CEXEC  [Seq[w]] == s-1     ; halt if op s already ran (duplicate)
+//! STORE  [Seq[w]] := s       ; consume the sequence number
+//! CSTORE [counter] c -> c+1  ; the increment; old value -> packet
+//! STORE  [Res[w]]  := old    ; record the outcome durably
+//! ```
+//!
+//! A retried or duplicated probe finds `Seq[w] == s` and halts, so op
+//! `s` executes at most once no matter how many copies the network
+//! delivers. When every echo for op `s` is lost, a recovery read of
+//! `(counter, Seq[w], Res[w])` tells the host whether the increment
+//! applied (`Res[w] == c`), making increments exactly-once even under
+//! loss + reordering + duplication. `Switch:BootEpoch` rides along in
+//! every read so a switch reboot (which wipes the cells) is detected and
+//! the guard state re-seeded.
+//!
 //! All probes are gated with `CEXEC` on the target switch ID, so the same
 //! program is correct on any multi-hop path (only the target switch
-//! executes the access). The `CEXEC` operand block sits at a high packet-
-//! memory offset (word 8) so stack pushes never clobber it.
+//! executes the access). The `CEXEC` operand blocks sit at high packet-
+//! memory offsets (word 8+) so stack pushes never clobber them.
 
-use tpp_host::{parse_echo, ProbeBuilder};
+use tpp_host::{parse_echo, ProbeBuilder, ProbeDelivery, ProbeManager, RetryPolicy};
 #[cfg(test)]
 use tpp_isa::VirtAddr;
 use tpp_isa::{assemble, Assembler, SymbolTable};
@@ -40,15 +60,29 @@ pub enum CounterWriteMode {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Phase {
     Idle,
-    AwaitRead,
-    AwaitWrite { value_written: u32 },
-    AwaitCstore { cond: u32 },
+    /// Waiting for a read echo; `recover` carries the unresolved op
+    /// `(s, cond)` when this read is resolving an ambiguous increment.
+    AwaitRead {
+        recover: Option<(u32, u32)>,
+    },
+    /// Racy mode: waiting for the unconditional STORE's echo.
+    AwaitWrite {
+        value_written: u32,
+    },
+    /// Linearizable mode: waiting for guarded increment op `s` with
+    /// condition `cond`.
+    AwaitOp {
+        seq: u32,
+        cond: u32,
+    },
     Done,
 }
 
 const TIMER_KICK: u64 = 1;
-const TIMER_RETRY: u64 = 2;
-const RETRY_NS: u64 = 50_000_000;
+
+/// Initial value of the CSTORE old-value slot; still present in the echo
+/// only when the seq guard halted the program (op already consumed).
+const OLD_SENTINEL: u32 = 0xffff_ffff;
 
 /// A host that performs `goal` increments of a shared switch counter.
 #[derive(Debug)]
@@ -56,12 +90,16 @@ pub struct CounterTask {
     dst: EthernetAddress,
     mode: CounterWriteMode,
     target_switch: u32,
+    counter_word: usize,
     counter_addr_text: String,
+    seq_addr_text: String,
+    res_addr_text: String,
     goal: u32,
     phase: Phase,
-    last_probe: Option<Vec<u8>>,
-    outstanding: bool,
-    last_send_ns: u64,
+    /// Sequence number of the next increment op (1-based; the per-writer
+    /// seq cell starts at 0).
+    next_seq: u32,
+    probes: ProbeManager,
     /// Increments completed.
     pub completed: u32,
     /// CSTORE conflicts encountered (linearizable mode only).
@@ -84,12 +122,18 @@ impl CounterTask {
             dst,
             mode,
             target_switch,
+            counter_word: word,
             counter_addr_text: format!("Switch:Scratch[{word}]"),
+            seq_addr_text: String::new(),
+            res_addr_text: String::new(),
             goal,
             phase: Phase::Idle,
-            last_probe: None,
-            outstanding: false,
-            last_send_ns: 0,
+            next_seq: 1,
+            probes: ProbeManager::new(RetryPolicy {
+                timeout_ns: 50_000_000,
+                max_retries: 3,
+                jitter_permille: 250,
+            }),
             completed: 0,
             conflicts: 0,
             round_trips: 0,
@@ -101,6 +145,11 @@ impl CounterTask {
         self.phase == Phase::Done
     }
 
+    /// The reliability layer's counters (retries, timeouts, dedup hits).
+    pub fn probe_stats(&self) -> tpp_host::ProbeStats {
+        self.probes.stats()
+    }
+
     fn asm(&self) -> Assembler {
         Assembler::with_symbols(SymbolTable::new())
     }
@@ -109,23 +158,23 @@ impl CounterTask {
         [0xffff_ffff, self.target_switch]
     }
 
-    /// `CEXEC` gate + read of the counter. Stack pushes land at words
-    /// 0..8; the gate block lives at words 8..10.
-    fn send_read(&mut self, ctx: &mut HostCtx<'_>) {
+    /// `CEXEC` gate + read of counter, guard cells, and boot epoch.
+    /// Stack pushes land at words 0..4; the gate block lives at 8..10.
+    fn send_read(&mut self, recover: Option<(u32, u32)>, ctx: &mut HostCtx<'_>) {
         let program = assemble(&format!(
-            "CEXEC [Switch:SwitchID], [Packet:8]\nPUSH [{}]",
-            self.counter_addr_text
+            "CEXEC [Switch:SwitchID], [Packet:8]\n\
+             PUSH [{counter}]\nPUSH [{seq}]\nPUSH [{res}]\nPUSH [Switch:BootEpoch]",
+            counter = self.counter_addr_text,
+            seq = self.seq_addr_text,
+            res = self.res_addr_text,
         ))
         .expect("static program");
         let mut init = vec![0u32; 10];
         init[8..10].copy_from_slice(&self.gate_init());
         let probe = ProbeBuilder::stack(&program, 1).init_memory(&init);
         let frame = probe.build_frame(self.dst, ctx.mac());
-        self.last_probe = Some(frame.clone());
-        self.outstanding = true;
-        self.last_send_ns = ctx.now();
-        ctx.send(frame);
-        self.phase = Phase::AwaitRead;
+        self.probes.track(frame, ctx);
+        self.phase = Phase::AwaitRead { recover };
     }
 
     /// Racy write: gate + unconditional `STORE` of `value`.
@@ -142,94 +191,145 @@ impl CounterTask {
         init[8..10].copy_from_slice(&self.gate_init());
         let probe = ProbeBuilder::stack(&program, 1).init_memory(&init);
         let frame = probe.build_frame(self.dst, ctx.mac());
-        self.last_probe = Some(frame.clone());
-        self.outstanding = true;
-        self.last_send_ns = ctx.now();
-        ctx.send(frame);
+        self.probes.track(frame, ctx);
         self.phase = Phase::AwaitWrite {
             value_written: value,
         };
     }
 
-    /// Linearizable write: gate + `CSTORE cond -> cond+1`; the operand
-    /// block `[cond, src, old]` sits at words 2..5.
-    fn send_cstore(&mut self, cond: u32, ctx: &mut HostCtx<'_>) {
+    /// Linearizable increment op `s`: seq guard, `CSTORE cond -> cond+1`,
+    /// durable outcome record (module docs). Every transmission of op
+    /// `s` carries the same `(s, cond)`, so at most one copy executes.
+    fn send_op(&mut self, s: u32, cond: u32, ctx: &mut HostCtx<'_>) {
         let program = self
             .asm()
             .assemble(&format!(
-                "CEXEC [Switch:SwitchID], [Packet:8]\nCSTORE [{}], [Packet:2]",
-                self.counter_addr_text
+                "CEXEC [Switch:SwitchID], [Packet:8]\n\
+                 CEXEC [{seq}], [Packet:10]\n\
+                 STORE [{seq}], [Packet:2]\n\
+                 CSTORE [{counter}], [Packet:4]\n\
+                 STORE [{res}], [Packet:6]",
+                seq = self.seq_addr_text,
+                counter = self.counter_addr_text,
+                res = self.res_addr_text,
             ))
             .expect("static program");
-        let mut init = vec![0u32; 10];
-        init[2] = cond;
-        init[3] = cond.wrapping_add(1);
+        let mut init = vec![0u32; 12];
+        init[2] = s;
+        init[4] = cond;
+        init[5] = cond.wrapping_add(1);
+        init[6] = OLD_SENTINEL;
         init[8..10].copy_from_slice(&self.gate_init());
+        init[10] = 0xffff_ffff;
+        init[11] = s - 1;
         let probe = ProbeBuilder::stack(&program, 1).init_memory(&init);
         let frame = probe.build_frame(self.dst, ctx.mac());
-        self.last_probe = Some(frame.clone());
-        self.outstanding = true;
-        self.last_send_ns = ctx.now();
-        ctx.send(frame);
-        self.phase = Phase::AwaitCstore { cond };
+        self.probes.track(frame, ctx);
+        self.phase = Phase::AwaitOp { seq: s, cond };
     }
 
     fn advance(&mut self, ctx: &mut HostCtx<'_>) {
         if self.completed >= self.goal {
             self.phase = Phase::Done;
-            self.last_probe = None;
             return;
         }
-        self.send_read(ctx);
+        self.send_read(None, ctx);
+    }
+
+    /// An op is resolved: count it, bump the sequence, continue.
+    fn resolve_op(&mut self, s: u32, applied: bool, ctx: &mut HostCtx<'_>) {
+        if applied {
+            self.completed += 1;
+        } else {
+            self.conflicts += 1;
+        }
+        self.next_seq = s + 1;
+        self.advance(ctx);
     }
 }
 
 impl HostApp for CounterTask {
     fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
+        // Per-writer guard cells above the shared counter word: hosts
+        // never collide because host ids are unique.
+        let w = ctx.host_id().0;
+        self.seq_addr_text = format!("Switch:Scratch[{}]", self.counter_word + 1 + 2 * w);
+        self.res_addr_text = format!("Switch:Scratch[{}]", self.counter_word + 2 + 2 * w);
         ctx.set_timer(1, TIMER_KICK);
-        ctx.set_timer(RETRY_NS, TIMER_RETRY);
     }
 
     fn on_timer(&mut self, token: u64, ctx: &mut HostCtx<'_>) {
-        match token {
-            TIMER_KICK => self.advance(ctx),
-            TIMER_RETRY
-                // Lost probe/echo safety net: re-send only when a probe
-                // is genuinely outstanding past the timeout. (A duplicate
-                // of a probe that was NOT lost would re-execute at the
-                // switch; this retry is only sound when the original or
-                // its echo died.)
-                if !self.done() => {
-                    let stalled = self.outstanding
-                        && ctx.now().saturating_sub(self.last_send_ns) >= RETRY_NS;
-                    if let (true, Some(frame)) = (stalled, self.last_probe.clone()) {
-                        self.last_send_ns = ctx.now();
-                        ctx.send(frame);
-                    }
-                    ctx.set_timer(RETRY_NS, TIMER_RETRY);
-                }
-            _ => {}
+        if token == TIMER_KICK {
+            self.advance(ctx);
+            return;
+        }
+        if ProbeManager::is_timer(token) {
+            let expired = self.probes.on_timer(ctx);
+            if expired.is_empty() || self.done() {
+                return;
+            }
+            // The current probe exhausted its retries. Reads and racy
+            // writes are idempotent — re-issue them. An increment op's
+            // fate is unknown, so resolve it with a recovery read.
+            match self.phase {
+                Phase::AwaitRead { recover } => self.send_read(recover, ctx),
+                Phase::AwaitWrite { value_written } => self.send_write(value_written, ctx),
+                Phase::AwaitOp { seq, cond } => self.send_read(Some((seq, cond)), ctx),
+                Phase::Idle | Phase::Done => {}
+            }
         }
     }
 
     fn on_frame(&mut self, frame: Vec<u8>, ctx: &mut HostCtx<'_>) {
+        match self.probes.on_frame(&frame, ctx) {
+            ProbeDelivery::Fresh { .. } => {}
+            // Duplicated, stale, or foreign frames carry no new
+            // information, and a late echo races the recovery read that
+            // its expiry already triggered — the read supersedes it.
+            ProbeDelivery::Late { .. }
+            | ProbeDelivery::Duplicate { .. }
+            | ProbeDelivery::NotAProbe => return,
+        }
         let Some(tpp) = parse_echo(&frame, ctx.mac()) else {
             return;
         };
         self.round_trips += 1;
-        self.outstanding = false;
         let memory = tpp.memory_words();
         let stack = tpp.stack_words();
         match self.phase {
-            Phase::AwaitRead => {
-                // The gated PUSH ran only on the target switch: exactly
-                // one stack word.
-                let Some(&value) = stack.first() else {
+            Phase::AwaitRead { recover } => {
+                // The gated pushes ran only on the target switch:
+                // [counter, seq, res, epoch].
+                let [counter_val, seq_val, res_val, epoch] = stack[..] else {
+                    // Short stack: the probe never executed cleanly.
+                    self.send_read(recover, ctx);
                     return;
                 };
+                let mut recover = recover;
+                if self.probes.note_epoch(self.target_switch, epoch, ctx) {
+                    // The switch rebooted: counter and guard cells are
+                    // wiped. Re-seed the sequence space from the state
+                    // the read just observed and forget any pre-reboot
+                    // op — its fate is unknowable now.
+                    self.next_seq = seq_val + 1;
+                    recover = None;
+                }
+                if let Some((s, cond)) = recover {
+                    if seq_val >= s {
+                        // Op `s` executed exactly once; the durable
+                        // outcome cell says whether it applied.
+                        self.resolve_op(s, res_val == cond, ctx);
+                    } else {
+                        // Never executed (copies may still be in
+                        // flight): re-issue the identical op — the seq
+                        // guard makes extra copies harmless.
+                        self.send_op(s, cond, ctx);
+                    }
+                    return;
+                }
                 match self.mode {
-                    CounterWriteMode::Racy => self.send_write(value.wrapping_add(1), ctx),
-                    CounterWriteMode::Linearizable => self.send_cstore(value, ctx),
+                    CounterWriteMode::Racy => self.send_write(counter_val.wrapping_add(1), ctx),
+                    CounterWriteMode::Linearizable => self.send_op(self.next_seq, counter_val, ctx),
                 }
             }
             Phase::AwaitWrite { .. } => {
@@ -238,18 +338,22 @@ impl HostApp for CounterTask {
                 self.completed += 1;
                 self.advance(ctx);
             }
-            Phase::AwaitCstore { cond } => {
-                let Some(&old) = memory.get(4) else {
+            Phase::AwaitOp { seq, cond } => {
+                let Some(&old) = memory.get(6) else {
+                    self.send_read(Some((seq, cond)), ctx);
                     return;
                 };
                 if old == cond {
-                    self.completed += 1;
-                    self.advance(ctx);
+                    // The CSTORE matched: increment applied.
+                    self.resolve_op(seq, true, ctx);
+                } else if old == OLD_SENTINEL {
+                    // Seq guard halted: an earlier copy of op `seq`
+                    // already consumed it — ask the switch what happened.
+                    self.send_read(Some((seq, cond)), ctx);
                 } else {
-                    // Conflict: another writer got in first. Retry with
-                    // the value the switch reported.
-                    self.conflicts += 1;
-                    self.send_cstore(old, ctx);
+                    // Conflict: another writer got in first. The op ran
+                    // (seq consumed) but did not apply.
+                    self.resolve_op(seq, false, ctx);
                 }
             }
             Phase::Idle | Phase::Done => {}

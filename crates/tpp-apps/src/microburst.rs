@@ -18,7 +18,7 @@
 
 use std::collections::BTreeMap;
 
-use tpp_host::{decode_echo, ProbeBuilder};
+use tpp_host::{decode_echo, ProbeBuilder, ProbeDelivery, ProbeManager, RetryPolicy};
 use tpp_isa::programs;
 use tpp_netsim::{HostApp, HostCtx};
 use tpp_wire::EthernetAddress;
@@ -47,6 +47,7 @@ pub struct MicroburstMonitor {
     interval_ns: u64,
     start_ns: u64,
     stop_ns: u64,
+    probes: ProbeManager,
     /// All samples, in arrival order.
     pub samples: Vec<QueueSample>,
     /// Probes sent.
@@ -76,6 +77,13 @@ impl MicroburstMonitor {
             interval_ns,
             start_ns,
             stop_ns,
+            // One probe per interval; the next one supersedes, so no
+            // retries — the nonce layer only dedups duplicated echoes.
+            probes: ProbeManager::new(RetryPolicy {
+                timeout_ns: 2 * interval_ns,
+                max_retries: 0,
+                jitter_permille: 0,
+            }),
             samples: Vec::new(),
             probes_sent: 0,
             echoes_received: 0,
@@ -103,22 +111,36 @@ impl HostApp for MicroburstMonitor {
         ctx.set_timer(self.start_ns, TIMER_PROBE);
     }
 
-    fn on_timer(&mut self, _token: u64, ctx: &mut HostCtx<'_>) {
+    fn on_timer(&mut self, token: u64, ctx: &mut HostCtx<'_>) {
+        if ProbeManager::is_timer(token) {
+            // Lost probes just leave a gap in the series; the next
+            // interval re-samples.
+            let _ = self.probes.on_timer(ctx);
+            return;
+        }
         if ctx.now() >= self.stop_ns {
             return;
         }
         let stamp = ctx.now().to_be_bytes();
-        ctx.send(self.probe.build_frame_with_payload(
+        let frame = self.probe.build_frame_with_payload(
             self.dst,
             ctx.mac(),
             &stamp,
             tpp_host::DATA_ETHERTYPE.0,
-        ));
+        );
+        self.probes.track(frame, ctx);
         self.probes_sent += 1;
         ctx.set_timer(self.interval_ns, TIMER_PROBE);
     }
 
     fn on_frame(&mut self, frame: Vec<u8>, ctx: &mut HostCtx<'_>) {
+        match self.probes.on_frame(&frame, ctx) {
+            // A late sample is still a sample — it carries its own
+            // send-time stamp, so the series stays correctly ordered.
+            ProbeDelivery::Fresh { .. } | ProbeDelivery::Late { .. } => {}
+            // But one probe must contribute exactly one sample per hop.
+            ProbeDelivery::Duplicate { .. } | ProbeDelivery::NotAProbe => return,
+        }
         let Some(sample) = decode_echo(&frame, ctx.mac(), WORDS_PER_HOP) else {
             return;
         };

@@ -38,7 +38,9 @@
 
 use std::collections::BTreeMap;
 
-use tpp_host::{decode_echo, PacedSender, ProbeBuilder, RttEstimator};
+use tpp_host::{
+    decode_echo, PacedSender, ProbeBuilder, ProbeDelivery, ProbeManager, RetryPolicy, RttEstimator,
+};
 use tpp_isa::{Assembler, SymbolTable, VirtAddr};
 use tpp_netsim::{HostApp, HostCtx};
 use tpp_rcp_ref::equation::{rcp_update, RcpParams};
@@ -60,7 +62,7 @@ pub const RCP_RATE_REGISTER: VirtAddr = VirtAddr(0x4000);
 pub const RCP_TS_REGISTER: VirtAddr = VirtAddr(0x4004);
 
 /// Words pushed per hop by the collect TPP.
-pub const COLLECT_WORDS_PER_HOP: usize = 6;
+pub const COLLECT_WORDS_PER_HOP: usize = 7;
 
 const TIMER_PACE: u64 = 1;
 const TIMER_CONTROL: u64 = 2;
@@ -165,6 +167,7 @@ pub struct RcpStarSender {
     collect_probe: ProbeBuilder,
     update_asm: Assembler,
     rtt: RttEstimator,
+    probes: ProbeManager,
     /// Keyed by hop index (stable for a fixed path).
     links: BTreeMap<usize, LinkView>,
     /// `(time ns, rate bps)` at every control decision — the Figure 2
@@ -197,7 +200,8 @@ impl RcpStarSender {
                  {load_source}\n\
                  PUSH [Link:CapacityKbps]\n\
                  PUSH [Link:RCP-RateRegister]\n\
-                 PUSH [Link:RCP-Timestamp]"
+                 PUSH [Link:RCP-Timestamp]\n\
+                 PUSH [Switch:BootEpoch]"
             ))
             .expect("static program");
         RcpStarSender {
@@ -210,6 +214,14 @@ impl RcpStarSender {
             collect_probe: ProbeBuilder::stack(&collect, config.expected_hops),
             update_asm: asm,
             rtt: RttEstimator::new(),
+            // Periodic probes are never re-sent — the next control round
+            // supersedes them — but the nonce layer still dedups echoes
+            // duplicated in flight, and expiry counts lost probes.
+            probes: ProbeManager::new(RetryPolicy {
+                timeout_ns: 2 * config.period_ns,
+                max_retries: 0,
+                jitter_permille: 0,
+            }),
             links: BTreeMap::new(),
             rate_trace: Vec::new(),
             feedback_count: 0,
@@ -230,6 +242,12 @@ impl RcpStarSender {
     /// Total payload bytes released.
     pub fn bytes_sent(&self) -> u64 {
         self.sender.bytes_sent
+    }
+
+    /// The reliability layer's counters (lost probes, dedup hits,
+    /// boot-epoch changes observed).
+    pub fn probe_stats(&self) -> tpp_host::ProbeStats {
+        self.probes.stats()
     }
 
     /// The flow's current view of its bottleneck: `(switch id, R bps)`.
@@ -278,7 +296,7 @@ impl RcpStarSender {
             &stamp,
             tpp_host::DATA_ETHERTYPE.0,
         );
-        ctx.send(frame);
+        self.probes.track(frame, ctx);
         ctx.set_timer(self.config.period_ns, TIMER_CONTROL);
     }
 
@@ -310,7 +328,9 @@ impl RcpStarSender {
                 .filter_map(|h| {
                     let cap = h.words.get(3).copied()? as u64 * 1_000;
                     let reg = h.words.get(4).copied()? as u64 * 1_000;
-                    (cap > 0).then_some(reg)
+                    // A wiped (rebooted) register reads 0: fall back to
+                    // capacity rather than stalling the flow.
+                    (cap > 0).then_some(if reg == 0 { cap } else { reg })
                 })
                 .min();
             if let Some(r) = r_min {
@@ -332,13 +352,24 @@ impl RcpStarSender {
         let rtt_s = (self.rtt.srtt_or(self.config.initial_rtt_ns) as f64 / 1e9).max(period_s);
         let now = ctx.now();
         for hop in &sample.hops {
-            let [sid, q_bytes, rx_bytes, cap_kbps, reg_kbps, reg_ts_us] = hop.words[..6] else {
+            let [sid, q_bytes, rx_bytes, cap_kbps, reg_kbps, reg_ts_us, epoch] = hop.words[..7]
+            else {
                 continue;
             };
             let capacity_bps = cap_kbps as f64 * 1e3;
             if capacity_bps <= 0.0 {
                 continue;
             }
+            if self.probes.note_epoch(sid, epoch, ctx) {
+                // The switch rebooted and lost its SRAM: the cached view
+                // (byte-counter baseline, EWMAs) describes the previous
+                // boot. Drop it and re-seed from this echo.
+                self.links.remove(&hop.hop);
+            }
+            // A zero rate register is wiped state (the control plane
+            // seeds it to capacity at boot, §2.2 footnote 3): re-seed
+            // the control law from capacity, exactly like a fresh start.
+            let reg_kbps = if reg_kbps == 0 { cap_kbps } else { reg_kbps };
             let view = self.links.entry(hop.hop).or_insert(LinkView {
                 switch_id: sid,
                 capacity_bps,
@@ -424,7 +455,8 @@ impl RcpStarSender {
             r_kbps,
             now_us,
         ]);
-        ctx.send(probe.build_frame(self.dst, ctx.mac()));
+        self.probes
+            .track(probe.build_frame(self.dst, ctx.mac()), ctx);
         self.updates_sent += 1;
 
         // The flow itself obeys the minimum along the path.
@@ -450,12 +482,27 @@ impl HostApp for RcpStarSender {
         match token {
             TIMER_PACE => self.pace(ctx),
             TIMER_CONTROL => self.control(ctx),
+            t if ProbeManager::is_timer(t) => {
+                // Expired probes are only counted (stats.timeouts): the
+                // periodic control loop re-probes on its own schedule.
+                let _ = self.probes.on_timer(ctx);
+            }
             _ => {}
         }
     }
 
     fn on_frame(&mut self, frame: Vec<u8>, ctx: &mut HostCtx<'_>) {
-        self.on_feedback(&frame, ctx);
+        match self.probes.on_frame(&frame, ctx) {
+            // A late echo (RTT spiked past the probe timeout) is still
+            // this round's only copy of the feedback — exactly when the
+            // controller most needs to see the queue and back off.
+            ProbeDelivery::Fresh { .. } | ProbeDelivery::Late { .. } => {
+                self.on_feedback(&frame, ctx)
+            }
+            // A duplicated or stale echo must not feed the control loop
+            // twice (a double byte-counter delta would halve y(t)).
+            ProbeDelivery::Duplicate { .. } | ProbeDelivery::NotAProbe => {}
+        }
     }
 }
 

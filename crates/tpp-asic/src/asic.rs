@@ -333,40 +333,34 @@ impl Asic {
         }
     }
 
-    /// Read a global-SRAM word (control-plane / test access).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `global_sram().word(..)`, which returns Result instead of panicking"
-    )]
-    pub fn global_sram_word(&self, word: usize) -> u32 {
-        self.global_sram[word]
-    }
-
-    /// Write a global-SRAM word.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `global_sram_mut().set_word(..)`, which returns Result instead of panicking"
-    )]
-    pub fn set_global_sram_word(&mut self, word: usize, value: u32) {
-        self.global_sram[word] = value;
-    }
-
-    /// Read a link-SRAM word of a port.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `link_sram(port)?.word(..)`, which returns Result instead of panicking"
-    )]
-    pub fn link_sram_word(&self, port: PortId, word: usize) -> u32 {
-        self.ports[port as usize].link_sram[word]
-    }
-
-    /// Write a link-SRAM word of a port (control-plane initialization).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `link_sram_mut(port)?.set_word(..)`, which returns Result instead of panicking"
-    )]
-    pub fn set_link_sram_word(&mut self, port: PortId, word: usize, value: u32) {
-        self.ports[port as usize].link_sram[word] = value;
+    /// Reboot the switch: wipe every piece of volatile state — statistics
+    /// registers, forwarding tables (L2/L3/TCAM), per-port statistics,
+    /// queued frames, and both scratch SRAMs — then bump
+    /// `Switch:BootEpoch`. The configuration survives (it models
+    /// NVRAM/firmware), as does an attached trace sink (an observer of
+    /// the switch, not part of it). End-hosts that cached state derived
+    /// from this switch detect the reboot by reading the epoch register
+    /// through a TPP and comparing against their cached value.
+    pub fn reset(&mut self, now_ns: u64) {
+        let epoch = self.regs.boot_epoch.wrapping_add(1);
+        self.regs = SwitchRegs::new(self.config.switch_id);
+        self.regs.boot_epoch = epoch;
+        self.regs.wall_clock_ns = now_ns;
+        self.l2 = L2Table::new();
+        self.l3 = LpmTable::new();
+        self.tcam = Tcam::new();
+        self.global_sram.fill(0);
+        let link_sram_words = self.config.link_sram_words;
+        for port in &mut self.ports {
+            // Port::new rebuilds stats, queues, and link SRAM from the
+            // port's *current* config, so runtime reconfiguration (edge
+            // filters, ECN thresholds) survives like the rest of config.
+            *port = Port::new(port.config.clone(), link_sram_words);
+            port.stats.last_tick_ns = now_ns;
+        }
+        if self.trace.is_some() {
+            self.emit(TraceEventKind::SwitchReboot { epoch });
+        }
     }
 
     /// Export this switch's registers, port stats and queue stats into a

@@ -148,6 +148,7 @@ impl<'a> Mmu<'a> {
             a if a == Stat::PacketsProcessed.addr() => s.packets_processed as u32,
             a if a == Stat::TppsExecuted.addr() => s.tpps_executed as u32,
             a if a == Stat::WallClock.addr() => s.wall_clock_ns as u32,
+            a if a == Stat::BootEpoch.addr() => s.boot_epoch,
             other => return Err(MmuFault::Unmapped(other)),
         })
     }

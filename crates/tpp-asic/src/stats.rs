@@ -27,6 +27,11 @@ pub struct SwitchRegs {
     /// arrive (the model is event-driven, so the clock advances with
     /// traffic).
     pub wall_clock_ns: u64,
+    /// `Switch:BootEpoch` — incremented by every [`reset`](crate::Asic::reset)
+    /// (reboot). Survives the reset itself; everything else volatile is
+    /// wiped. End-hosts compare it against a cached value to detect that
+    /// SRAM state they seeded earlier is gone.
+    pub boot_epoch: u32,
 }
 
 impl SwitchRegs {
@@ -41,6 +46,7 @@ impl SwitchRegs {
             packets_processed: 0,
             tpps_executed: 0,
             wall_clock_ns: 0,
+            boot_epoch: 0,
         }
     }
 

@@ -15,6 +15,9 @@
 //!   limiter each RCP\* flow runs at the end-host (§2.2: "The
 //!   implementation consists of a rate limiter and a rate controller at
 //!   end-hosts for every flow");
+//! * [`manager::ProbeManager`] — per-probe timeout, bounded retries
+//!   with deterministic backoff, nonce-based reply dedup, and switch
+//!   boot-epoch tracking (the end-host reliability layer);
 //! * [`telemetry`] — decode fully-executed TPPs into per-hop records;
 //! * [`widequery`] — split a query too wide for one packet across a
 //!   probe train and reassemble the echoes (§3.2's multi-packet rule);
@@ -23,12 +26,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod manager;
 pub mod pacing;
 pub mod probe;
 pub mod rtt;
 pub mod telemetry;
 pub mod widequery;
 
+pub use manager::{ProbeDelivery, ProbeManager, ProbeStats, RetryPolicy, PROBE_TIMER_TOKEN};
 pub use pacing::{PacedSender, TokenBucket};
 pub use probe::parse_echo;
 pub use probe::{echo_reply, ProbeBuilder, DATA_ETHERTYPE};

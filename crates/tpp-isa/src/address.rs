@@ -178,6 +178,11 @@ stats! {
         TppsExecuted => ("Switch:TppsExecuted", 0x0018),
         /// Switch-local wall clock, nanoseconds (low 32 bits).
         WallClock => ("Switch:WallClock", 0x001c),
+        /// Boot epoch: incremented every time the switch reboots and loses
+        /// volatile state (SRAM, statistics). End-hosts read it to detect
+        /// stale cached state after a reboot ("Millions of Little Minions"
+        /// §5's fault handling).
+        BootEpoch => ("Switch:BootEpoch", 0x0020),
 
         // ---- Per-port namespace (Table 2 row 2) ----
         /// Bytes received on the packet's egress port ("bytes received").

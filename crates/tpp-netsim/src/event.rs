@@ -48,6 +48,12 @@ pub enum EventKind {
     },
     /// Periodic statistics tick (utilization EWMAs).
     StatsTick,
+    /// A scheduled fault fires (installed via
+    /// [`Simulator::install_faults`](crate::Simulator::install_faults)).
+    Fault {
+        /// What to inject.
+        action: crate::fault::FaultAction,
+    },
 }
 
 /// A scheduled event.

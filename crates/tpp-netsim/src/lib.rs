@@ -58,11 +58,13 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod fault;
 pub mod node;
 pub mod sim;
 pub mod time;
 pub mod topology;
 
+pub use fault::{ChannelProfile, FaultAction, FaultCounters, FaultPlan};
 pub use node::{AsAny, HostApp, HostCtx, HostId, SwitchId};
 pub use sim::{Endpoint, NetworkBuilder, Simulator, TapDir, TapRecord};
 pub use topology::{

@@ -7,11 +7,12 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::event::{EventKind, EventQueue, NodeRef};
+use crate::fault::{ChannelProfile, FaultAction, FaultCounters, FaultPlan};
 use crate::node::{HostAction, HostApp, HostCtx, HostId, SwitchId};
 use crate::time::tx_time_ns;
 use tpp_asic::{Asic, AsicConfig, Outcome, PortId};
-use tpp_telemetry::{MetricsRegistry, SharedSink};
-use tpp_wire::ethernet::Frame;
+use tpp_telemetry::{MetricsRegistry, SharedSink, TraceEvent, TraceEventKind, TraceSink};
+use tpp_wire::ethernet::{Frame, ETHERNET_HEADER_LEN};
 use tpp_wire::tpp::TppPacket;
 use tpp_wire::EthernetAddress;
 
@@ -159,6 +160,8 @@ impl NetworkBuilder {
                     peer_port: b.port(),
                     delay_ns: *delay,
                     loss_permille: 0,
+                    up: true,
+                    faults: ChannelProfile::default(),
                 },
             );
             conn.insert(
@@ -168,6 +171,8 @@ impl NetworkBuilder {
                     peer_port: a.port(),
                     delay_ns: *delay,
                     loss_permille: 0,
+                    up: true,
+                    faults: ChannelProfile::default(),
                 },
             );
         }
@@ -181,9 +186,12 @@ impl NetworkBuilder {
             conn,
             tick_interval_ns: self.tick_interval_ns,
             rng: StdRng::seed_from_u64(0x7199_7199),
+            fault_rng: None,
+            fault_counters: FaultCounters::default(),
             link_losses: HashMap::new(),
             taps: HashMap::new(),
             metrics: MetricsRegistry::new(),
+            fleet_sink: None,
         }
     }
 }
@@ -251,6 +259,12 @@ struct Link {
     /// feature). Models a fading wireless channel; set per direction
     /// via [`Simulator::set_link_loss`].
     loss_permille: u16,
+    /// False while an injected [`FaultAction::LinkDown`] holds the link
+    /// down: every frame transmitted on this direction is lost.
+    up: bool,
+    /// Active channel fault profile (clean outside fault windows; the
+    /// fault RNG is never consulted while clean).
+    faults: ChannelProfile,
 }
 
 struct SwitchNode {
@@ -276,10 +290,20 @@ pub struct Simulator {
     conn: HashMap<(NodeRef, PortId), Link>,
     tick_interval_ns: u64,
     rng: StdRng,
+    /// Dedicated RNG for fault injection, created by
+    /// [`Simulator::install_faults`] from the plan's seed. Kept separate
+    /// from `rng` so installing a plan never perturbs the loss stream,
+    /// and fault-free runs stay bit-identical to pre-fault builds.
+    fault_rng: Option<StdRng>,
+    fault_counters: FaultCounters,
     link_losses: HashMap<(NodeRef, PortId), u64>,
     taps: HashMap<(NodeRef, PortId), Vec<TapRecord>>,
     /// Fleet-wide metrics, rebuilt from every switch on each stats tick.
     metrics: MetricsRegistry,
+    /// Clone of the fleet trace sink handed out by
+    /// [`Simulator::trace_all`]; simulator-level fault events
+    /// (link flaps, corruption) are recorded here.
+    fleet_sink: Option<SharedSink>,
 }
 
 impl Simulator {
@@ -348,15 +372,66 @@ impl Simulator {
     /// direction transmitted from `from`. Models a degrading wireless
     /// channel; change it over time to model fading.
     ///
+    /// Probabilities are capped at 1000 ‰ (certain loss); the returned
+    /// value is the one actually installed, so callers passing a larger
+    /// number can see the clamp instead of silently getting 100% loss
+    /// labeled with their original figure.
+    ///
     /// # Panics
     /// Panics if `from` is not connected.
-    pub fn set_link_loss(&mut self, from: Endpoint, loss_permille: u16) {
+    pub fn set_link_loss(&mut self, from: Endpoint, loss_permille: u16) -> u16 {
         let key = (from.node(), from.port());
         let link = self
             .conn
             .get_mut(&key)
             .unwrap_or_else(|| panic!("{from:?} is not connected"));
-        link.loss_permille = loss_permille.min(1000);
+        let effective = loss_permille.min(1000);
+        link.loss_permille = effective;
+        effective
+    }
+
+    /// Install a seeded [`FaultPlan`]: schedules every entry on the
+    /// event queue and arms the dedicated fault RNG with the plan's
+    /// seed. May be called before or after the simulation starts (times
+    /// already in the past fire immediately on the next step).
+    /// Installing a second plan replaces the RNG and adds the new
+    /// entries.
+    ///
+    /// # Panics
+    /// Panics if an entry references a disconnected endpoint or an
+    /// unknown switch (construction-time programmer errors).
+    pub fn install_faults(&mut self, plan: &FaultPlan) {
+        for (_, action) in plan.entries() {
+            match action {
+                FaultAction::LinkDown { at }
+                | FaultAction::LinkUp { at }
+                | FaultAction::SetChannel { from: at, .. } => {
+                    assert!(
+                        self.conn.contains_key(&(at.node(), at.port())),
+                        "{at:?} is not connected"
+                    );
+                }
+                FaultAction::SwitchReboot { switch } => {
+                    assert!(switch.0 < self.switches.len(), "{switch:?} does not exist");
+                }
+            }
+        }
+        self.fault_rng = Some(StdRng::seed_from_u64(plan.seed()));
+        for (t_ns, action) in plan.entries() {
+            self.events
+                .push(*t_ns, EventKind::Fault { action: *action });
+        }
+    }
+
+    /// Running totals of injected faults.
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.fault_counters
+    }
+
+    /// A switch's current boot epoch (ground truth for tests; end-hosts
+    /// read the same value via `Switch:BootEpoch`).
+    pub fn boot_epoch(&self, id: SwitchId) -> u32 {
+        self.switches[id.0].asic.regs().boot_epoch
     }
 
     /// Frames lost in flight on the link direction transmitted from
@@ -393,13 +468,16 @@ impl Simulator {
 
     /// Attach one shared trace sink (a ring buffer of `capacity` events)
     /// to every switch, so the whole fleet's pipeline events interleave
-    /// in one stream ordered by emission. Returns a handle to read the
-    /// events back; call again to replace the fleet's sink.
+    /// in one stream ordered by emission. Simulator-level fault events
+    /// (link flaps, corruption, reboots) are recorded into the same
+    /// stream. Returns a handle to read the events back; call again to
+    /// replace the fleet's sink.
     pub fn trace_all(&mut self, capacity: usize) -> SharedSink {
         let sink = SharedSink::new(capacity);
         for sw in &mut self.switches {
             sw.asic.set_trace_sink(Some(Box::new(sink.clone())));
         }
+        self.fleet_sink = Some(sink.clone());
         sink
     }
 
@@ -412,10 +490,35 @@ impl Simulator {
         sink
     }
 
-    /// Detach every switch's trace sink.
+    /// Detach every switch's trace sink (and the simulator's fault
+    /// event sink).
     pub fn trace_off(&mut self) {
         for sw in &mut self.switches {
             sw.asic.set_trace_sink(None);
+        }
+        self.fleet_sink = None;
+    }
+
+    /// Record a simulator-level fault event into the fleet sink, if one
+    /// is attached. `switch_id` is the dataplane switch id of the node
+    /// involved (0 for hosts), matching the ASIC's own events.
+    fn emit_fault(&mut self, switch_id: u32, kind: TraceEventKind) {
+        if let Some(sink) = self.fleet_sink.as_mut() {
+            sink.record(TraceEvent {
+                t_ns: self.now_ns,
+                switch_id,
+                seq: 0,
+                kind,
+            });
+        }
+    }
+
+    /// The dataplane switch id of a node (0 for hosts, which have no
+    /// switch id).
+    fn node_switch_id(&self, node: NodeRef) -> u32 {
+        match node {
+            NodeRef::Switch(s) => self.switches[s.0].asic.switch_id(),
+            NodeRef::Host(_) => 0,
         }
     }
 
@@ -547,8 +650,65 @@ impl Simulator {
                 for sw in &self.switches {
                     sw.asic.export_metrics(&mut self.metrics);
                 }
+                let lost: u64 = self.link_losses.values().sum();
+                self.metrics.set("link.frames_lost", lost);
+                let f = self.fault_counters;
+                if f != FaultCounters::default() {
+                    self.metrics.set("fault.link_down_drops", f.link_down_drops);
+                    self.metrics.set("fault.duplicated", f.duplicated);
+                    self.metrics.set("fault.corrupted", f.corrupted);
+                    self.metrics.set("fault.reordered", f.reordered);
+                    self.metrics.set("fault.reboots", f.reboots);
+                    self.metrics.set("fault.link_downs", f.link_downs);
+                }
                 self.events
                     .push(now + self.tick_interval_ns, EventKind::StatsTick);
+            }
+            EventKind::Fault { action } => self.apply_fault(action),
+        }
+    }
+
+    /// Execute one scheduled fault action.
+    fn apply_fault(&mut self, action: FaultAction) {
+        match action {
+            FaultAction::LinkDown { at } | FaultAction::LinkUp { at } => {
+                let going_up = matches!(action, FaultAction::LinkUp { .. });
+                // A link is full-duplex: flapping takes both directions
+                // with it. Resolve the peer direction through the
+                // forward one.
+                let a = (at.node(), at.port());
+                let link = self.conn[&a];
+                let b = (link.peer, link.peer_port);
+                for key in [a, b] {
+                    let was_up = self.conn[&key].up;
+                    self.conn.get_mut(&key).expect("resolved above").up = going_up;
+                    if was_up == going_up {
+                        continue;
+                    }
+                    let switch_id = self.node_switch_id(key.0);
+                    let kind = if going_up {
+                        TraceEventKind::LinkUp { port: key.1 }
+                    } else {
+                        self.fault_counters.link_downs += 1;
+                        TraceEventKind::LinkDown { port: key.1 }
+                    };
+                    self.emit_fault(switch_id, kind);
+                }
+            }
+            FaultAction::SwitchReboot { switch } => {
+                let now = self.now_ns;
+                self.switches[switch.0].asic.reset(now);
+                self.fault_counters.reboots += 1;
+                // The control plane reconverges: re-install L2 routes
+                // (idempotent for the switches that kept their tables).
+                self.populate_l2();
+            }
+            FaultAction::SetChannel { from, profile } => {
+                let key = (from.node(), from.port());
+                self.conn
+                    .get_mut(&key)
+                    .expect("validated on install")
+                    .faults = profile;
             }
         }
     }
@@ -606,21 +766,100 @@ impl Simulator {
     }
 
     /// Put a frame on the wire: deliver after serialization +
-    /// propagation, unless the channel eats it.
+    /// propagation, unless the channel eats it (or an installed fault
+    /// plan duplicates, corrupts, or delays it).
     fn transmit(&mut self, from: NodeRef, port: PortId, link: Link, tx_ns: u64, frame: Vec<u8>) {
         self.tap(from, port, TapDir::Tx, &frame);
+        if !link.up {
+            *self.link_losses.entry((from, port)).or_insert(0) += 1;
+            self.fault_counters.link_down_drops += 1;
+            return;
+        }
         if link.loss_permille > 0 && self.rng.gen_range(0..1000u32) < link.loss_permille as u32 {
             *self.link_losses.entry((from, port)).or_insert(0) += 1;
             return;
         }
+        let mut frame = frame;
+        let mut arrival = self.now_ns + tx_ns + link.delay_ns;
+        let mut duplicate = false;
+        if !link.faults.is_clean() {
+            // Fixed consultation order (corrupt → duplicate → reorder)
+            // keeps the fault RNG stream, and with it the whole run,
+            // deterministic for a given plan.
+            let f = link.faults;
+            let rng = self
+                .fault_rng
+                .as_mut()
+                .expect("fault windows only open via install_faults");
+            if f.corrupt_permille > 0 && rng.gen_range(0..1000u32) < f.corrupt_permille as u32 {
+                if let Some((byte, bit)) = Self::pick_tpp_bit(rng, &frame) {
+                    frame[byte] ^= 1 << bit;
+                    self.fault_counters.corrupted += 1;
+                    let switch_id = self.node_switch_id(from);
+                    self.emit_fault(
+                        switch_id,
+                        TraceEventKind::CorruptionInjected {
+                            port,
+                            byte: byte as u32,
+                            bit,
+                        },
+                    );
+                }
+            }
+            let rng = self.fault_rng.as_mut().expect("checked above");
+            if f.duplicate_permille > 0 && rng.gen_range(0..1000u32) < f.duplicate_permille as u32 {
+                duplicate = true;
+                self.fault_counters.duplicated += 1;
+            }
+            let rng = self.fault_rng.as_mut().expect("checked above");
+            if f.reorder_permille > 0
+                && f.reorder_spread_ns > 0
+                && rng.gen_range(0..1000u32) < f.reorder_permille as u32
+            {
+                arrival += rng.gen_range(0..f.reorder_spread_ns);
+                self.fault_counters.reordered += 1;
+            }
+        }
+        if duplicate {
+            self.events.push(
+                arrival,
+                EventKind::FrameArrive {
+                    node: link.peer,
+                    port: link.peer_port,
+                    frame: frame.clone(),
+                },
+            );
+        }
         self.events.push(
-            self.now_ns + tx_ns + link.delay_ns,
+            arrival,
             EventKind::FrameArrive {
                 node: link.peer,
                 port: link.peer_port,
                 frame,
             },
         );
+    }
+
+    /// Choose a random bit inside the TPP section of `frame` for
+    /// corruption. Returns `(byte_offset, bit)` relative to the whole
+    /// frame, or `None` for frames without a parseable TPP section
+    /// (non-TPP traffic is never corrupted: the fault models §3's
+    /// concern that a damaged TPP must not wedge a switch, not generic
+    /// payload corruption). Consumes RNG draws only when a target
+    /// exists, keeping the stream deterministic per plan.
+    fn pick_tpp_bit(rng: &mut StdRng, frame: &[u8]) -> Option<(usize, u8)> {
+        let parsed = Frame::new_checked(frame).ok()?;
+        if !parsed.is_tpp() {
+            return None;
+        }
+        let tpp = TppPacket::new_checked(parsed.payload()).ok()?;
+        let len = tpp.tpp_len();
+        if len == 0 {
+            return None;
+        }
+        let byte = ETHERNET_HEADER_LEN + rng.gen_range(0..len);
+        let bit = rng.gen_range(0..8u32) as u8;
+        Some((byte, bit))
     }
 
     /// Invoke a host-app callback and apply the actions it requested.

@@ -27,6 +27,8 @@ pub enum Stage {
     Dequeue,
     /// End-host decode of an echoed TPP.
     Host,
+    /// Injected fault (chaos runs): link flaps, reboots, corruption.
+    Fault,
 }
 
 impl Stage {
@@ -40,6 +42,7 @@ impl Stage {
             Stage::Enqueue => "enqueue",
             Stage::Dequeue => "dequeue",
             Stage::Host => "host",
+            Stage::Fault => "fault",
         }
     }
 }
@@ -227,6 +230,55 @@ pub enum TraceEventKind {
         /// The words the program recorded at that hop.
         words: Vec<u32>,
     },
+    /// An injected fault took a link direction down. The envelope's
+    /// `switch_id` names the transmitting switch (0 for host endpoints).
+    LinkDown {
+        /// Transmitting port of the failed direction.
+        port: u16,
+    },
+    /// An injected fault restored a link direction.
+    LinkUp {
+        /// Transmitting port of the restored direction.
+        port: u16,
+    },
+    /// A switch lost all volatile state and came back with a new boot
+    /// epoch (the envelope's `switch_id` names the switch).
+    SwitchReboot {
+        /// `Switch:BootEpoch` after the reboot.
+        epoch: u32,
+    },
+    /// A fault flipped one bit inside a frame's TPP section in flight.
+    CorruptionInjected {
+        /// Transmitting port of the corrupted direction.
+        port: u16,
+        /// Byte offset of the flip within the frame.
+        byte: u32,
+        /// Bit index (0..8) flipped within that byte.
+        bit: u8,
+    },
+    /// An end-host probe manager re-sent an unanswered probe.
+    ProbeRetry {
+        /// The probe's nonce.
+        nonce: u64,
+        /// 1-based retry attempt number.
+        attempt: u32,
+    },
+    /// An end-host probe exhausted its retry budget.
+    ProbeTimeout {
+        /// The probe's nonce.
+        nonce: u64,
+        /// Retries that were attempted before giving up.
+        retries: u32,
+    },
+    /// An end-host observed a switch boot epoch different from its cached
+    /// value (the envelope's `switch_id` names the switch): cached state
+    /// derived from that switch is stale.
+    EpochMismatch {
+        /// The epoch the host had cached.
+        expected: u32,
+        /// The epoch the probe reported.
+        observed: u32,
+    },
 }
 
 impl TraceEventKind {
@@ -241,6 +293,13 @@ impl TraceEventKind {
             TraceEventKind::Drop { .. } => Stage::Enqueue,
             TraceEventKind::Dequeue { .. } => Stage::Dequeue,
             TraceEventKind::HostHopRecord { .. } => Stage::Host,
+            TraceEventKind::LinkDown { .. }
+            | TraceEventKind::LinkUp { .. }
+            | TraceEventKind::SwitchReboot { .. }
+            | TraceEventKind::CorruptionInjected { .. } => Stage::Fault,
+            TraceEventKind::ProbeRetry { .. }
+            | TraceEventKind::ProbeTimeout { .. }
+            | TraceEventKind::EpochMismatch { .. } => Stage::Host,
         }
     }
 
@@ -256,6 +315,13 @@ impl TraceEventKind {
             TraceEventKind::Drop { .. } => "drop",
             TraceEventKind::Dequeue { .. } => "dequeue",
             TraceEventKind::HostHopRecord { .. } => "host_hop",
+            TraceEventKind::LinkDown { .. } => "link_down",
+            TraceEventKind::LinkUp { .. } => "link_up",
+            TraceEventKind::SwitchReboot { .. } => "switch_reboot",
+            TraceEventKind::CorruptionInjected { .. } => "corruption_injected",
+            TraceEventKind::ProbeRetry { .. } => "probe_retry",
+            TraceEventKind::ProbeTimeout { .. } => "probe_timeout",
+            TraceEventKind::EpochMismatch { .. } => "epoch_mismatch",
         }
     }
 }
@@ -346,6 +412,24 @@ impl TraceEvent {
             TraceEventKind::HostHopRecord { hop, words } => {
                 let joined: Vec<String> = words.iter().map(u32::to_string).collect();
                 s.push_str(&format!(",\"hop\":{hop},\"words\":[{}]", joined.join(",")));
+            }
+            TraceEventKind::LinkDown { port } | TraceEventKind::LinkUp { port } => {
+                s.push_str(&format!(",\"port\":{port}"));
+            }
+            TraceEventKind::SwitchReboot { epoch } => {
+                s.push_str(&format!(",\"epoch\":{epoch}"));
+            }
+            TraceEventKind::CorruptionInjected { port, byte, bit } => {
+                s.push_str(&format!(",\"port\":{port},\"byte\":{byte},\"bit\":{bit}"));
+            }
+            TraceEventKind::ProbeRetry { nonce, attempt } => {
+                s.push_str(&format!(",\"nonce\":{nonce},\"attempt\":{attempt}"));
+            }
+            TraceEventKind::ProbeTimeout { nonce, retries } => {
+                s.push_str(&format!(",\"nonce\":{nonce},\"retries\":{retries}"));
+            }
+            TraceEventKind::EpochMismatch { expected, observed } => {
+                s.push_str(&format!(",\"expected\":{expected},\"observed\":{observed}"));
             }
         }
         s.push('}');
@@ -447,6 +531,40 @@ impl TraceEvent {
                     format!("hop={hop} words={}", joined.join("|")),
                 )
             }
+            TraceEventKind::LinkDown { port } | TraceEventKind::LinkUp { port } => {
+                (Some(*port), None, None, None, String::new())
+            }
+            TraceEventKind::SwitchReboot { epoch } => {
+                (None, None, None, None, format!("epoch={epoch}"))
+            }
+            TraceEventKind::CorruptionInjected { port, byte, bit } => (
+                Some(*port),
+                None,
+                None,
+                None,
+                format!("byte={byte} bit={bit}"),
+            ),
+            TraceEventKind::ProbeRetry { nonce, attempt } => (
+                None,
+                None,
+                None,
+                None,
+                format!("nonce={nonce} attempt={attempt}"),
+            ),
+            TraceEventKind::ProbeTimeout { nonce, retries } => (
+                None,
+                None,
+                None,
+                None,
+                format!("nonce={nonce} retries={retries}"),
+            ),
+            TraceEventKind::EpochMismatch { expected, observed } => (
+                None,
+                None,
+                None,
+                None,
+                format!("expected={expected} observed={observed}"),
+            ),
         };
         let opt = |x: Option<u64>| x.map(|v| v.to_string()).unwrap_or_default();
         format!(
@@ -566,6 +684,44 @@ mod tests {
         let csv = String::from_utf8(csv).unwrap();
         assert_eq!(csv.lines().count(), 4, "header + 3 rows");
         assert!(csv.lines().nth(3).unwrap().contains("words=1|2|3"));
+    }
+
+    #[test]
+    fn fault_events_serialize() {
+        let e = ev(TraceEventKind::LinkDown { port: 3 });
+        assert_eq!(e.kind.stage(), Stage::Fault);
+        assert!(e.to_json().contains("\"event\":\"link_down\""));
+        assert!(e.to_json().contains("\"port\":3"));
+
+        let e = ev(TraceEventKind::SwitchReboot { epoch: 2 });
+        assert!(e.to_json().contains("\"epoch\":2"));
+        assert!(e.to_csv_row().contains("epoch=2"));
+
+        let e = ev(TraceEventKind::CorruptionInjected {
+            port: 1,
+            byte: 20,
+            bit: 5,
+        });
+        assert!(e.to_json().contains("\"byte\":20"));
+
+        let e = ev(TraceEventKind::ProbeRetry {
+            nonce: 42,
+            attempt: 1,
+        });
+        assert_eq!(e.kind.stage(), Stage::Host);
+        assert!(e.to_json().contains("\"nonce\":42"));
+
+        let e = ev(TraceEventKind::ProbeTimeout {
+            nonce: 42,
+            retries: 3,
+        });
+        assert!(e.to_csv_row().contains("retries=3"));
+
+        let e = ev(TraceEventKind::EpochMismatch {
+            expected: 0,
+            observed: 1,
+        });
+        assert!(e.to_json().contains("\"observed\":1"));
     }
 
     #[test]

@@ -277,8 +277,13 @@ impl<T: AsRef<[u8]>> TppPacket<T> {
     }
 
     /// The words pushed so far in stack mode (`memory[0..sp]`).
+    ///
+    /// `sp` is clamped to packet memory: `set_sp` defers bounds
+    /// enforcement to execution time, so a corrupted or maliciously set
+    /// stack pointer must degrade to a short read, not a panic.
     pub fn stack_words(&self) -> Vec<u32> {
-        (0..self.sp() / WORD_SIZE)
+        let limit = self.sp().min(self.mem_len());
+        (0..limit / WORD_SIZE)
             .map(|i| self.read_word(i * WORD_SIZE).expect("in bounds"))
             .collect()
     }

@@ -63,6 +63,68 @@ proptest! {
         }
     }
 
+    /// A valid TPP truncated at any point either fails to parse or
+    /// parses into a view whose accessors stay in bounds. Truncation is
+    /// what a switch that mangles a frame mid-transfer produces; the
+    /// builder's own asserts (instruction-count and 16-bit length
+    /// limits) live purely on the construction path and must be
+    /// unreachable from here.
+    #[test]
+    fn truncated_tpp_never_panics(insns in proptest::collection::vec(any::<u32>(), 0..16),
+                                  mem in proptest::collection::vec(any::<u32>(), 0..32),
+                                  payload in proptest::collection::vec(any::<u8>(), 0..32),
+                                  cut in any::<u16>()) {
+        let bytes = TppBuilder::new(AddressingMode::Stack)
+            .instructions(&insns)
+            .memory_init(&mem)
+            .payload(&payload)
+            .build();
+        let cut = cut as usize % (bytes.len() + 1);
+        if let Ok(tpp) = TppPacket::new_checked(&bytes[..cut]) {
+            let _ = tpp.flags();
+            let _ = tpp.instruction_words();
+            let _ = tpp.memory_words();
+            let _ = tpp.stack_words();
+            let _ = tpp.inner_payload();
+            let _ = tpp.hop_base();
+        }
+    }
+
+    /// A valid TPP with one bit flipped in flight (exactly what a
+    /// corruption fault injects) either fails validation or parses into
+    /// a view on which even the *mutable* ops — the ones a TCPU performs
+    /// — return errors instead of panicking.
+    #[test]
+    fn bit_flipped_tpp_never_panics(insns in proptest::collection::vec(any::<u32>(), 1..16),
+                                    mem in proptest::collection::vec(any::<u32>(), 0..32),
+                                    flip in any::<u16>(),
+                                    bit in 0u8..8,
+                                    hop in any::<u8>(),
+                                    offset in 0usize..256,
+                                    sp in 0usize..256) {
+        let mut bytes = TppBuilder::new(AddressingMode::Hop)
+            .instructions(&insns)
+            .memory_init(&mem)
+            .per_hop_words(2)
+            .build();
+        let i = flip as usize % bytes.len();
+        bytes[i] ^= 1 << bit;
+        if let Ok(mut tpp) = TppPacket::new_checked(&mut bytes[..]) {
+            let _ = tpp.instruction_words();
+            let _ = tpp.memory_words();
+            let _ = tpp.hop_base();
+            tpp.set_hop(hop);
+            tpp.advance_hop();
+            let _ = tpp.hop_base();
+            let _ = tpp.write_word(offset, 0xdead_beef);
+            tpp.set_sp(sp);
+            let _ = tpp.push_word(1);
+            let _ = tpp.pop_word();
+            let _ = tpp.stack_words();
+            let _ = tpp.inner_payload();
+        }
+    }
+
     /// Pushing words never writes outside packet memory, and the stack
     /// content equals the sequence of successful pushes.
     #[test]

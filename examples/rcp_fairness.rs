@@ -8,8 +8,15 @@
 //! then 1/2, then 1/3.
 //!
 //! Run with: `cargo run --release --example rcp_fairness`
+//!
+//! Pass `--faults` (optionally `--faults=SEED`) to run the same
+//! experiment under a seeded chaos schedule — a corruption window on the
+//! bottleneck, a link flap at 12 s, and a reboot of the bottleneck
+//! switch at 22 s — and print the injected-fault and probe-reliability
+//! counters next to the convergence table.
 
 use tpp::apps::rcpstar::{init_rate_registers, RcpStarConfig, RcpStarSender};
+use tpp::netsim::{Endpoint, FaultPlan};
 use tpp::prelude::*;
 use tpp::rcp_ref::{FlowSchedule, RcpFluidSim, RcpParams};
 
@@ -55,7 +62,41 @@ fn main() {
     for sw in [bell.left, bell.right] {
         init_rate_registers(sim.switch_mut(sw));
     }
+
+    // `--faults[=SEED]`: overlay a chaos schedule on the same run.
+    let faults_seed: Option<u64> = std::env::args().find_map(|a| {
+        a.strip_prefix("--faults").map(|rest| {
+            rest.strip_prefix('=')
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(7)
+        })
+    });
+    if let Some(seed) = faults_seed {
+        let bottleneck = Endpoint::switch(bell.left, bell.bottleneck_port);
+        let mut plan = FaultPlan::new(seed);
+        plan.corrupt_window(time::secs(5), time::secs(6), bottleneck, 200)
+            .link_flap(time::secs(12), time::millis(12_300), bottleneck)
+            .switch_reboot(time::secs(22), bell.left);
+        sim.install_faults(&plan);
+        println!("# chaos schedule installed (seed {seed}): corruption 5-6 s, flap 12-12.3 s, reboot 22 s");
+    }
+
     sim.run_until(time::secs(DURATION_S));
+
+    if faults_seed.is_some() {
+        let f = sim.fault_counters();
+        println!(
+            "# injected: {} link-down drops, {} corrupted, {} duplicated, {} reordered, {} reboots",
+            f.link_down_drops, f.corrupted, f.duplicated, f.reordered, f.reboots
+        );
+        for (i, s) in bell.senders.iter().enumerate() {
+            let st = sim.host_app::<RcpStarSender>(*s).probe_stats();
+            println!(
+                "# flow {i} probes: {} sent, {} timed out, {} late, {} epoch mismatches",
+                st.sent, st.timeouts, st.late, st.epoch_mismatches
+            );
+        }
+    }
 
     // --- The Figure 2 series: R(t)/C for both systems ---
     let flow0 = &sim.host_app::<RcpStarSender>(bell.senders[0]).rate_trace;

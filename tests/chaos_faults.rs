@@ -1,0 +1,293 @@
+//! Chaos suite: seeded fault injection against the end-host reliability
+//! layer.
+//!
+//! The paper's architecture deliberately gives TPPs *no* network-level
+//! reliability — "TPPs are forwarded just like other packets" — and
+//! pushes loss, duplication, reordering, and switch failure onto the
+//! end-host task. These tests schedule exactly that misbehavior with a
+//! [`FaultPlan`] and assert the tasks survive:
+//!
+//! 1. RCP\* re-converges to the fair rate after the bottleneck link
+//!    flaps (probes black-holed, then restored).
+//! 2. The CSTORE shared counter stays exactly-once under combined loss,
+//!    reordering, and duplication windows.
+//! 3. A switch reboot mid-run wipes SRAM and bumps `Switch:BootEpoch`;
+//!    hosts notice the epoch change and re-seed the rate register.
+//! 4. The same plan (same seed, same schedule) replays to a
+//!    byte-identical trace event sequence; a plan-free run injects
+//!    nothing.
+
+use tpp::apps::cstore::{CounterTask, CounterWriteMode};
+use tpp::apps::rcpstar::{init_rate_registers, RcpStarConfig, RcpStarSender, RCP_RATE_REGISTER};
+use tpp::host::EchoReceiver;
+use tpp::netsim::{
+    dumbbell, time, ChannelProfile, Dumbbell, DumbbellParams, Endpoint, FaultCounters, FaultPlan,
+    HostApp, Simulator,
+};
+use tpp::telemetry::TraceEventKind;
+use tpp::wire::EthernetAddress;
+
+const C_BPS: f64 = 10e6; // dumbbell default bottleneck
+
+fn rcp_dumbbell(n_flows: usize) -> (Simulator, Dumbbell) {
+    let apps: Vec<(Box<dyn HostApp>, Box<dyn HostApp>)> = (0..n_flows)
+        .map(|i| {
+            let dst = EthernetAddress::from_host_id((2 * i + 1) as u32);
+            (
+                Box::new(RcpStarSender::new(dst, RcpStarConfig::default())) as Box<dyn HostApp>,
+                Box::new(EchoReceiver::default()) as Box<dyn HostApp>,
+            )
+        })
+        .collect();
+    let (mut sim, bell) = dumbbell(
+        DumbbellParams {
+            n_pairs: n_flows,
+            ..Default::default()
+        },
+        apps,
+    );
+    for sw in [bell.left, bell.right] {
+        init_rate_registers(sim.switch_mut(sw));
+    }
+    (sim, bell)
+}
+
+fn mean_rate_in_window(trace: &[(u64, u64)], lo_ns: u64, hi_ns: u64) -> f64 {
+    let w: Vec<u64> = trace
+        .iter()
+        .filter(|(t, _)| *t >= lo_ns && *t < hi_ns)
+        .map(|(_, r)| *r)
+        .collect();
+    assert!(!w.is_empty(), "no rate samples in window");
+    w.iter().sum::<u64>() as f64 / w.len() as f64
+}
+
+/// Scenario 1: the bottleneck link flaps for 300 ms (taking probes,
+/// echoes, and data with it) and a corruption window garbles TPP bits.
+/// The flow must lose probes, keep running, and re-converge to within
+/// 10% of the fair rate.
+#[test]
+fn rcp_reconverges_after_bottleneck_flap() {
+    let (mut sim, bell) = rcp_dumbbell(1);
+    let bottleneck = Endpoint::switch(bell.left, bell.bottleneck_port);
+    let mut plan = FaultPlan::new(0xc4a0_5001);
+    plan.corrupt_window(time::secs(1), time::millis(1500), bottleneck, 300)
+        .link_flap(time::secs(2), time::millis(2300), bottleneck);
+    sim.install_faults(&plan);
+    sim.run_until(time::secs(6));
+
+    let counters = sim.fault_counters();
+    // A flap takes both directions of the full-duplex link down.
+    assert_eq!(counters.link_downs, 2);
+    assert!(counters.link_down_drops > 0, "the flap black-holed frames");
+    assert!(counters.corrupted > 0, "the corruption window fired");
+
+    let sender = sim.host_app::<RcpStarSender>(bell.senders[0]);
+    assert!(
+        sender.probe_stats().timeouts > 0,
+        "probes died during the flap and were detected"
+    );
+    let late = mean_rate_in_window(&sender.rate_trace, time::millis(4500), time::secs(6));
+    let r_over_c = late / C_BPS;
+    assert!(
+        (r_over_c - 1.0).abs() < 0.1,
+        "flow should re-converge to the fair rate, got R/C = {r_over_c}"
+    );
+}
+
+/// Scenario 2: three linearizable writers increment a shared counter
+/// while their access links lose, reorder, and duplicate frames in both
+/// directions. Every increment must apply exactly once.
+#[test]
+fn cstore_counter_exact_under_loss_reorder_duplication() {
+    const GOAL: u32 = 15;
+    const WORD: usize = 4;
+    let n = 3;
+    let apps: Vec<(Box<dyn HostApp>, Box<dyn HostApp>)> = (0..n)
+        .map(|i| {
+            let dst = EthernetAddress::from_host_id((2 * i + 1) as u32);
+            (
+                Box::new(CounterTask::new(
+                    dst,
+                    1, // dumbbell left switch
+                    WORD,
+                    GOAL,
+                    CounterWriteMode::Linearizable,
+                )) as Box<dyn HostApp>,
+                Box::new(EchoReceiver::default()) as Box<dyn HostApp>,
+            )
+        })
+        .collect();
+    let (mut sim, bell) = dumbbell(
+        DumbbellParams {
+            n_pairs: n,
+            bottleneck_kbps: 100_000,
+            ..Default::default()
+        },
+        apps,
+    );
+
+    // Persistent 8% loss on every host access link: probes die on the
+    // way out, echoes die on the way back.
+    let mut plan = FaultPlan::new(0xc4a0_5002);
+    for h in bell.senders.iter().chain(&bell.receivers) {
+        let ep = Endpoint::host(*h);
+        assert_eq!(sim.set_link_loss(ep, 80), 80);
+        // One combined window per endpoint: a later SetChannel replaces
+        // the profile, so duplication + reordering must ride together.
+        plan.channel_window(
+            time::micros(1),
+            time::secs(10),
+            ep,
+            ChannelProfile {
+                duplicate_permille: 200,
+                reorder_permille: 300,
+                reorder_spread_ns: time::millis(2),
+                ..ChannelProfile::default()
+            },
+        );
+    }
+    sim.install_faults(&plan);
+    sim.run_until(time::secs(30));
+
+    let counters = sim.fault_counters();
+    assert!(counters.duplicated > 0, "duplication window fired");
+    assert!(counters.reordered > 0, "reorder window fired");
+
+    let mut retries = 0;
+    let mut dedup = 0;
+    for s in &bell.senders {
+        let task = sim.host_app::<CounterTask>(*s);
+        assert!(task.done(), "writer did not finish under chaos");
+        assert_eq!(task.completed, GOAL);
+        retries += task.probe_stats().retries;
+        dedup += task.probe_stats().duplicates;
+    }
+    assert!(retries > 0, "loss forced retries");
+    assert!(dedup > 0, "duplicated echoes were suppressed");
+
+    let value = sim.switch(bell.left).global_sram().word(WORD).unwrap();
+    assert_eq!(
+        value,
+        n as u32 * GOAL,
+        "increments must be exactly-once under loss+reorder+duplication"
+    );
+}
+
+/// Scenario 3: the bottleneck switch reboots mid-run. SRAM (including
+/// the RCP rate register) is wiped and `Switch:BootEpoch` bumps; the
+/// host detects the epoch change, re-seeds its cached view, and the
+/// flow re-converges. Nothing panics.
+#[test]
+fn switch_reboot_detected_and_reseeded() {
+    let (mut sim, bell) = rcp_dumbbell(1);
+    let sink = sim.trace_all(1 << 20);
+    let mut plan = FaultPlan::new(0xc4a0_5003);
+    plan.switch_reboot(time::secs(2), bell.left);
+    sim.install_faults(&plan);
+    sim.run_until(time::secs(6));
+
+    assert_eq!(sim.fault_counters().reboots, 1);
+    assert_eq!(sim.boot_epoch(bell.left), 1, "epoch bumped by the reboot");
+    assert_eq!(
+        sim.boot_epoch(bell.right),
+        0,
+        "only the left switch rebooted"
+    );
+
+    let reboots: Vec<_> = sink
+        .events()
+        .into_iter()
+        .filter(|e| matches!(e.kind, TraceEventKind::SwitchReboot { epoch: 1 }))
+        .collect();
+    assert_eq!(reboots.len(), 1, "reboot traced exactly once");
+
+    let sender = sim.host_app::<RcpStarSender>(bell.senders[0]);
+    assert!(
+        sender.probe_stats().epoch_mismatches >= 1,
+        "host observed the epoch change"
+    );
+    // The wiped rate register was re-seeded by the host's control loop.
+    let reg = sim
+        .switch(bell.left)
+        .link_sram(bell.bottleneck_port)
+        .and_then(|s| s.word(RCP_RATE_REGISTER.word_index()))
+        .unwrap();
+    assert!(reg > 0, "rate register re-seeded after the wipe");
+    let late = mean_rate_in_window(&sender.rate_trace, time::millis(4500), time::secs(6));
+    let r_over_c = late / C_BPS;
+    assert!(
+        (r_over_c - 1.0).abs() < 0.1,
+        "flow should re-converge after the reboot, got R/C = {r_over_c}"
+    );
+}
+
+fn chaotic_run(seed: u64) -> (Vec<String>, FaultCounters) {
+    let (mut sim, bell) = rcp_dumbbell(2);
+    let sink = sim.trace_all(1 << 20);
+    let host0 = Endpoint::host(bell.senders[0]);
+    let bottleneck = Endpoint::switch(bell.left, bell.bottleneck_port);
+    let mut plan = FaultPlan::new(seed);
+    plan.duplicate_window(time::millis(200), time::secs(2), host0, 300)
+        .reorder_window(
+            time::millis(200),
+            time::secs(2),
+            bottleneck,
+            300,
+            time::millis(1),
+        )
+        .corrupt_window(time::secs(1), time::secs(2), bottleneck, 200)
+        .link_flap(time::millis(2500), time::millis(2700), host0)
+        .switch_reboot(time::secs(3), bell.right);
+    sim.install_faults(&plan);
+    sim.run_until(time::secs(4));
+    let rows = sink.events().iter().map(|e| e.to_csv_row()).collect();
+    (rows, sim.fault_counters())
+}
+
+/// Scenario 4a: identical plans replay identically — same seed, same
+/// schedule, byte-identical trace event sequence.
+#[test]
+fn identical_fault_plans_replay_byte_identically() {
+    let (rows_a, counters_a) = chaotic_run(0xdead_beef);
+    let (rows_b, counters_b) = chaotic_run(0xdead_beef);
+    assert!(!rows_a.is_empty());
+    assert_eq!(counters_a, counters_b);
+    assert_eq!(rows_a, rows_b, "same seed must replay identically");
+
+    // A different seed rolls different per-frame dice.
+    let (_, counters_c) = chaotic_run(0x0bad_cafe);
+    assert_ne!(
+        (
+            counters_a.duplicated,
+            counters_a.corrupted,
+            counters_a.reordered
+        ),
+        (
+            counters_c.duplicated,
+            counters_c.corrupted,
+            counters_c.reordered
+        ),
+        "different seed, different chaos"
+    );
+}
+
+/// Scenario 4b: without an installed plan nothing is injected — the
+/// fault layer is invisible to fault-free runs.
+#[test]
+fn plan_free_runs_inject_nothing() {
+    let (mut sim, _bell) = rcp_dumbbell(1);
+    let sink = sim.trace_all(1 << 20);
+    sim.run_until(time::secs(1));
+    assert_eq!(sim.fault_counters(), FaultCounters::default());
+    assert!(
+        sink.events().iter().all(|e| !matches!(
+            e.kind,
+            TraceEventKind::LinkDown { .. }
+                | TraceEventKind::LinkUp { .. }
+                | TraceEventKind::SwitchReboot { .. }
+                | TraceEventKind::CorruptionInjected { .. }
+        )),
+        "no fault events without a plan"
+    );
+}
