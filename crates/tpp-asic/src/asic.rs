@@ -18,6 +18,7 @@ use crate::sram::{SramError, SramView, SramViewMut};
 use crate::stats::{PortStats, QueueStats, SwitchRegs};
 use crate::tables::{FlowAction, FlowEntry, FlowKey, L2Table, LpmTable, Tcam};
 use crate::tcpu::{ExecReport, Tcpu};
+use std::collections::HashMap;
 use tpp_telemetry::{DropKind, LookupKind, TcpuOutcome, TraceEvent, TraceEventKind, TraceSink};
 use tpp_wire::ethernet::{EtherType, Frame, ETHERNET_HEADER_LEN};
 use tpp_wire::tpp::TppPacket;
@@ -154,6 +155,26 @@ impl Port {
     }
 }
 
+/// The cached resolution of one exact-match flow: enough to replay the
+/// registers and trace events of a full table walk without touching the
+/// tables. Valid only for the generation it was inserted under.
+#[derive(Debug, Clone, Copy)]
+enum CachedLookup {
+    /// A table produced an egress decision.
+    Forward {
+        table: LookupKind,
+        port: PortId,
+        queue: QueueId,
+        entry_id: u32,
+        entry_version: u32,
+        alternates: u32,
+    },
+    /// A TCAM entry's action was `Drop` (counts as a TCAM hit).
+    FlowDrop { entry_id: u32 },
+    /// No table matched.
+    Miss,
+}
+
 /// A TPP-capable switch ASIC.
 pub struct Asic {
     config: AsicConfig,
@@ -164,6 +185,18 @@ pub struct Asic {
     tcam: Tcam,
     global_sram: Vec<u32>,
     tcpu: Tcpu,
+    /// Exact-match fast path in front of the TCAM→L3→L2 walk. Entries
+    /// are valid only while `flow_cache_gen == table_gen`; any table
+    /// mutation bumps `table_gen` and the next lookup flushes the cache.
+    flow_cache: HashMap<FlowKey, CachedLookup>,
+    /// Generation the cache contents were built under.
+    flow_cache_gen: u64,
+    /// Current table generation: bumped by `install_flow`, `remove_flow`,
+    /// `l2_mut`, `l3_mut` (handing out `&mut` counts as a mutation) and
+    /// `reset`.
+    table_gen: u64,
+    flow_cache_hits: u64,
+    flow_cache_misses: u64,
     /// Structured trace sink; `None` (the default) keeps every stage's
     /// emission down to one branch.
     trace: Option<Box<dyn TraceSink>>,
@@ -184,7 +217,12 @@ impl Asic {
             l3: LpmTable::new(),
             tcam: Tcam::new(),
             global_sram: vec![0; config.global_sram_words],
-            tcpu: Tcpu::new(config.tcpu_cycle_budget),
+            tcpu: Tcpu::new(config.tcpu_cycle_budget).with_decode_cache(config.decode_cache_slots),
+            flow_cache: HashMap::new(),
+            flow_cache_gen: 0,
+            table_gen: 0,
+            flow_cache_hits: 0,
+            flow_cache_misses: 0,
             trace: None,
             config,
         }
@@ -251,13 +289,17 @@ impl Asic {
         self.ports[port as usize].queues[queue as usize].len_bytes()
     }
 
-    /// The L2 MAC table (control-plane access).
+    /// The L2 MAC table (control-plane access). Handing out `&mut`
+    /// conservatively counts as a mutation and invalidates the flow cache.
     pub fn l2_mut(&mut self) -> &mut L2Table {
+        self.table_gen = self.table_gen.wrapping_add(1);
         &mut self.l2
     }
 
-    /// The L3 LPM table (control-plane access).
+    /// The L3 LPM table (control-plane access). Handing out `&mut`
+    /// conservatively counts as a mutation and invalidates the flow cache.
     pub fn l3_mut(&mut self) -> &mut LpmTable {
+        self.table_gen = self.table_gen.wrapping_add(1);
         &mut self.l3
     }
 
@@ -271,6 +313,7 @@ impl Asic {
     pub fn install_flow(&mut self, entry: FlowEntry) {
         self.tcam.install(entry);
         self.regs.flow_table_version = self.regs.flow_table_version.wrapping_add(1);
+        self.table_gen = self.table_gen.wrapping_add(1);
     }
 
     /// Remove a TCAM flow entry (also bumps the table version).
@@ -278,8 +321,19 @@ impl Asic {
         let removed = self.tcam.remove(id);
         if removed.is_some() {
             self.regs.flow_table_version = self.regs.flow_table_version.wrapping_add(1);
+            self.table_gen = self.table_gen.wrapping_add(1);
         }
         removed
+    }
+
+    /// Flow-cache `(hits, misses)` since construction or the last reset.
+    pub fn flow_cache_stats(&self) -> (u64, u64) {
+        (self.flow_cache_hits, self.flow_cache_misses)
+    }
+
+    /// Decode-cache `(hits, misses)`; `(0, 0)` when the cache is off.
+    pub fn decode_cache_stats(&self) -> (u64, u64) {
+        self.tcpu.decode_cache_stats()
     }
 
     /// Reconfigure a port's ingress TPP filter (the §4 edge policy).
@@ -349,6 +403,16 @@ impl Asic {
         self.l2 = L2Table::new();
         self.l3 = LpmTable::new();
         self.tcam = Tcam::new();
+        // Both hot-path caches are volatile state too: the flow cache is
+        // invalidated by the generation bump, and the decode cache loses
+        // its warmed programs along with its hit counters.
+        self.table_gen = self.table_gen.wrapping_add(1);
+        self.flow_cache.clear();
+        self.flow_cache_gen = self.table_gen;
+        self.flow_cache_hits = 0;
+        self.flow_cache_misses = 0;
+        self.tcpu = Tcpu::new(self.config.tcpu_cycle_budget)
+            .with_decode_cache(self.config.decode_cache_slots);
         self.global_sram.fill(0);
         let link_sram_words = self.config.link_sram_words;
         for port in &mut self.ports {
@@ -376,6 +440,12 @@ impl Asic {
                 queue.stats().export_metrics(registry);
             }
         }
+        let (fh, fm) = self.flow_cache_stats();
+        registry.add("switch.flow_cache_hits", fh);
+        registry.add("switch.flow_cache_misses", fm);
+        let (dh, dm) = self.decode_cache_stats();
+        registry.add("switch.decode_cache_hits", dh);
+        registry.add("switch.decode_cache_misses", dm);
     }
 
     /// Fold per-port byte windows into the utilization EWMAs. The owner
@@ -389,7 +459,7 @@ impl Asic {
     }
 
     /// Process one arriving frame through the full pipeline.
-    pub fn handle_frame(&mut self, frame: Vec<u8>, in_port: PortId, now_ns: u64) -> Outcome {
+    pub fn handle_frame(&mut self, mut frame: Vec<u8>, in_port: PortId, now_ns: u64) -> Outcome {
         assert!(
             (in_port as usize) < self.ports.len(),
             "in_port {in_port} out of range"
@@ -430,7 +500,7 @@ impl Asic {
         }
 
         // --- §4 edge security filter on ingress ---
-        let frame = if is_tpp {
+        if is_tpp {
             match self.ports[in_port as usize].config.ingress_tpp_filter {
                 Some(StripAction::Drop) => {
                     if self.trace.is_some() {
@@ -454,10 +524,12 @@ impl Asic {
                             action: "unwrap",
                         });
                     }
-                    match strip_tpp(&frame) {
-                        Some(stripped) => {
-                            // The stripped frame is an ordinary packet now.
-                            return self.forward_plain(stripped, in_port, now_ns);
+                    return match strip_tpp(&mut frame) {
+                        Some(inner_ethertype) => {
+                            // The stripped frame is an ordinary packet now
+                            // (unless the inner payload was itself a TPP).
+                            let inner_is_tpp = EtherType(inner_ethertype) == EtherType::TPP;
+                            self.forward_plain(frame, in_port, now_ns, inner_is_tpp)
                         }
                         None => {
                             if self.trace.is_some() {
@@ -466,47 +538,76 @@ impl Asic {
                                     port: None,
                                 });
                             }
-                            return Outcome::Dropped {
+                            Outcome::Dropped {
                                 reason: DropReason::EdgeFiltered,
-                            };
+                            }
                         }
-                    }
+                    };
                 }
-                None => frame,
+                None => {}
             }
-        } else {
-            frame
-        };
+        }
 
         if is_tpp {
             self.forward_tpp(frame, in_port, now_ns)
         } else {
-            self.forward_plain(frame, in_port, now_ns)
+            self.forward_plain(frame, in_port, now_ns, false)
         }
     }
 
     /// Forwarding lookup shared by both paths. Returns the egress port,
     /// egress queue, matched entry info, and route diversity.
+    ///
+    /// With the flow cache on, repeated packets of a flow skip the table
+    /// walk entirely; the cached resolution replays the same registers and
+    /// trace events through [`Asic::commit_lookup`], so the cache is
+    /// invisible to TPPs and telemetry alike.
     fn lookup(&mut self, key: &FlowKey) -> Result<(PortId, QueueId, u32, u32, u32), DropReason> {
+        let capacity = self.config.flow_cache_entries;
+        let resolved = if capacity > 0 {
+            if self.flow_cache_gen != self.table_gen {
+                self.flow_cache.clear();
+                self.flow_cache_gen = self.table_gen;
+            }
+            match self.flow_cache.get(key) {
+                Some(&cached) => {
+                    self.flow_cache_hits += 1;
+                    cached
+                }
+                None => {
+                    self.flow_cache_misses += 1;
+                    let resolved = self.lookup_tables(key);
+                    if self.flow_cache.len() >= capacity {
+                        // Wholesale eviction keeps the worst case at one
+                        // rebuild per `capacity` distinct flows.
+                        self.flow_cache.clear();
+                    }
+                    self.flow_cache.insert(*key, resolved);
+                    resolved
+                }
+            }
+        } else {
+            self.lookup_tables(key)
+        };
+        self.commit_lookup(resolved)
+    }
+
+    /// The pure TCAM→L3→L2 walk: no register or trace side effects, so a
+    /// result can be cached and replayed later with identical observable
+    /// behavior.
+    fn lookup_tables(&self, key: &FlowKey) -> CachedLookup {
         // TCAM first (highest precedence, SDN-style), then L3 for IPv4,
         // then L2 exact match.
         if let Some(entry) = self.tcam.lookup(key) {
-            // Copy the matched fields out before emitting: `emit` needs
-            // `&mut self` while `entry` borrows the TCAM.
-            let (action, entry_id, entry_version) = (entry.action, entry.id, entry.version);
-            self.regs.tcam_hits += 1;
-            return match action {
-                FlowAction::Forward(port) => {
-                    if self.trace.is_some() {
-                        self.emit(TraceEventKind::Lookup {
-                            table: LookupKind::Tcam,
-                            out_port: port,
-                            queue: 0,
-                            entry_id,
-                        });
-                    }
-                    Ok((port, 0, entry_id, entry_version, self.route_diversity(key)))
-                }
+            return match entry.action {
+                FlowAction::Forward(port) => CachedLookup::Forward {
+                    table: LookupKind::Tcam,
+                    port,
+                    queue: 0,
+                    entry_id: entry.id,
+                    entry_version: entry.version,
+                    alternates: self.route_diversity(key),
+                },
                 FlowAction::ForwardQueue(port, queue) => {
                     let n_queues = self
                         .ports
@@ -516,55 +617,83 @@ impl Asic {
                     // An action naming a queue the port does not have
                     // degrades to the lowest-priority queue.
                     let queue = (queue as usize).min(n_queues.saturating_sub(1)) as QueueId;
-                    if self.trace.is_some() {
-                        self.emit(TraceEventKind::Lookup {
-                            table: LookupKind::Tcam,
-                            out_port: port,
-                            queue,
-                            entry_id,
-                        });
-                    }
-                    Ok((
+                    CachedLookup::Forward {
+                        table: LookupKind::Tcam,
                         port,
                         queue,
-                        entry_id,
-                        entry_version,
-                        self.route_diversity(key),
-                    ))
+                        entry_id: entry.id,
+                        entry_version: entry.version,
+                        alternates: self.route_diversity(key),
+                    }
                 }
-                FlowAction::Drop => Err(DropReason::FlowDrop { entry_id }),
+                FlowAction::Drop => CachedLookup::FlowDrop { entry_id: entry.id },
             };
         }
-        if let Some(ip) = key.ipv4_dst {
-            if let Some(port) = self.l3.lookup(ip) {
-                self.regs.l3_hits += 1;
-                if self.trace.is_some() {
-                    self.emit(TraceEventKind::Lookup {
-                        table: LookupKind::L3,
-                        out_port: port,
-                        queue: 0,
-                        entry_id: 0,
-                    });
-                }
-                return Ok((port, 0, 0, 0, self.route_diversity(key)));
-            }
+        if let Some(port) = key.ipv4_dst.and_then(|ip| self.l3.lookup(ip)) {
+            return CachedLookup::Forward {
+                table: LookupKind::L3,
+                port,
+                queue: 0,
+                entry_id: 0,
+                entry_version: 0,
+                alternates: self.route_diversity(key),
+            };
         }
         if let Some(port) = self.l2.lookup(key.dst_mac) {
-            self.regs.l2_hits += 1;
-            if self.trace.is_some() {
-                self.emit(TraceEventKind::Lookup {
-                    table: LookupKind::L2,
-                    out_port: port,
-                    queue: 0,
-                    entry_id: 0,
-                });
+            return CachedLookup::Forward {
+                table: LookupKind::L2,
+                port,
+                queue: 0,
+                entry_id: 0,
+                entry_version: 0,
+                alternates: self.route_diversity(key),
+            };
+        }
+        CachedLookup::Miss
+    }
+
+    /// Apply a lookup resolution's side effects: bump the TPP-readable hit
+    /// registers and emit the trace event, exactly as the uncached walk
+    /// did. Cached and fresh lookups both funnel through here.
+    fn commit_lookup(
+        &mut self,
+        resolved: CachedLookup,
+    ) -> Result<(PortId, QueueId, u32, u32, u32), DropReason> {
+        match resolved {
+            CachedLookup::Forward {
+                table,
+                port,
+                queue,
+                entry_id,
+                entry_version,
+                alternates,
+            } => {
+                match table {
+                    LookupKind::Tcam => self.regs.tcam_hits += 1,
+                    LookupKind::L3 => self.regs.l3_hits += 1,
+                    LookupKind::L2 => self.regs.l2_hits += 1,
+                }
+                if self.trace.is_some() {
+                    self.emit(TraceEventKind::Lookup {
+                        table,
+                        out_port: port,
+                        queue,
+                        entry_id,
+                    });
+                }
+                Ok((port, queue, entry_id, entry_version, alternates))
             }
-            return Ok((port, 0, 0, 0, self.route_diversity(key)));
+            CachedLookup::FlowDrop { entry_id } => {
+                self.regs.tcam_hits += 1;
+                Err(DropReason::FlowDrop { entry_id })
+            }
+            CachedLookup::Miss => {
+                if self.trace.is_some() {
+                    self.emit(TraceEventKind::LookupMiss);
+                }
+                Err(DropReason::NoRoute)
+            }
         }
-        if self.trace.is_some() {
-            self.emit(TraceEventKind::LookupMiss);
-        }
-        Err(DropReason::NoRoute)
     }
 
     /// How many distinct tables could forward this packet — the model's
@@ -584,7 +713,13 @@ impl Asic {
         n
     }
 
-    fn forward_plain(&mut self, frame: Vec<u8>, in_port: PortId, _now_ns: u64) -> Outcome {
+    fn forward_plain(
+        &mut self,
+        frame: Vec<u8>,
+        in_port: PortId,
+        _now_ns: u64,
+        is_tpp: bool,
+    ) -> Outcome {
         let key = match flow_key(&frame, in_port) {
             Some(k) => k,
             None => return self.drop_frame(DropReason::ParseError),
@@ -593,7 +728,7 @@ impl Asic {
             Ok(ok) => ok,
             Err(reason) => return self.drop_frame(reason),
         };
-        self.enqueue(frame, out_port, queue_id, None)
+        self.enqueue(frame, out_port, queue_id, None, is_tpp)
     }
 
     /// Record a drop in the trace and build the outcome.
@@ -684,15 +819,19 @@ impl Asic {
             None
         };
 
-        self.enqueue(frame, out_port, queue_id, exec)
+        self.enqueue(frame, out_port, queue_id, exec, true)
     }
 
+    /// Admit a frame to its egress queue. `is_tpp` is threaded from the
+    /// parse stage (via the forward path) so the ECN check does not have
+    /// to re-parse the Ethernet header.
     fn enqueue(
         &mut self,
         mut frame: Vec<u8>,
         out_port: PortId,
         queue_id: QueueId,
         exec: Option<ExecReport>,
+        is_tpp: bool,
     ) -> Outcome {
         let len = frame.len() as u64;
         let traced = self.trace.is_some();
@@ -706,9 +845,6 @@ impl Asic {
         // supported on TPP-format frames (the reproduction's marked
         // header); occupancy is measured at enqueue, DCTCP-style.
         if let Some(threshold) = port.config.ecn_threshold_bytes {
-            let is_tpp = Frame::new_checked(&frame[..])
-                .map(|f| f.is_tpp())
-                .unwrap_or(false);
             if depth_before >= threshold as u64 && is_tpp {
                 if let Ok(mut tpp) = TppPacket::new_checked(&mut frame[ETHERNET_HEADER_LEN..]) {
                     let flags = tpp.flags();
@@ -821,22 +957,25 @@ fn flow_key(frame: &[u8], in_port: PortId) -> Option<FlowKey> {
     })
 }
 
-/// Remove a TPP section, restoring the encapsulated payload as an
-/// ordinary frame (the §4 "strip TPPs" edge action). Returns `None` when
-/// there is no meaningful inner payload to restore.
-fn strip_tpp(frame: &[u8]) -> Option<Vec<u8>> {
-    let parsed = Frame::new_checked(frame).ok()?;
+/// Remove a TPP section in place, restoring the encapsulated payload as
+/// an ordinary frame (the §4 "strip TPPs" edge action): the inner payload
+/// is shifted up against the Ethernet header (`copy_within`) and the
+/// frame truncated, reusing the arriving allocation. Returns the inner
+/// EtherType, or `None` when there is no meaningful payload to restore
+/// (the frame is then untouched).
+fn strip_tpp(frame: &mut Vec<u8>) -> Option<u16> {
+    let parsed = Frame::new_checked(&frame[..]).ok()?;
     let tpp = TppPacket::new_checked(parsed.payload()).ok()?;
     let inner_ethertype = tpp.inner_ethertype();
     if inner_ethertype == 0 || tpp.inner_payload().is_empty() {
         return None;
     }
-    let mut stripped = Vec::with_capacity(ETHERNET_HEADER_LEN + tpp.inner_payload().len());
-    stripped.extend_from_slice(&frame[..ETHERNET_HEADER_LEN]);
-    stripped.extend_from_slice(tpp.inner_payload());
-    let mut out = Frame::new_unchecked(&mut stripped[..]);
-    out.set_ethertype(EtherType(inner_ethertype));
-    Some(stripped)
+    let inner_start = ETHERNET_HEADER_LEN + tpp.tpp_len();
+    let inner_len = frame.len() - inner_start;
+    frame.copy_within(inner_start.., ETHERNET_HEADER_LEN);
+    frame.truncate(ETHERNET_HEADER_LEN + inner_len);
+    Frame::new_unchecked(&mut frame[..]).set_ethertype(EtherType(inner_ethertype));
+    Some(inner_ethertype)
 }
 
 #[cfg(test)]
@@ -1375,6 +1514,124 @@ mod tests {
             }
             ref other => panic!("expected drop, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn flow_cache_serves_repeats_and_tcam_mutations_invalidate() {
+        let mut asic = asic();
+        let mk = || {
+            build_frame(
+                EthernetAddress::from_host_id(1),
+                EthernetAddress::from_host_id(2),
+                EtherType(0x0800),
+                &[0u8; 32],
+            )
+        };
+        // First packet walks the tables, second is served from the cache.
+        assert_eq!(asic.handle_frame(mk(), 0, 0).egress(), Some((1, 0)));
+        assert_eq!(asic.handle_frame(mk(), 0, 1).egress(), Some((1, 0)));
+        assert_eq!(asic.flow_cache_stats(), (1, 1));
+        assert_eq!(asic.regs().l2_hits, 2, "cached hits still count");
+
+        // Installing a higher-precedence TCAM route must invalidate the
+        // cached L2 decision: stale packets would keep going to port 1.
+        asic.install_flow(FlowEntry {
+            id: 7,
+            version: 1,
+            priority: 10,
+            pattern: crate::tables::FlowMatch {
+                dst_mac: Some(EthernetAddress::from_host_id(1)),
+                ..Default::default()
+            },
+            action: FlowAction::Forward(3),
+        });
+        assert_eq!(asic.handle_frame(mk(), 0, 2).egress(), Some((3, 0)));
+        assert_eq!(asic.regs().tcam_hits, 1);
+
+        // Removing it must re-expose the L2 route.
+        asic.remove_flow(7);
+        assert_eq!(asic.handle_frame(mk(), 0, 3).egress(), Some((1, 0)));
+    }
+
+    #[test]
+    fn l2_and_l3_mutations_invalidate_cached_routes_and_misses() {
+        let mut asic = asic();
+        let unknown = || {
+            build_frame(
+                EthernetAddress::from_host_id(9),
+                EthernetAddress::from_host_id(1),
+                EtherType(0x0800),
+                &[0u8; 16],
+            )
+        };
+        // A cached *miss* must also be invalidated: learn the MAC and the
+        // same flow must start forwarding.
+        assert!(asic.handle_frame(unknown(), 0, 0).is_drop());
+        assert!(asic.handle_frame(unknown(), 0, 1).is_drop());
+        assert_eq!(asic.flow_cache_stats(), (1, 1));
+        asic.l2_mut().insert(EthernetAddress::from_host_id(9), 3);
+        assert_eq!(asic.handle_frame(unknown(), 0, 2).egress(), Some((3, 0)));
+
+        // An L3 route change must override a cached L2 decision for IPv4.
+        use tpp_wire::{build_ipv4, Ipv4Address};
+        let ip_frame = || {
+            let ip = build_ipv4(
+                Ipv4Address::new(192, 168, 0, 1),
+                Ipv4Address::new(10, 1, 2, 3),
+                17,
+                64,
+                b"datagram",
+            );
+            build_frame(
+                EthernetAddress::from_host_id(1),
+                EthernetAddress::from_host_id(2),
+                EtherType::IPV4,
+                &ip,
+            )
+        };
+        assert_eq!(
+            asic.handle_frame(ip_frame(), 0, 3).egress(),
+            Some((1, 0)),
+            "L2 route before the prefix exists"
+        );
+        asic.l3_mut().insert(0x0a000000, 8, 2);
+        assert_eq!(
+            asic.handle_frame(ip_frame(), 0, 4).egress(),
+            Some((2, 0)),
+            "LPM insert must invalidate the cached L2 decision"
+        );
+    }
+
+    #[test]
+    fn reset_invalidates_flow_cache() {
+        let mut asic = asic();
+        let mk = || {
+            build_frame(
+                EthernetAddress::from_host_id(1),
+                EthernetAddress::from_host_id(2),
+                EtherType(0x0800),
+                &[0u8; 32],
+            )
+        };
+        assert_eq!(asic.handle_frame(mk(), 0, 0).egress(), Some((1, 0)));
+        asic.reset(1_000);
+        // Tables were wiped; a stale cache would still forward to port 1.
+        assert!(asic.handle_frame(mk(), 0, 2_000).is_drop());
+        // Re-learn a different route post-reboot.
+        asic.l2_mut().insert(EthernetAddress::from_host_id(1), 2);
+        assert_eq!(asic.handle_frame(mk(), 0, 3_000).egress(), Some((2, 0)));
+    }
+
+    #[test]
+    fn decode_cache_hits_on_repeated_programs() {
+        let mut asic = asic();
+        for i in 0..4 {
+            assert!(asic
+                .handle_frame(tpp_frame("PUSH [Switch:SwitchID]", 2), 0, i)
+                .is_enqueued());
+        }
+        let (hits, misses) = asic.decode_cache_stats();
+        assert_eq!((hits, misses), (3, 1), "decode once, execute many");
     }
 
     #[test]

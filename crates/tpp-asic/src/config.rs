@@ -70,6 +70,16 @@ pub struct AsicConfig {
     /// EWMA weight (0..=1, applied per tick) for link utilization
     /// registers. Higher = more responsive, noisier.
     pub utilization_ewma_alpha: f64,
+    /// Slots in the TCPU's decoded-program cache (rounded up to a power
+    /// of two). `0` disables the cache and decodes every instruction of
+    /// every packet, which is the pre-cache behavior `perf_baseline`
+    /// measures against. Execution semantics are identical either way.
+    pub decode_cache_slots: usize,
+    /// Capacity of the exact-match flow cache fronting the TCAM→L3→L2
+    /// lookup chain. `0` disables the cache (every packet walks the
+    /// tables). Cached results are invalidated by a generation counter
+    /// bumped on any table mutation or `reset()`.
+    pub flow_cache_entries: usize,
 }
 
 impl AsicConfig {
@@ -83,7 +93,17 @@ impl AsicConfig {
             global_sram_words: 0x8000 / 4,
             link_sram_words: 0x1000 / 4,
             utilization_ewma_alpha: 0.5,
+            decode_cache_slots: 64,
+            flow_cache_entries: 1024,
         }
+    }
+
+    /// Disable both hot-path caches (decoded-program and flow lookup).
+    /// `perf_baseline` uses this to measure the uncached pipeline.
+    pub fn without_hot_path_caches(mut self) -> Self {
+        self.decode_cache_slots = 0;
+        self.flow_cache_entries = 0;
+        self
     }
 
     /// Set every port's capacity (convenience for uniform topologies).

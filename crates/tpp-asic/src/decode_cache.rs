@@ -1,0 +1,160 @@
+//! Decoded-program cache: the decode-once/execute-many half of the hot
+//! path.
+//!
+//! The paper's applications (RCP\*, microburst detection, the ndb probes)
+//! stamp the *identical* instruction program on every packet of a flow, yet
+//! the baseline TCPU re-decodes every word of every packet at every hop.
+//! This cache keys a decoded program on a hash of its raw instruction
+//! bytes, verified by an exact byte compare, so `Instruction::decode` runs
+//! once per distinct program instead of once per instruction per packet.
+//!
+//! Correctness: the cache stores the decoded prefix *and* the index of the
+//! first undecodable word (`bad_at`), which together reproduce exactly what
+//! per-packet decoding would observe at each pc — including the
+//! `BadInstruction` halt. A hash collision falls back to a fresh decode
+//! that replaces the slot, so execution semantics are bit-identical with
+//! the cache on or off.
+
+use tpp_isa::{decode_program, Instruction};
+
+/// FNV-1a offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over the raw instruction bytes, folded in 8-byte chunks. The
+/// byte-at-a-time variant serializes one 64-bit multiply per byte, which
+/// costs more than the decode it replaces on short programs; folding a
+/// word per round cuts the dependency chain 8×. Collisions don't matter
+/// for correctness — the cache verifies with an exact byte compare.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        h ^= u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    for &b in chunks.remainder() {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// One cached program: the raw bytes it was decoded from (for exact-match
+/// verification) and the decode result.
+#[derive(Debug, Clone)]
+pub struct DecodedProgram {
+    hash: u64,
+    bytes: Vec<u8>,
+    /// Instructions that decoded cleanly, front to back.
+    pub insns: Vec<Instruction>,
+    /// Index of the first word that failed to decode, if any. Execution
+    /// must halt with `BadInstruction` there, exactly as a fresh
+    /// per-packet decode would.
+    pub bad_at: Option<usize>,
+}
+
+/// A small direct-mapped cache of decoded TPP programs.
+#[derive(Debug, Clone)]
+pub struct DecodeCache {
+    slots: Vec<Option<DecodedProgram>>,
+    mask: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl DecodeCache {
+    /// A cache with `slots` entries, rounded up to a power of two (minimum
+    /// one slot).
+    pub fn new(slots: usize) -> Self {
+        let n = slots.max(1).next_power_of_two();
+        DecodeCache {
+            slots: vec![None; n],
+            mask: n - 1,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Look up the program encoded by `bytes`, decoding and inserting it on
+    /// miss or collision. Always returns a program whose execution is
+    /// bit-identical to decoding `bytes` fresh.
+    pub fn lookup(&mut self, bytes: &[u8]) -> &DecodedProgram {
+        let hash = fnv1a(bytes);
+        let idx = (hash as usize) & self.mask;
+        let hit = matches!(&self.slots[idx], Some(p) if p.hash == hash && p.bytes == bytes);
+        if hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+            let words = bytes
+                .chunks_exact(4)
+                .map(|c| u32::from_be_bytes([c[0], c[1], c[2], c[3]]));
+            let (insns, bad_at) = decode_program(words);
+            self.slots[idx] = Some(DecodedProgram {
+                hash,
+                bytes: bytes.to_vec(),
+                insns,
+                bad_at,
+            });
+        }
+        self.slots[idx].as_ref().expect("slot filled above")
+    }
+
+    /// Programs served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Programs that had to be decoded (cold slot or collision).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words_to_bytes(words: &[u32]) -> Vec<u8> {
+        words.iter().flat_map(|w| w.to_be_bytes()).collect()
+    }
+
+    #[test]
+    fn second_lookup_hits() {
+        let mut cache = DecodeCache::new(8);
+        let bytes = words_to_bytes(&[0x0000_0000, 0x6000_0007]); // NOP, PUSHI 7
+        let p = cache.lookup(&bytes);
+        assert_eq!(p.insns.len(), 2);
+        assert_eq!(p.bad_at, None);
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        cache.lookup(&bytes);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn bad_word_position_is_cached() {
+        let mut cache = DecodeCache::new(8);
+        // NOP, then an undefined opcode (0x1f << 27), then a NOP that a
+        // fresh decode would never reach.
+        let bytes = words_to_bytes(&[0x0000_0000, 0xf800_0000, 0x0000_0000]);
+        let p = cache.lookup(&bytes);
+        assert_eq!(p.insns.len(), 1);
+        assert_eq!(p.bad_at, Some(1));
+    }
+
+    #[test]
+    fn collision_replaces_slot_and_stays_correct() {
+        // One slot: every distinct program collides.
+        let mut cache = DecodeCache::new(1);
+        let a = words_to_bytes(&[0x6000_0001]); // PUSHI 1
+        let b = words_to_bytes(&[0x6000_0002]); // PUSHI 2
+        assert_eq!(cache.lookup(&a).insns.len(), 1);
+        let pb = cache.lookup(&b);
+        assert_eq!(pb.bytes, b, "collision must re-decode the new program");
+        assert_eq!((cache.hits(), cache.misses()), (0, 2));
+        cache.lookup(&b);
+        assert_eq!((cache.hits(), cache.misses()), (1, 2));
+    }
+}

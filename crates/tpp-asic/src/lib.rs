@@ -38,6 +38,7 @@
 
 pub mod asic;
 pub mod config;
+pub mod decode_cache;
 pub mod memmap;
 pub mod queue;
 pub mod sram;
@@ -47,6 +48,7 @@ pub mod tcpu;
 
 pub use asic::{Asic, DropReason, Outcome, PacketMeta, PortId, QueueId};
 pub use config::{AsicConfig, PortConfig, StripAction};
+pub use decode_cache::{DecodeCache, DecodedProgram};
 pub use memmap::{Mmu, MmuFault};
 pub use queue::DropTailQueue;
 pub use sram::{SramError, SramView, SramViewMut};

@@ -13,7 +13,10 @@ use tpp_wire::EthernetAddress;
 pub type PortId = u16;
 
 /// The header fields the parser extracts for table lookups.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// `Hash` lets the exact-match flow cache key on the whole tuple, the
+/// OVS-megaflow-style fast path in front of the TCAM→L3→L2 walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FlowKey {
     /// Ingress port the packet arrived on.
     pub in_port: PortId,

@@ -16,6 +16,7 @@
 //! let a buggy program disturb the traffic carrying it. The fault is
 //! reported in the [`ExecReport`] so end-hosts (and tests) can see it.
 
+use crate::decode_cache::DecodeCache;
 use crate::memmap::{Mmu, MmuFault};
 use tpp_isa::{Instruction, PacketOperand};
 use tpp_wire::tpp::{TppPacket, FLAG_EXECUTED, WORD_SIZE};
@@ -94,17 +95,30 @@ impl ExecReport {
     }
 }
 
-/// The TCPU execution engine. Stateless apart from its configuration; all
-/// state lives in the packet and the [`Mmu`].
-#[derive(Debug, Clone, Copy)]
+/// The TCPU execution engine. All per-packet state lives in the packet
+/// and the [`Mmu`]; the engine itself carries only its configuration and
+/// the (semantically invisible) decoded-program cache.
+#[derive(Debug, Clone)]
 pub struct Tcpu {
     cycle_budget: u32,
+    cache: Option<DecodeCache>,
 }
 
 impl Tcpu {
-    /// A TCPU with the given per-packet cycle budget.
+    /// A TCPU with the given per-packet cycle budget and no decode cache
+    /// (every packet decodes every instruction, as in a cold ASIC).
     pub fn new(cycle_budget: u32) -> Self {
-        Tcpu { cycle_budget }
+        Tcpu {
+            cycle_budget,
+            cache: None,
+        }
+    }
+
+    /// Attach a decoded-program cache with `slots` entries (`0` leaves the
+    /// cache off). Execution semantics are identical with or without it.
+    pub fn with_decode_cache(mut self, slots: usize) -> Self {
+        self.cache = (slots > 0).then(|| DecodeCache::new(slots));
+        self
     }
 
     /// The configured budget.
@@ -112,16 +126,24 @@ impl Tcpu {
         self.cycle_budget
     }
 
-    /// Execute a TPP in place: decode its instruction words, run them
-    /// against the packet memory and the switch [`Mmu`], then advance the
-    /// hop counter and set [`FLAG_EXECUTED`].
+    /// Decode-cache `(hits, misses)`; `(0, 0)` when the cache is off.
+    pub fn decode_cache_stats(&self) -> (u64, u64) {
+        self.cache
+            .as_ref()
+            .map_or((0, 0), |c| (c.hits(), c.misses()))
+    }
+
+    /// Execute a TPP in place: decode its instruction words (or fetch the
+    /// decoded program from the cache), run them against the packet memory
+    /// and the switch [`Mmu`], then advance the hop counter and set
+    /// [`FLAG_EXECUTED`].
     ///
     /// The hop counter advances even after a fault or failed CEXEC, so
     /// hop-addressed slots keep lining up with the path ("a TPP executes
     /// at all TCPU-enabled ASICs it traverses", §3.2 — traversal, not
     /// success, advances the hop).
-    pub fn execute(&self, tpp: &mut TppPacket<&mut [u8]>, mmu: &mut Mmu<'_>) -> ExecReport {
-        let words = tpp.instruction_words();
+    pub fn execute(&mut self, tpp: &mut TppPacket<&mut [u8]>, mmu: &mut Mmu<'_>) -> ExecReport {
+        let budget = self.cycle_budget;
         let mut report = ExecReport {
             instructions_executed: 0,
             cycles: PIPELINE_LATENCY_CYCLES,
@@ -129,37 +151,45 @@ impl Tcpu {
             wrote_switch: false,
         };
 
-        for (pc, word) in words.iter().enumerate() {
-            if report.cycles + 1 > self.cycle_budget {
-                report.halt = Some(HaltReason::BudgetExceeded { pc });
-                break;
-            }
-            let insn = match Instruction::decode(*word) {
-                Ok(insn) => insn,
-                Err(_) => {
+        if let Some(cache) = self.cache.as_mut() {
+            let program = cache.lookup(tpp.instruction_bytes());
+            // The uncached loop visits word positions 0..n, stopping at the
+            // first undecodable word; replay exactly those positions, with
+            // the budget check first at each pc, so halt interleaving is
+            // bit-identical.
+            let n = match program.bad_at {
+                Some(bad) => bad + 1,
+                None => program.insns.len(),
+            };
+            for pc in 0..n {
+                if report.cycles + 1 > budget {
+                    report.halt = Some(HaltReason::BudgetExceeded { pc });
+                    break;
+                }
+                if program.bad_at == Some(pc) {
                     report.halt = Some(HaltReason::BadInstruction { pc });
                     break;
                 }
-            };
-            match self.step(insn, tpp, mmu) {
-                Ok(wrote) => {
-                    report.instructions_executed += 1;
-                    report.cycles += 1;
-                    report.wrote_switch |= wrote;
-                }
-                Err(StepHalt::Cexec) => {
-                    // The CEXEC itself counts as executed.
-                    report.instructions_executed += 1;
-                    report.cycles += 1;
-                    report.halt = Some(HaltReason::CexecFailed { pc });
+                if !Self::run_insn(program.insns[pc], pc, tpp, mmu, &mut report) {
                     break;
                 }
-                Err(StepHalt::Mmu(fault)) => {
-                    report.halt = Some(HaltReason::Mmu { pc, fault });
+            }
+        } else {
+            let count = tpp.instruction_count();
+            for pc in 0..count {
+                if report.cycles + 1 > budget {
+                    report.halt = Some(HaltReason::BudgetExceeded { pc });
                     break;
                 }
-                Err(StepHalt::PacketMemory) => {
-                    report.halt = Some(HaltReason::PacketMemory { pc });
+                let word = tpp.instruction_word(pc);
+                let insn = match Instruction::decode(word) {
+                    Ok(insn) => insn,
+                    Err(_) => {
+                        report.halt = Some(HaltReason::BadInstruction { pc });
+                        break;
+                    }
+                };
+                if !Self::run_insn(insn, pc, tpp, mmu, &mut report) {
                     break;
                 }
             }
@@ -169,6 +199,40 @@ impl Tcpu {
         let flags = tpp.flags();
         tpp.set_flags(flags | FLAG_EXECUTED);
         report
+    }
+
+    /// Step one decoded instruction and fold the result into `report`.
+    /// Returns `false` when execution must stop.
+    fn run_insn(
+        insn: Instruction,
+        pc: usize,
+        tpp: &mut TppPacket<&mut [u8]>,
+        mmu: &mut Mmu<'_>,
+        report: &mut ExecReport,
+    ) -> bool {
+        match Self::step(insn, tpp, mmu) {
+            Ok(wrote) => {
+                report.instructions_executed += 1;
+                report.cycles += 1;
+                report.wrote_switch |= wrote;
+                true
+            }
+            Err(StepHalt::Cexec) => {
+                // The CEXEC itself counts as executed.
+                report.instructions_executed += 1;
+                report.cycles += 1;
+                report.halt = Some(HaltReason::CexecFailed { pc });
+                false
+            }
+            Err(StepHalt::Mmu(fault)) => {
+                report.halt = Some(HaltReason::Mmu { pc, fault });
+                false
+            }
+            Err(StepHalt::PacketMemory) => {
+                report.halt = Some(HaltReason::PacketMemory { pc });
+                false
+            }
+        }
     }
 
     /// Resolve a packet operand to a byte offset in packet memory.
@@ -181,7 +245,6 @@ impl Tcpu {
     }
 
     fn step(
-        &self,
         insn: Instruction,
         tpp: &mut TppPacket<&mut [u8]>,
         mmu: &mut Mmu<'_>,
@@ -243,18 +306,14 @@ impl Tcpu {
                 }
                 Ok(false)
             }
-            Instruction::Add => self.binop(tpp, u32::wrapping_add),
-            Instruction::Sub => self.binop(tpp, u32::wrapping_sub),
-            Instruction::And => self.binop(tpp, |a, b| a & b),
-            Instruction::Or => self.binop(tpp, |a, b| a | b),
+            Instruction::Add => Self::binop(tpp, u32::wrapping_add),
+            Instruction::Sub => Self::binop(tpp, u32::wrapping_sub),
+            Instruction::And => Self::binop(tpp, |a, b| a & b),
+            Instruction::Or => Self::binop(tpp, |a, b| a | b),
         }
     }
 
-    fn binop(
-        &self,
-        tpp: &mut TppPacket<&mut [u8]>,
-        f: fn(u32, u32) -> u32,
-    ) -> Result<bool, StepHalt> {
+    fn binop(tpp: &mut TppPacket<&mut [u8]>, f: fn(u32, u32) -> u32) -> Result<bool, StepHalt> {
         let b = tpp.pop_word()?;
         let a = tpp.pop_word()?;
         tpp.push_word(f(a, b))?;
@@ -351,7 +410,7 @@ mod tests {
             .memory_init(mem)
             .build();
         let mut tpp = TppPacket::new_checked(&mut bytes[..]).unwrap();
-        let tcpu = Tcpu::new(300);
+        let mut tcpu = Tcpu::new(300);
         let mut m = mmu(b);
         let report = tcpu.execute(&mut tpp, &mut m);
         (tpp.memory_words(), report)
@@ -380,7 +439,7 @@ mod tests {
             .per_hop_words(2)
             .build();
         let mut tpp = TppPacket::new_checked(&mut bytes[..]).unwrap();
-        let tcpu = Tcpu::new(300);
+        let mut tcpu = Tcpu::new(300);
         // First hop writes slot 1 of hop 0; simulate second execution too.
         let mut m = mmu(&mut b);
         tcpu.execute(&mut tpp, &mut m);
@@ -538,7 +597,7 @@ mod tests {
             .build();
         let mut tpp = TppPacket::new_checked(&mut bytes[..]).unwrap();
         // Budget of 7 cycles = 4 latency + 3 instructions.
-        let tcpu = Tcpu::new(7);
+        let mut tcpu = Tcpu::new(7);
         let mut m = mmu(&mut b);
         let report = tcpu.execute(&mut tpp, &mut m);
         assert_eq!(report.instructions_executed, 3);
@@ -562,7 +621,7 @@ mod tests {
             .memory_words(1)
             .build();
         let mut tpp = TppPacket::new_checked(&mut bytes[..]).unwrap();
-        let tcpu = Tcpu::new(300);
+        let mut tcpu = Tcpu::new(300);
         let mut m = mmu(&mut b);
         let report = tcpu.execute(&mut tpp, &mut m);
         assert!(!report.completed());

@@ -1,0 +1,397 @@
+//! Tracked performance baseline for the hot-path work: pipeline and TCPU
+//! throughput with the decode/flow caches on vs off, and a
+//! datacenter-scale netsim workload exercising the frame pool.
+//!
+//! Writes `BENCH_pipeline.json` and `BENCH_netsim.json` into the current
+//! directory (run from the repo root; the committed copies are the
+//! tracked baseline). The "caches off" rows use
+//! `AsicConfig::without_hot_path_caches()`, i.e. the pre-optimization
+//! configuration, so every run re-measures the speedup against its own
+//! baseline on the same machine instead of comparing against stale
+//! absolute numbers.
+//!
+//! ```console
+//! $ cargo run --release -p tpp-bench --bin perf_baseline
+//! ```
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use tpp_asic::{Asic, AsicConfig, FlowAction, FlowEntry, FlowMatch};
+use tpp_isa::assemble;
+use tpp_netsim::{leaf_spine, time, HostApp, HostCtx, LeafSpineParams};
+use tpp_wire::ethernet::{build_frame, EtherType};
+use tpp_wire::tpp::{AddressingMode, TppBuilder};
+use tpp_wire::EthernetAddress;
+
+/// Counts every heap allocation, so the JSON can report allocations per
+/// packet — the metric the frame pool and in-place `strip_tpp` move.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+struct Measurement {
+    elapsed_s: f64,
+    allocs: u64,
+}
+
+fn measure(f: impl FnOnce()) -> Measurement {
+    let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
+    let start = Instant::now();
+    f();
+    Measurement {
+        elapsed_s: start.elapsed().as_secs_f64(),
+        allocs: ALLOCATIONS.load(Ordering::Relaxed) - allocs_before,
+    }
+}
+
+/// A populated ASIC at ACL scale: 256 TCAM entries (the rule-set sizes
+/// that motivated OVS's megaflow cache), 1k L2 MACs, 256 L3 prefixes.
+fn asic(config: AsicConfig) -> Asic {
+    let mut asic = Asic::new(config);
+    asic.l2_mut().insert(EthernetAddress::from_host_id(1), 1);
+    for i in 0..256 {
+        asic.install_flow(FlowEntry {
+            id: 1000 + i,
+            version: 1,
+            priority: i as u16,
+            pattern: FlowMatch {
+                ethertype: Some(0x9999), // never matches the bench traffic
+                in_port: Some((i % 4) as u16),
+                ..Default::default()
+            },
+            action: FlowAction::Forward(2),
+        });
+    }
+    for i in 0..1024 {
+        asic.l2_mut()
+            .insert(EthernetAddress::from_host_id(100 + i), (i % 4) as u16);
+    }
+    for i in 0..256u32 {
+        asic.l3_mut()
+            .insert(0x0a00_0000 | (i << 8), 24, (i % 4) as u16);
+    }
+    asic
+}
+
+fn tpp_probe_frame(payload_len: usize) -> Vec<u8> {
+    // A two-sample stats probe (10 instructions): the §2 monitoring
+    // pattern of reading a batch of counters per hop, twice per packet.
+    let program = assemble(
+        "PUSH [Switch:SwitchID]\nPUSH [Queue:QueueSize]\nPUSH [Link:RX-Bytes]\n\
+         PUSH [Link:CapacityKbps]\nPUSH [Link:Scratch[0]]\n\
+         PUSH [Switch:SwitchID]\nPUSH [Queue:QueueSize]\nPUSH [Link:RX-Bytes]\n\
+         PUSH [Link:CapacityKbps]\nPUSH [Link:Scratch[0]]",
+    )
+    .expect("probe program assembles");
+    let payload = TppBuilder::new(AddressingMode::Stack)
+        .instructions(&program.encode_words().expect("probe encodes"))
+        .memory_words(10)
+        .payload(&vec![0u8; payload_len])
+        .build();
+    build_frame(
+        EthernetAddress::from_host_id(1),
+        EthernetAddress::from_host_id(0),
+        EtherType::TPP,
+        &payload,
+    )
+}
+
+fn plain_frame() -> Vec<u8> {
+    build_frame(
+        EthernetAddress::from_host_id(1),
+        EthernetAddress::from_host_id(0),
+        EtherType(0x0802),
+        &[0u8; 64],
+    )
+}
+
+struct WorkloadRow {
+    name: &'static str,
+    caches: &'static str,
+    frames: u64,
+    elapsed_s: f64,
+    packets_per_sec: f64,
+    tpps_per_sec: f64,
+    allocs_per_packet: f64,
+}
+
+/// Push `frames` copies of `frame` through a fresh populated ASIC,
+/// dequeuing as it goes.
+fn run_pipeline_workload(
+    name: &'static str,
+    caches: &'static str,
+    config: AsicConfig,
+    frame: &[u8],
+    frames: u64,
+    tpp: bool,
+) -> WorkloadRow {
+    let mut a = asic(config);
+    // Warm up tables, caches, and the branch predictor outside the
+    // measured window.
+    for _ in 0..1000 {
+        a.handle_frame(frame.to_vec(), 0, 0);
+        a.dequeue(1);
+    }
+    let m = measure(|| {
+        for _ in 0..frames {
+            a.handle_frame(frame.to_vec(), 0, 0);
+            a.dequeue(1);
+        }
+    });
+    WorkloadRow {
+        name,
+        caches,
+        frames,
+        elapsed_s: m.elapsed_s,
+        packets_per_sec: frames as f64 / m.elapsed_s,
+        tpps_per_sec: if tpp {
+            frames as f64 / m.elapsed_s
+        } else {
+            0.0
+        },
+        allocs_per_packet: m.allocs as f64 / frames as f64,
+    }
+}
+
+fn json_row(row: &WorkloadRow) -> String {
+    format!(
+        "    {{\"name\": \"{}\", \"caches\": \"{}\", \"frames\": {}, \
+         \"elapsed_s\": {:.4}, \"packets_per_sec\": {:.0}, \
+         \"tpps_per_sec\": {:.0}, \"allocs_per_packet\": {:.2}}}",
+        row.name,
+        row.caches,
+        row.frames,
+        row.elapsed_s,
+        row.packets_per_sec,
+        row.tpps_per_sec,
+        row.allocs_per_packet
+    )
+}
+
+fn write_file(path: &str, contents: &str) {
+    std::fs::write(path, contents).unwrap_or_else(|e| {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(2);
+    });
+    println!("wrote {path}");
+}
+
+// ---------------------------------------------------------------------
+// Netsim workload: a leaf-spine fabric where every host streams TPP
+// probes at its ring neighbor, so each frame crosses the fabric and
+// executes on 2-3 TCPUs.
+// ---------------------------------------------------------------------
+
+struct ProbeStreamer {
+    target: EthernetAddress,
+    template: Vec<u8>,
+    period_ns: u64,
+    until_ns: u64,
+    sent: u64,
+}
+
+impl HostApp for ProbeStreamer {
+    fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
+        ctx.set_timer(self.period_ns, 0);
+    }
+
+    fn on_timer(&mut self, _token: u64, ctx: &mut HostCtx<'_>) {
+        if ctx.now() >= self.until_ns {
+            return;
+        }
+        // Draw capacity from the simulator's frame pool instead of
+        // allocating per probe.
+        let mut frame = ctx.alloc_frame(self.template.len());
+        frame.extend_from_slice(&self.template);
+        // Retarget the template (built with a placeholder destination).
+        frame[..6].copy_from_slice(&self.target.0);
+        ctx.send(frame);
+        self.sent += 1;
+        ctx.set_timer(self.period_ns, 0);
+    }
+}
+
+#[derive(Default)]
+struct ProbeSink {
+    got: u64,
+}
+
+impl HostApp for ProbeSink {
+    fn on_frame(&mut self, frame: Vec<u8>, ctx: &mut HostCtx<'_>) {
+        self.got += 1;
+        // Hand the consumed buffer back so senders reuse its capacity.
+        ctx.recycle_frame(frame);
+    }
+}
+
+fn run_netsim_workload() -> String {
+    const SIM_MS: u64 = 50;
+    const PROBE_PERIOD_NS: u64 = 5_000; // 200k probes/sec per host
+
+    let params = LeafSpineParams::default(); // 4 leaves x 2 spines, 16 hosts
+    let n_hosts = params.n_leaves * params.hosts_per_leaf;
+    let template = tpp_probe_frame(64);
+    // Even hosts stream probes at the matching odd host one leaf over,
+    // so every probe crosses leaf -> spine -> leaf (3 TCPU executions);
+    // odd hosts sink and recycle.
+    let apps: Vec<Box<dyn HostApp>> = (0..n_hosts)
+        .map(|i| -> Box<dyn HostApp> {
+            if i % 2 == 0 {
+                Box::new(ProbeStreamer {
+                    target: EthernetAddress::from_host_id(
+                        ((i + params.hosts_per_leaf + 1) % n_hosts) as u32,
+                    ),
+                    template: template.clone(),
+                    period_ns: PROBE_PERIOD_NS,
+                    until_ns: time::millis(SIM_MS),
+                    sent: 0,
+                })
+            } else {
+                Box::new(ProbeSink::default())
+            }
+        })
+        .collect();
+    let (mut sim, fabric) = leaf_spine(params, apps);
+
+    let m = measure(|| {
+        sim.run_until(time::millis(SIM_MS));
+    });
+
+    let mut sent = 0u64;
+    let mut delivered = 0u64;
+    for (i, host) in fabric.all_hosts().enumerate() {
+        if i % 2 == 0 {
+            sent += sim.host_app::<ProbeStreamer>(host).sent;
+        } else {
+            delivered += sim.host_app::<ProbeSink>(host).got;
+        }
+    }
+    let tpps: u64 = fabric
+        .leaves
+        .iter()
+        .chain(fabric.spines.iter())
+        .map(|&s| sim.switch(s).regs().tpps_executed)
+        .sum();
+    let (reused, fresh, recycled) = sim.frame_pool_stats();
+
+    println!(
+        "netsim: {sent} probes sent, {delivered} delivered, {tpps} TPP executions \
+         in {:.3} s wall ({:.0} TPPs/sec)",
+        m.elapsed_s,
+        tpps as f64 / m.elapsed_s
+    );
+
+    format!(
+        "{{\n  \"bench\": \"perf_baseline/netsim\",\n  \
+         \"topology\": \"leaf_spine 4 leaves x 2 spines, 16 hosts\",\n  \
+         \"sim_ms\": {SIM_MS},\n  \"elapsed_s\": {:.4},\n  \
+         \"probes_sent\": {sent},\n  \"probes_delivered\": {delivered},\n  \
+         \"tpp_executions\": {tpps},\n  \"tpps_per_wall_sec\": {:.0},\n  \
+         \"allocations\": {},\n  \
+         \"frame_pool\": {{\"reused\": {reused}, \"fresh\": {fresh}, \"recycled\": {recycled}}}\n}}\n",
+        m.elapsed_s,
+        tpps as f64 / m.elapsed_s,
+        m.allocs
+    )
+}
+
+fn main() {
+    const FRAMES: u64 = 200_000;
+
+    // Probe-sized frames: TPP monitoring traffic is small (§3.3 puts a
+    // 5-instruction TPP at well under 100 bytes), and small frames keep
+    // the measurement on the per-packet compute rather than memcpy.
+    let tpp = tpp_probe_frame(64);
+    let plain = plain_frame();
+
+    let rows = [
+        run_pipeline_workload(
+            "tcpu_repeated_program",
+            "off",
+            AsicConfig::with_ports(1, 4).without_hot_path_caches(),
+            &tpp,
+            FRAMES,
+            true,
+        ),
+        run_pipeline_workload(
+            "tcpu_repeated_program",
+            "on",
+            AsicConfig::with_ports(1, 4),
+            &tpp,
+            FRAMES,
+            true,
+        ),
+        run_pipeline_workload(
+            "pipeline_plain",
+            "off",
+            AsicConfig::with_ports(1, 4).without_hot_path_caches(),
+            &plain,
+            FRAMES,
+            false,
+        ),
+        run_pipeline_workload(
+            "pipeline_plain",
+            "on",
+            AsicConfig::with_ports(1, 4),
+            &plain,
+            FRAMES,
+            false,
+        ),
+    ];
+
+    let speedup = |name: &str| -> f64 {
+        let off = rows
+            .iter()
+            .find(|r| r.name == name && r.caches == "off")
+            .expect("off row");
+        let on = rows
+            .iter()
+            .find(|r| r.name == name && r.caches == "on")
+            .expect("on row");
+        on.packets_per_sec / off.packets_per_sec
+    };
+    let tcpu_speedup = speedup("tcpu_repeated_program");
+    let plain_speedup = speedup("pipeline_plain");
+
+    for row in &rows {
+        println!(
+            "{:<24} caches={:<3} {:>12.0} pkts/sec  {:>6.2} allocs/pkt",
+            row.name, row.caches, row.packets_per_sec, row.allocs_per_packet
+        );
+    }
+    println!(
+        "speedup: tcpu_repeated_program {tcpu_speedup:.2}x, pipeline_plain {plain_speedup:.2}x"
+    );
+
+    let pipeline_json = format!(
+        "{{\n  \"bench\": \"perf_baseline/pipeline\",\n  \"workloads\": [\n{}\n  ],\n  \
+         \"speedup\": {{\"tcpu_repeated_program\": {tcpu_speedup:.2}, \
+         \"pipeline_plain\": {plain_speedup:.2}}}\n}}\n",
+        rows.iter().map(json_row).collect::<Vec<_>>().join(",\n")
+    );
+    write_file("BENCH_pipeline.json", &pipeline_json);
+
+    let netsim_json = run_netsim_workload();
+    write_file("BENCH_netsim.json", &netsim_json);
+}

@@ -283,6 +283,25 @@ impl Instruction {
     }
 }
 
+/// Decode a whole program front to back, stopping at the first word that
+/// fails to decode.
+///
+/// Returns the decoded prefix and, if decoding stopped early, the index of
+/// the offending word. This is the decode-once half of the TCPU's
+/// decode-once/execute-many cache: the prefix plus the failure index
+/// reproduce exactly what per-packet [`Instruction::decode`] would do at
+/// each pc, so cached execution is bit-identical to fresh decoding.
+pub fn decode_program(words: impl IntoIterator<Item = u32>) -> (Vec<Instruction>, Option<usize>) {
+    let mut insns = Vec::new();
+    for (pc, word) in words.into_iter().enumerate() {
+        match Instruction::decode(word) {
+            Ok(insn) => insns.push(insn),
+            Err(_) => return (insns, Some(pc)),
+        }
+    }
+    (insns, None)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

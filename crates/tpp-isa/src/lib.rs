@@ -39,7 +39,7 @@ pub mod programs;
 
 pub use address::{Namespace, Stat, SymbolTable, VirtAddr};
 pub use asm::{assemble, disassemble, Assembler};
-pub use instruction::{Instruction, Opcode, PacketOperand};
+pub use instruction::{decode_program, Instruction, Opcode, PacketOperand};
 pub use lint::{lint, Lint};
 pub use program::Program;
 

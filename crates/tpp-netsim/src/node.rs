@@ -72,6 +72,7 @@ pub struct HostCtx<'a> {
     pub(crate) host: HostId,
     pub(crate) mac: tpp_wire::EthernetAddress,
     pub(crate) actions: &'a mut Vec<HostAction>,
+    pub(crate) pool: &'a mut crate::pool::FramePool,
 }
 
 impl HostCtx<'_> {
@@ -94,6 +95,23 @@ impl HostCtx<'_> {
     /// and serialize at its configured rate, in order.
     pub fn send(&mut self, frame: Vec<u8>) {
         self.actions.push(HostAction::Send(frame));
+    }
+
+    /// An empty buffer with at least `capacity` bytes reserved, drawn
+    /// from the simulator's frame pool. Heavy senders that build frames
+    /// into this buffer reuse the capacity of frames the network already
+    /// consumed instead of hitting the allocator per packet.
+    pub fn alloc_frame(&mut self, capacity: usize) -> Vec<u8> {
+        self.pool.alloc(capacity)
+    }
+
+    /// Return a consumed frame's capacity to the simulator's frame pool.
+    /// Delivered frames are owned by the receiving app; apps that are
+    /// done with one can hand it back here so the next
+    /// [`alloc_frame`](Self::alloc_frame) anywhere in the simulation
+    /// reuses the allocation.
+    pub fn recycle_frame(&mut self, frame: Vec<u8>) {
+        self.pool.recycle(frame);
     }
 
     /// Arrange for [`HostApp::on_timer`] to fire `delay_ns` from now with

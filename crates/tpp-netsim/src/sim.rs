@@ -9,6 +9,7 @@ use rand::{Rng, SeedableRng};
 use crate::event::{EventKind, EventQueue, NodeRef};
 use crate::fault::{ChannelProfile, FaultAction, FaultCounters, FaultPlan};
 use crate::node::{HostAction, HostApp, HostCtx, HostId, SwitchId};
+use crate::pool::FramePool;
 use crate::time::tx_time_ns;
 use tpp_asic::{Asic, AsicConfig, Outcome, PortId};
 use tpp_telemetry::{MetricsRegistry, SharedSink, TraceEvent, TraceEventKind, TraceSink};
@@ -134,7 +135,13 @@ impl NetworkBuilder {
             })
             .collect();
 
-        let mut conn: HashMap<(NodeRef, PortId), Link> = HashMap::new();
+        // Dense adjacency: one slot per (node, port), so the per-frame
+        // hot path indexes an array instead of probing a HashMap.
+        let mut switch_links: Vec<Vec<Option<Link>>> = switches
+            .iter()
+            .map(|sw| vec![None; sw.asic.num_ports()])
+            .collect();
+        let mut host_links: Vec<Option<Link>> = vec![None; hosts.len()];
         for (a, b, delay) in &self.links {
             for ep in [a, b] {
                 if let Endpoint::SwitchPort(s, p) = ep {
@@ -147,34 +154,25 @@ impl NetworkBuilder {
                     assert!(h.0 < hosts.len(), "link endpoint {ep:?} out of range");
                 }
             }
-            let ka = (a.node(), a.port());
-            let kb = (b.node(), b.port());
-            assert!(
-                !conn.contains_key(&ka) && !conn.contains_key(&kb),
-                "endpoint used by two links: {a:?} <-> {b:?}"
-            );
-            conn.insert(
-                ka,
-                Link {
-                    peer: b.node(),
-                    peer_port: b.port(),
+            for (ep, peer) in [(a, b), (b, a)] {
+                let link = Link {
+                    peer: peer.node(),
+                    peer_port: peer.port(),
                     delay_ns: *delay,
                     loss_permille: 0,
                     up: true,
                     faults: ChannelProfile::default(),
-                },
-            );
-            conn.insert(
-                kb,
-                Link {
-                    peer: a.node(),
-                    peer_port: a.port(),
-                    delay_ns: *delay,
-                    loss_permille: 0,
-                    up: true,
-                    faults: ChannelProfile::default(),
-                },
-            );
+                };
+                let slot = match ep {
+                    Endpoint::SwitchPort(s, p) => &mut switch_links[s.0][*p as usize],
+                    Endpoint::Host(h) => &mut host_links[h.0],
+                };
+                assert!(
+                    slot.is_none(),
+                    "endpoint used by two links: {a:?} <-> {b:?}"
+                );
+                *slot = Some(link);
+            }
         }
 
         Simulator {
@@ -183,7 +181,8 @@ impl NetworkBuilder {
             events: EventQueue::new(),
             switches,
             hosts,
-            conn,
+            switch_links,
+            host_links,
             tick_interval_ns: self.tick_interval_ns,
             rng: StdRng::seed_from_u64(0x7199_7199),
             fault_rng: None,
@@ -192,6 +191,8 @@ impl NetworkBuilder {
             taps: HashMap::new(),
             metrics: MetricsRegistry::new(),
             fleet_sink: None,
+            frame_pool: FramePool::default(),
+            host_actions: Vec::new(),
         }
     }
 }
@@ -287,7 +288,13 @@ pub struct Simulator {
     events: EventQueue,
     switches: Vec<SwitchNode>,
     hosts: Vec<HostNode>,
-    conn: HashMap<(NodeRef, PortId), Link>,
+    /// Dense adjacency: `switch_links[s][p]` is the link transmitted
+    /// from switch `s` port `p`; `host_links[h]` from host `h`'s NIC.
+    /// Indexed arrays instead of a `HashMap<(NodeRef, PortId), Link>`
+    /// because `transmit`/`try_tx_*` consult the topology once per
+    /// frame.
+    switch_links: Vec<Vec<Option<Link>>>,
+    host_links: Vec<Option<Link>>,
     tick_interval_ns: u64,
     rng: StdRng,
     /// Dedicated RNG for fault injection, created by
@@ -298,18 +305,55 @@ pub struct Simulator {
     fault_counters: FaultCounters,
     link_losses: HashMap<(NodeRef, PortId), u64>,
     taps: HashMap<(NodeRef, PortId), Vec<TapRecord>>,
-    /// Fleet-wide metrics, rebuilt from every switch on each stats tick.
+    /// Fleet-wide metrics, rebuilt lazily from every switch's registers
+    /// when [`Simulator::metrics`] is called.
     metrics: MetricsRegistry,
     /// Clone of the fleet trace sink handed out by
     /// [`Simulator::trace_all`]; simulator-level fault events
     /// (link flaps, corruption) are recorded here.
     fleet_sink: Option<SharedSink>,
+    /// Recycles `Vec<u8>` capacity from frames the network consumed
+    /// (losses, link-down drops, black-holed frames) back to senders.
+    frame_pool: FramePool,
+    /// Scratch buffer for host-app actions, reused across every
+    /// [`Simulator::call_host`] invocation.
+    host_actions: Vec<HostAction>,
 }
 
 impl Simulator {
     /// Current simulation time, ns.
     pub fn now(&self) -> u64 {
         self.now_ns
+    }
+
+    /// The link transmitted from `(node, port)`, if connected.
+    fn link(&self, node: NodeRef, port: PortId) -> Option<Link> {
+        match node {
+            NodeRef::Switch(s) => self.switch_links[s.0].get(port as usize).copied().flatten(),
+            NodeRef::Host(h) => {
+                if port == 0 {
+                    self.host_links[h.0]
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Mutable view of the link transmitted from `(node, port)`.
+    fn link_mut(&mut self, node: NodeRef, port: PortId) -> Option<&mut Link> {
+        match node {
+            NodeRef::Switch(s) => self.switch_links[s.0]
+                .get_mut(port as usize)
+                .and_then(Option::as_mut),
+            NodeRef::Host(h) => {
+                if port == 0 {
+                    self.host_links[h.0].as_mut()
+                } else {
+                    None
+                }
+            }
+        }
     }
 
     /// Number of switches.
@@ -380,10 +424,8 @@ impl Simulator {
     /// # Panics
     /// Panics if `from` is not connected.
     pub fn set_link_loss(&mut self, from: Endpoint, loss_permille: u16) -> u16 {
-        let key = (from.node(), from.port());
         let link = self
-            .conn
-            .get_mut(&key)
+            .link_mut(from.node(), from.port())
             .unwrap_or_else(|| panic!("{from:?} is not connected"));
         let effective = loss_permille.min(1000);
         link.loss_permille = effective;
@@ -407,7 +449,7 @@ impl Simulator {
                 | FaultAction::LinkUp { at }
                 | FaultAction::SetChannel { from: at, .. } => {
                     assert!(
-                        self.conn.contains_key(&(at.node(), at.port())),
+                        self.link(at.node(), at.port()).is_some(),
                         "{at:?} is not connected"
                     );
                 }
@@ -458,6 +500,11 @@ impl Simulator {
     }
 
     fn tap(&mut self, node: NodeRef, port: PortId, dir: TapDir, frame: &[u8]) {
+        // Untapped runs (the common case) must not pay a hash probe per
+        // frame.
+        if self.taps.is_empty() {
+            return;
+        }
         let now = self.now_ns;
         if let Some(records) = self.taps.get_mut(&(node, port)) {
             if let Some(record) = TapRecord::capture(now, dir, frame) {
@@ -523,10 +570,38 @@ impl Simulator {
     }
 
     /// The fleet-wide metrics registry, rebuilt from every switch's
-    /// registers on the most recent stats tick (counters summed across
-    /// switches, distributions merged). Empty before the first tick.
-    pub fn metrics(&self) -> &MetricsRegistry {
+    /// registers at the time of the call (counters summed across
+    /// switches, distributions merged). Rebuilding on access instead of
+    /// on every stats tick keeps the clear-and-re-export cost out of the
+    /// event loop; ticks only advance the switches' EWMAs.
+    pub fn metrics(&mut self) -> &MetricsRegistry {
+        self.rebuild_metrics();
         &self.metrics
+    }
+
+    fn rebuild_metrics(&mut self) {
+        self.metrics.clear();
+        for sw in &self.switches {
+            sw.asic.export_metrics(&mut self.metrics);
+        }
+        let lost: u64 = self.link_losses.values().sum();
+        self.metrics.set("link.frames_lost", lost);
+        let f = self.fault_counters;
+        if f != FaultCounters::default() {
+            self.metrics.set("fault.link_down_drops", f.link_down_drops);
+            self.metrics.set("fault.duplicated", f.duplicated);
+            self.metrics.set("fault.corrupted", f.corrupted);
+            self.metrics.set("fault.reordered", f.reordered);
+            self.metrics.set("fault.reboots", f.reboots);
+            self.metrics.set("fault.link_downs", f.link_downs);
+        }
+    }
+
+    /// `(reused, fresh, recycled)` counters of the frame-buffer pool:
+    /// allocations served from recycled capacity, allocations that fell
+    /// through to the allocator, and buffers accepted back.
+    pub fn frame_pool_stats(&self) -> (u64, u64, u64) {
+        self.frame_pool.stats()
     }
 
     /// Install L2 forwarding entries for every host at every switch along
@@ -551,9 +626,9 @@ impl Simulator {
                     }
                 };
                 for port in ports {
-                    let Some(&Link {
+                    let Some(Link {
                         peer, peer_port, ..
-                    }) = self.conn.get(&(node, port))
+                    }) = self.link(node, port)
                     else {
                         continue;
                     };
@@ -642,24 +717,11 @@ impl Simulator {
                 self.call_host(host, |app, ctx| app.on_timer(token, ctx));
             }
             EventKind::StatsTick => {
+                // Ticks only advance the switches' EWMAs; the fleet
+                // registry is rebuilt lazily by `metrics()`.
                 let now = self.now_ns;
                 for sw in &mut self.switches {
                     sw.asic.tick(now);
-                }
-                self.metrics.clear();
-                for sw in &self.switches {
-                    sw.asic.export_metrics(&mut self.metrics);
-                }
-                let lost: u64 = self.link_losses.values().sum();
-                self.metrics.set("link.frames_lost", lost);
-                let f = self.fault_counters;
-                if f != FaultCounters::default() {
-                    self.metrics.set("fault.link_down_drops", f.link_down_drops);
-                    self.metrics.set("fault.duplicated", f.duplicated);
-                    self.metrics.set("fault.corrupted", f.corrupted);
-                    self.metrics.set("fault.reordered", f.reordered);
-                    self.metrics.set("fault.reboots", f.reboots);
-                    self.metrics.set("fault.link_downs", f.link_downs);
                 }
                 self.events
                     .push(now + self.tick_interval_ns, EventKind::StatsTick);
@@ -677,11 +739,12 @@ impl Simulator {
                 // with it. Resolve the peer direction through the
                 // forward one.
                 let a = (at.node(), at.port());
-                let link = self.conn[&a];
+                let link = self.link(a.0, a.1).expect("validated on install");
                 let b = (link.peer, link.peer_port);
                 for key in [a, b] {
-                    let was_up = self.conn[&key].up;
-                    self.conn.get_mut(&key).expect("resolved above").up = going_up;
+                    let dir = self.link_mut(key.0, key.1).expect("resolved above");
+                    let was_up = dir.up;
+                    dir.up = going_up;
                     if was_up == going_up {
                         continue;
                     }
@@ -704,9 +767,7 @@ impl Simulator {
                 self.populate_l2();
             }
             FaultAction::SetChannel { from, profile } => {
-                let key = (from.node(), from.port());
-                self.conn
-                    .get_mut(&key)
+                self.link_mut(from.node(), from.port())
                     .expect("validated on install")
                     .faults = profile;
             }
@@ -719,9 +780,12 @@ impl Simulator {
         if self.switches[s.0].tx_busy[port as usize] {
             return;
         }
-        let Some(&link) = self.conn.get(&(NodeRef::Switch(s), port)) else {
-            // Unconnected port: black-hole anything queued there.
-            while self.switches[s.0].asic.dequeue(port).is_some() {}
+        let Some(link) = self.link(NodeRef::Switch(s), port) else {
+            // Unconnected port: black-hole anything queued there,
+            // reclaiming the buffers.
+            while let Some(frame) = self.switches[s.0].asic.dequeue(port) {
+                self.frame_pool.recycle(frame);
+            }
             return;
         };
         let Some(frame) = self.switches[s.0].asic.dequeue(port) else {
@@ -745,8 +809,10 @@ impl Simulator {
         if self.hosts[h.0].nic_busy {
             return;
         }
-        let Some(&link) = self.conn.get(&(NodeRef::Host(h), 0)) else {
-            self.hosts[h.0].nic_queue.clear();
+        let Some(link) = self.link(NodeRef::Host(h), 0) else {
+            while let Some(frame) = self.hosts[h.0].nic_queue.pop_front() {
+                self.frame_pool.recycle(frame);
+            }
             return;
         };
         let Some(frame) = self.hosts[h.0].nic_queue.pop_front() else {
@@ -773,10 +839,12 @@ impl Simulator {
         if !link.up {
             *self.link_losses.entry((from, port)).or_insert(0) += 1;
             self.fault_counters.link_down_drops += 1;
+            self.frame_pool.recycle(frame);
             return;
         }
         if link.loss_permille > 0 && self.rng.gen_range(0..1000u32) < link.loss_permille as u32 {
             *self.link_losses.entry((from, port)).or_insert(0) += 1;
+            self.frame_pool.recycle(frame);
             return;
         }
         let mut frame = frame;
@@ -821,12 +889,13 @@ impl Simulator {
             }
         }
         if duplicate {
+            let copy = self.frame_pool.copy_of(&frame);
             self.events.push(
                 arrival,
                 EventKind::FrameArrive {
                     node: link.peer,
                     port: link.peer_port,
-                    frame: frame.clone(),
+                    frame: copy,
                 },
             );
         }
@@ -867,7 +936,11 @@ impl Simulator {
     where
         F: FnOnce(&mut dyn HostApp, &mut HostCtx<'_>),
     {
-        let mut actions = Vec::new();
+        // Reuse one scratch buffer across all callbacks instead of
+        // allocating a fresh Vec per invocation. `call_host` never
+        // re-enters itself (applying actions only pushes events), so
+        // taking the buffer out of `self` for the duration is safe.
+        let mut actions = std::mem::take(&mut self.host_actions);
         {
             let host = &mut self.hosts[h.0];
             let mut ctx = HostCtx {
@@ -875,10 +948,11 @@ impl Simulator {
                 host: h,
                 mac: host.mac,
                 actions: &mut actions,
+                pool: &mut self.frame_pool,
             };
             f(host.app.as_mut(), &mut ctx);
         }
-        for action in actions {
+        for action in actions.drain(..) {
             match action {
                 HostAction::Send(frame) => {
                     self.hosts[h.0].nic_queue.push_back(frame);
@@ -890,5 +964,6 @@ impl Simulator {
                 }
             }
         }
+        self.host_actions = actions;
     }
 }

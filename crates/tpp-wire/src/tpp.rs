@@ -245,6 +245,20 @@ impl<T: AsRef<[u8]>> TppPacket<T> {
             .collect()
     }
 
+    /// The encoded instruction section as raw bytes (big-endian words, in
+    /// execution order). Zero-copy: decode caches hash and compare this
+    /// slice directly instead of materializing a `Vec<u32>` per packet.
+    pub fn instruction_bytes(&self) -> &[u8] {
+        let count = self.instruction_count();
+        &self.buffer.as_ref()[TPP_HEADER_LEN..TPP_HEADER_LEN + count * WORD_SIZE]
+    }
+
+    /// The `i`-th instruction word. `i` must be below
+    /// [`instruction_count`](Self::instruction_count).
+    pub fn instruction_word(&self, i: usize) -> u32 {
+        get_u32(self.buffer.as_ref(), TPP_HEADER_LEN + i * WORD_SIZE)
+    }
+
     /// Byte offset of packet memory within this buffer.
     fn mem_base(&self) -> usize {
         TPP_HEADER_LEN + self.insn_len()

@@ -1,0 +1,122 @@
+//! The hot-path caches must be semantically invisible.
+//!
+//! An ASIC with the decoded-program cache and the exact-match flow cache
+//! on must behave bit-identically to one with them off
+//! (`AsicConfig::without_hot_path_caches()`, the pre-optimization
+//! configuration): same outcomes, same forwarded bytes, same
+//! TPP-readable registers. Every frame is fed more than once so the
+//! caches actually serve hits, and programs include undecodable words so
+//! the cached `BadInstruction` halt position is exercised too.
+
+use proptest::prelude::*;
+use tpp_asic::{Asic, AsicConfig};
+use tpp_wire::ethernet::{build_frame, EtherType};
+use tpp_wire::tpp::{AddressingMode, TppBuilder};
+use tpp_wire::EthernetAddress;
+
+/// Identically-provisioned ASICs, caches on vs off.
+fn asic_pair() -> (Asic, Asic) {
+    let mk = |config: AsicConfig| {
+        let mut asic = Asic::new(config);
+        asic.l2_mut().insert(EthernetAddress::from_host_id(1), 1);
+        asic.l2_mut().insert(EthernetAddress::from_host_id(2), 2);
+        asic.l3_mut().insert(0x0a00_0000, 8, 3);
+        asic
+    };
+    (
+        mk(AsicConfig::with_ports(7, 4)),
+        mk(AsicConfig::with_ports(7, 4).without_hot_path_caches()),
+    )
+}
+
+/// Feed the same frame to both ASICs and require identical observable
+/// behavior, including the bytes that come out of the egress queues.
+fn step_both(cached: &mut Asic, uncached: &mut Asic, frame: &[u8], now_ns: u64) {
+    let out_a = cached.handle_frame(frame.to_vec(), 0, now_ns);
+    let out_b = uncached.handle_frame(frame.to_vec(), 0, now_ns);
+    assert_eq!(out_a, out_b, "outcome diverged");
+    for port in 0..4 {
+        assert_eq!(
+            cached.dequeue(port),
+            uncached.dequeue(port),
+            "forwarded bytes diverged on port {port}"
+        );
+    }
+}
+
+fn regs_match(cached: &Asic, uncached: &Asic) {
+    assert_eq!(cached.regs().l2_hits, uncached.regs().l2_hits);
+    assert_eq!(cached.regs().l3_hits, uncached.regs().l3_hits);
+    assert_eq!(cached.regs().tcam_hits, uncached.regs().tcam_hits);
+    assert_eq!(
+        cached.regs().packets_processed,
+        uncached.regs().packets_processed
+    );
+    assert_eq!(cached.regs().tpps_executed, uncached.regs().tpps_executed);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary instruction words — valid or not — executed repeatedly
+    /// produce identical results with the decode cache on and off.
+    #[test]
+    fn decode_cache_matches_fresh_decode(
+        words in proptest::collection::vec(any::<u32>(), 0..12),
+        mem in proptest::collection::vec(any::<u32>(), 0..16),
+        repeats in 2usize..5,
+    ) {
+        let payload = TppBuilder::new(AddressingMode::Stack)
+            .instructions(&words)
+            .memory_init(&mem)
+            .build();
+        let frame = build_frame(
+            EthernetAddress::from_host_id(1),
+            EthernetAddress::from_host_id(9),
+            EtherType::TPP,
+            &payload,
+        );
+        let (mut cached, mut uncached) = asic_pair();
+        // Repeats make the second and later rounds cache hits; the TPP
+        // mutates in flight, so each round replays the same ingress
+        // bytes rather than the mutated ones.
+        for round in 0..repeats {
+            step_both(&mut cached, &mut uncached, &frame, round as u64);
+        }
+        regs_match(&cached, &uncached);
+        let (hits, _) = cached.decode_cache_stats();
+        prop_assert!(
+            words.is_empty() || hits >= (repeats as u64) - 1,
+            "repeated program should hit the decode cache"
+        );
+    }
+
+    /// A random mix of flows — L2-routed, L3-routed, and unroutable —
+    /// fed repeatedly forwards identically with the flow cache on and
+    /// off, and the flow cache serves repeats from cache.
+    #[test]
+    fn flow_cache_matches_table_walk(
+        flows in proptest::collection::vec((0u32..5, any::<bool>()), 1..12),
+        payload_len in 20usize..64,
+    ) {
+        let (mut cached, mut uncached) = asic_pair();
+        let frames: Vec<Vec<u8>> = flows
+            .iter()
+            .map(|&(dst, ipv4)| {
+                build_frame(
+                    EthernetAddress::from_host_id(dst),
+                    EthernetAddress::from_host_id(9),
+                    EtherType(if ipv4 { 0x0800 } else { 0x0802 }),
+                    &vec![0xabu8; payload_len],
+                )
+            })
+            .collect();
+        for (i, frame) in frames.iter().chain(frames.iter()).enumerate() {
+            step_both(&mut cached, &mut uncached, frame, i as u64);
+        }
+        regs_match(&cached, &uncached);
+        let (hits, misses) = cached.flow_cache_stats();
+        prop_assert!(hits >= frames.len() as u64, "second pass should hit");
+        prop_assert!(misses <= frames.len() as u64);
+    }
+}

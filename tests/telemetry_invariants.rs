@@ -132,8 +132,8 @@ fn trace_counts_reconcile_with_registers_and_metrics() {
     }
     assert!(total_tpps >= 20 * 3, "every probe ran at every hop");
 
-    // The last stats tick fired after the traffic quiesced, so the
-    // fleet registry's sums equal the registers' final values.
+    // The fleet registry rebuilds from the switches' registers on
+    // access, so its sums equal the registers' final values.
     assert_eq!(
         sim.metrics().counter("switch.packets_processed"),
         total_packets
