@@ -15,6 +15,7 @@ use crate::memmap::Mmu;
 pub use crate::memmap::PacketMeta;
 use crate::queue::DropTailQueue;
 use crate::sram::{SramError, SramView, SramViewMut};
+use crate::state::{AsicState, PortState, QueueState};
 use crate::stats::{PortStats, QueueStats, SwitchRegs};
 use crate::tables::{FlowAction, FlowEntry, FlowKey, L2Table, LpmTable, Tcam};
 use crate::tcpu::{ExecReport, Tcpu};
@@ -384,6 +385,73 @@ impl Asic {
         match self.ports.get_mut(port as usize) {
             Some(p) => Ok(SramViewMut::new(&mut p.link_sram)),
             None => Err(SramError::NoSuchPort { port, num_ports }),
+        }
+    }
+
+    /// Capture every piece of mutable, TPP-visible state — registers,
+    /// port stats, queue stats and contents, and both scratch SRAMs —
+    /// into a comparable, restorable [`AsicState`]. Forwarding tables,
+    /// configuration, and the hot-path caches are deliberately excluded
+    /// (see the [`state`](crate::state) module docs).
+    pub fn snapshot(&self) -> AsicState {
+        AsicState {
+            regs: self.regs.clone(),
+            global_sram: self.global_sram.clone(),
+            ports: self
+                .ports
+                .iter()
+                .map(|port| PortState {
+                    stats: port.stats.clone(),
+                    link_sram: port.link_sram.clone(),
+                    queues: port
+                        .queues
+                        .iter()
+                        .map(|q| QueueState {
+                            stats: q.stats().clone(),
+                            frames: q.frames_snapshot(),
+                            limit_bytes: q.limit_bytes(),
+                        })
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Replay a [`snapshot`](Asic::snapshot) onto this ASIC, overwriting
+    /// registers, stats, queue contents, and SRAMs. The snapshot's shape
+    /// must match this ASIC's configuration (same port count, same queue
+    /// counts per port); SRAM lengths are taken from the snapshot. The
+    /// hot-path caches are left untouched — by construction they may
+    /// never change observable behavior, so a differential harness can
+    /// restore the same state onto a cached and an uncached ASIC and
+    /// expect bit-identical runs.
+    ///
+    /// # Panics
+    ///
+    /// If the snapshot's port or queue counts disagree with this ASIC's.
+    pub fn restore(&mut self, state: &AsicState) {
+        assert_eq!(
+            state.ports.len(),
+            self.ports.len(),
+            "snapshot port count must match the ASIC's"
+        );
+        self.regs = state.regs.clone();
+        self.global_sram = state.global_sram.clone();
+        for (port, saved) in self.ports.iter_mut().zip(&state.ports) {
+            assert_eq!(
+                saved.queues.len(),
+                port.queues.len(),
+                "snapshot queue count must match the port's"
+            );
+            port.stats = saved.stats.clone();
+            port.link_sram = saved.link_sram.clone();
+            port.queues = saved
+                .queues
+                .iter()
+                .map(|q| {
+                    DropTailQueue::from_state(q.limit_bytes, q.stats.clone(), q.frames.clone())
+                })
+                .collect();
         }
     }
 
@@ -1632,6 +1700,41 @@ mod tests {
         }
         let (hits, misses) = asic.decode_cache_stats();
         assert_eq!((hits, misses), (3, 1), "decode once, execute many");
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip_rewinds_all_visible_state() {
+        let mut asic = asic();
+        asic.global_sram_mut().set_word(0, 0xdead_beef).unwrap();
+        asic.link_sram_mut(1).unwrap().set_word(2, 7).unwrap();
+        assert!(asic
+            .handle_frame(tpp_frame("PUSH [Switch:SwitchID]", 2), 0, 1_000)
+            .is_enqueued());
+        let saved = asic.snapshot();
+        assert_eq!(saved.ports[1].queues[0].frames.len(), 1);
+
+        // Diverge: more traffic, SRAM writes, a dequeue.
+        assert!(asic
+            .handle_frame(tpp_frame("PUSH [Queue:QueueSize]", 2), 0, 2_000)
+            .is_enqueued());
+        asic.dequeue(1).unwrap();
+        asic.global_sram_mut().set_word(0, 1).unwrap();
+        assert_ne!(asic.snapshot(), saved);
+
+        // Restore rewinds everything the snapshot captures...
+        asic.restore(&saved);
+        assert_eq!(asic.snapshot(), saved);
+        assert_eq!(asic.regs().packets_processed, 1);
+        assert_eq!(asic.global_sram().word(0).unwrap(), 0xdead_beef);
+        assert_eq!(
+            asic.queue_len_bytes(1, 0),
+            saved.ports[1].queues[0].stats.queue_size_bytes
+        );
+        // ...and the restored queue still serves the frame it held.
+        let sent = asic.dequeue(1).unwrap();
+        let parsed = Frame::new_checked(&sent[..]).unwrap();
+        let tpp = TppPacket::new_checked(parsed.payload()).unwrap();
+        assert_eq!(tpp.stack_words(), vec![0xA1]);
     }
 
     #[test]

@@ -17,10 +17,23 @@
 
 use tpp_isa::{decode_program, Instruction};
 
-/// FNV-1a offset basis.
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-/// FNV-1a prime.
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+/// FNV-1a offset basis. Public (with [`FNV_PRIME`] and
+/// [`program_hash`]) so conformance tests can *construct* colliding
+/// programs algebraically and prove the exact-byte verification, rather
+/// than hoping a fuzzer stumbles on a 64-bit collision.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (see [`FNV_OFFSET`]).
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// The cache's key function: chunked FNV-1a over raw instruction bytes.
+///
+/// Exposed so directed tests can derive second preimages: for two
+/// 16-byte programs with 8-byte chunks `(a1, a2)` and `(b1, b2)`,
+/// `hash = ((OFFSET ^ c1)·P ^ c2)·P`, so picking any `b1 ≠ a1` and
+/// `b2 = (OFFSET ^ a1)·P ^ a2 ^ (OFFSET ^ b1)·P` collides.
+pub fn program_hash(bytes: &[u8]) -> u64 {
+    fnv1a(bytes)
+}
 
 /// FNV-1a over the raw instruction bytes, folded in 8-byte chunks. The
 /// byte-at-a-time variant serializes one 64-bit multiply per byte, which
@@ -142,6 +155,52 @@ mod tests {
         let p = cache.lookup(&bytes);
         assert_eq!(p.insns.len(), 1);
         assert_eq!(p.bad_at, Some(1));
+    }
+
+    /// Two distinct 16-byte programs whose chunked FNV-1a hashes are
+    /// equal, built from the hash algebra (see [`program_hash`]).
+    fn colliding_programs() -> (Vec<u8>, Vec<u8>) {
+        // Program A: PUSHI 1, PUSHI 2 — two 8-byte chunks a1, a2.
+        let a = words_to_bytes(&[0x6000_0001, 0x0000_0000, 0x6000_0002, 0x0000_0000]);
+        let a1 = u64::from_le_bytes(a[0..8].try_into().unwrap());
+        let a2 = u64::from_le_bytes(a[8..16].try_into().unwrap());
+        // Program B: flip a bit in the first chunk, then solve the
+        // second chunk so the folded hash comes out identical.
+        let b1 = a1 ^ (1 << 17);
+        let b2 = (FNV_OFFSET ^ a1).wrapping_mul(FNV_PRIME)
+            ^ a2
+            ^ (FNV_OFFSET ^ b1).wrapping_mul(FNV_PRIME);
+        let mut b = Vec::with_capacity(16);
+        b.extend_from_slice(&b1.to_le_bytes());
+        b.extend_from_slice(&b2.to_le_bytes());
+        (a, b)
+    }
+
+    #[test]
+    fn constructed_fnv_collision_is_rejected_by_byte_compare() {
+        let (a, b) = colliding_programs();
+        assert_ne!(a, b, "distinct programs");
+        assert_eq!(
+            program_hash(&a),
+            program_hash(&b),
+            "hashes must collide by construction"
+        );
+        // Same hash means same direct-mapped slot at any cache size, so
+        // B lands exactly where A sits; only the exact byte compare can
+        // tell them apart.
+        let mut cache = DecodeCache::new(64);
+        let pa_len = cache.lookup(&a).insns.len();
+        assert_eq!(pa_len, 4, "program A decodes fully");
+        let pb = cache.lookup(&b);
+        assert_eq!(pb.bytes, b, "collision re-decoded, not served as A");
+        assert_eq!(
+            (cache.hits(), cache.misses()),
+            (0, 2),
+            "the colliding lookup must count as a miss"
+        );
+        // And the slot now faithfully serves B.
+        cache.lookup(&b);
+        assert_eq!((cache.hits(), cache.misses()), (1, 2));
     }
 
     #[test]

@@ -42,6 +42,7 @@ pub mod decode_cache;
 pub mod memmap;
 pub mod queue;
 pub mod sram;
+pub mod state;
 pub mod stats;
 pub mod tables;
 pub mod tcpu;
@@ -52,6 +53,7 @@ pub use decode_cache::{DecodeCache, DecodedProgram};
 pub use memmap::{Mmu, MmuFault};
 pub use queue::DropTailQueue;
 pub use sram::{SramError, SramView, SramViewMut};
+pub use state::{AsicState, PortState, QueueState};
 pub use stats::{PortStats, QueueStats, SwitchRegs};
 pub use tables::{FlowAction, FlowEntry, FlowKey, FlowMatch, L2Table, LpmTable, Tcam};
 pub use tcpu::{ExecReport, HaltReason, Tcpu};

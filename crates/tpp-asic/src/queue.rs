@@ -77,6 +77,23 @@ impl DropTailQueue {
     pub fn stats(&self) -> &QueueStats {
         &self.stats
     }
+
+    /// Clone the queued frames head-first (snapshot support).
+    pub(crate) fn frames_snapshot(&self) -> Vec<Vec<u8>> {
+        self.frames.iter().cloned().collect()
+    }
+
+    /// Rebuild a queue from snapshotted parts. The caller is responsible
+    /// for the invariant `stats.queue_size_bytes == Σ frame lengths`; the
+    /// restore path in `Asic::restore` only ever feeds back values taken
+    /// from `frames_snapshot`/`stats`, where it holds by construction.
+    pub(crate) fn from_state(limit_bytes: u32, stats: QueueStats, frames: Vec<Vec<u8>>) -> Self {
+        DropTailQueue {
+            frames: frames.into(),
+            limit_bytes,
+            stats,
+        }
+    }
 }
 
 #[cfg(test)]

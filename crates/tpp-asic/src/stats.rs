@@ -6,7 +6,7 @@
 //! views to TPPs (see `memmap`), like real ASIC/SNMP counters.
 
 /// Per-switch (global) registers.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SwitchRegs {
     /// `Switch:SwitchID`.
     pub switch_id: u32,
@@ -71,7 +71,7 @@ impl SwitchRegs {
 /// link): `rx_*` counts bytes the link receives to carry (enqueued into
 /// the egress port, including bytes later dropped by the queue), `tx_*`
 /// counts bytes actually transmitted onto the wire.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PortStats {
     /// `Link:RX-Bytes` — bytes offered to this egress link.
     pub rx_bytes: u64,
@@ -168,7 +168,7 @@ fn to_register(value: f64) -> u32 {
 }
 
 /// Per-queue registers.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct QueueStats {
     /// `Queue:QueueSize` — instantaneous occupancy in bytes.
     pub queue_size_bytes: u64,

@@ -17,6 +17,7 @@
 //! | `rcp_ablation` | design-choice ablations for RCP\* |
 //! | `fixed_function_vs_tpp` | §4 — ECN/loss/TPP signal comparison |
 //! | `fct_comparison` | §1 — mice/elephant flow completion times |
+//! | `conformance` | differential conformance fuzz: `tpp-asic` vs `tpp-spec` |
 //!
 //! Criterion benches (`cargo bench`) measure the *model's* performance:
 //! TCPU execution cost per instruction count, full-pipeline frame
@@ -24,6 +25,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod conformance;
+pub mod testgen;
 
 /// Render a simple fixed-width table to stdout.
 pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {

@@ -66,6 +66,27 @@ pub enum Opcode {
 }
 
 impl Opcode {
+    /// Every defined opcode, in numeric order.
+    ///
+    /// This is the generator hook the conformance fuzzer builds on: a
+    /// random *encodable* program is a sequence of draws from this set
+    /// with arbitrary operands, and any 5-bit value outside it is a
+    /// directed bad-instruction case.
+    pub const ALL: &'static [Opcode] = &[
+        Opcode::Nop,
+        Opcode::Load,
+        Opcode::Store,
+        Opcode::Push,
+        Opcode::Pop,
+        Opcode::Cstore,
+        Opcode::Cexec,
+        Opcode::Add,
+        Opcode::Sub,
+        Opcode::And,
+        Opcode::Or,
+        Opcode::PushI,
+    ];
+
     fn from_bits(bits: u8) -> Result<Opcode> {
         Ok(match bits {
             0x00 => Opcode::Nop,
@@ -302,6 +323,28 @@ pub fn decode_program(words: impl IntoIterator<Item = u32>) -> (Vec<Instruction>
     (insns, None)
 }
 
+/// Re-encode the canonical form of a decodable word, or `None` if the
+/// word does not decode at all.
+///
+/// The wire encoding is deliberately lossy in one direction: `PUSH`,
+/// `POP`, `PUSHI`, the arithmetic ops and `NOP` ignore the `mode`/`poff`
+/// operand bits on decode (as long as the mode itself is assigned), so
+/// several words map to the same [`Instruction`]. This helper collapses a
+/// word to the unique encoding [`Instruction::encode`] would produce —
+/// the invariant the conformance fuzzer checks is:
+///
+/// * `decode(encode(i)) == i` for every constructible instruction
+///   (encode is a right inverse of decode), and
+/// * `canonicalize` is idempotent: every decodable word reaches a fixed
+///   point after one step.
+pub fn canonicalize(word: u32) -> Option<u32> {
+    let insn = Instruction::decode(word).ok()?;
+    Some(
+        insn.encode()
+            .expect("decoded instructions always re-encode: poff is masked to 9 bits"),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -387,6 +430,48 @@ mod tests {
             dst: PacketOperand::Abs(600),
         };
         assert_eq!(insn.encode(), Err(IsaError::OffsetTooLarge(600)));
+    }
+
+    #[test]
+    fn opcode_all_is_complete_and_sorted() {
+        // Every opcode decodes back to itself through the wire format,
+        // and any 5-bit pattern not in ALL is rejected.
+        for (i, &op) in Opcode::ALL.iter().enumerate() {
+            assert_eq!(Opcode::from_bits(op as u8), Ok(op));
+            if i > 0 {
+                assert!((Opcode::ALL[i - 1] as u8) < op as u8);
+            }
+        }
+        for bits in 0u8..32 {
+            let known = Opcode::ALL.iter().any(|&op| op as u8 == bits);
+            assert_eq!(Opcode::from_bits(bits).is_ok(), known, "opcode {bits:#x}");
+        }
+    }
+
+    #[test]
+    fn canonicalize_is_idempotent_and_matches_decode() {
+        // Sweep a structured sample of the word space: every opcode ×
+        // every mode × a few offsets/addresses, plus the undefined ones.
+        for bits in 0u32..32 {
+            for mode in 0u32..4 {
+                for (poff, addr) in [(0u32, 0u32), (3, 0x2000), (511, 0xffff)] {
+                    let word = (bits << 27) | (mode << 25) | (poff << 16) | addr;
+                    match canonicalize(word) {
+                        None => assert!(Instruction::decode(word).is_err()),
+                        Some(canon) => {
+                            // One step reaches the fixed point...
+                            assert_eq!(canonicalize(canon), Some(canon), "word {word:#010x}");
+                            // ...and preserves the decoded meaning.
+                            assert_eq!(
+                                Instruction::decode(canon).unwrap(),
+                                Instruction::decode(word).unwrap(),
+                                "word {word:#010x}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,315 @@
+//! Reference model of the TPP section (Fig. 4): a fully-decoded, owned
+//! representation of the header, instruction words, packet memory and
+//! encapsulated payload.
+//!
+//! [`SpecPacket::parse`] restates the wire-format validation rules
+//! independently of `tpp-wire` — same checks, same order — and
+//! [`SpecPacket::emit`] re-serializes the packet so the differential
+//! harness can compare the spec's view byte-for-byte against the buffer
+//! the optimized engine mutated in place.
+
+// `Err(())` is deliberate for the memory accessors: the *kind* of fault
+// (which address, which instruction) is the interpreter's to report; the
+// packet model only says "that access faults".
+#![allow(clippy::result_unit_err)]
+
+/// Fixed TPP header length in bytes (restated from Fig. 4).
+pub const HEADER_LEN: usize = 16;
+
+/// Bytes per packet-memory word.
+pub const WORD: usize = 4;
+
+/// Maximum instructions a TPP section may carry.
+pub const MAX_INSNS: usize = 64;
+
+/// Flag bit set by every TCPU that executed the program.
+pub const FLAG_EXECUTED: u8 = 0x01;
+
+/// Flag bit marking an echoed (inert) TPP.
+pub const FLAG_ECHOED: u8 = 0x02;
+
+/// Why a byte buffer is not a valid TPP section.
+///
+/// The *reasons* mirror `tpp-wire`'s checks one-for-one; the harness
+/// asserts accept/reject agreement on arbitrary buffers, so any drift in
+/// validation rules between the two crates surfaces as a divergence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpecParseError {
+    /// Shorter than the header, or than the length the header claims.
+    Truncated,
+    /// Version byte is not 1.
+    BadVersion,
+    /// `insn_len` or `mem_len` is not a multiple of 4.
+    UnalignedSection,
+    /// More than [`MAX_INSNS`] instruction words.
+    TooManyInstructions,
+    /// `tpp_len != header + insn_len + mem_len`.
+    LengthMismatch,
+    /// Addressing-mode byte is neither stack (0) nor hop (1).
+    BadAddressingMode,
+    /// Stack pointer is not word-aligned.
+    UnalignedSp,
+    /// Stack pointer points past packet memory.
+    SpOutOfRange,
+    /// Per-hop length is not word-aligned.
+    UnalignedPerHop,
+}
+
+/// A fully-decoded TPP section. All fields are owned and public: the
+/// reference interpreter trades every zero-copy trick in `tpp-wire` for
+/// transparency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecPacket {
+    /// Format version (always 1 after a successful parse).
+    pub version: u8,
+    /// Flag byte ([`FLAG_EXECUTED`], [`FLAG_ECHOED`], ECN).
+    pub flags: u8,
+    /// Addressing mode byte: 0 = stack, 1 = hop.
+    pub mode: u8,
+    /// Hop counter.
+    pub hop: u8,
+    /// Stack pointer, a byte offset into packet memory.
+    pub sp: u16,
+    /// Per-hop slice length in bytes (hop addressing).
+    pub per_hop_len: u16,
+    /// EtherType of the encapsulated payload (0 when none).
+    pub inner_ethertype: u16,
+    /// Instruction words, in execution order.
+    pub insns: Vec<u32>,
+    /// Packet-memory words.
+    pub memory: Vec<u32>,
+    /// Encapsulated payload bytes following the TPP section.
+    pub payload: Vec<u8>,
+}
+
+fn be16(buf: &[u8], off: usize) -> u16 {
+    u16::from_be_bytes([buf[off], buf[off + 1]])
+}
+
+fn be32(buf: &[u8], off: usize) -> u32 {
+    u32::from_be_bytes([buf[off], buf[off + 1], buf[off + 2], buf[off + 3]])
+}
+
+impl SpecPacket {
+    /// Parse and validate a TPP section from raw bytes.
+    ///
+    /// The checks run in the same order as `tpp-wire`'s `new_checked`:
+    /// header presence, version, section alignment, instruction cap,
+    /// length arithmetic, body truncation, addressing mode, stack
+    /// pointer alignment and range, per-hop alignment.
+    pub fn parse(buf: &[u8]) -> Result<SpecPacket, SpecParseError> {
+        if buf.len() < HEADER_LEN {
+            return Err(SpecParseError::Truncated);
+        }
+        if buf[0] != 1 {
+            return Err(SpecParseError::BadVersion);
+        }
+        let tpp_len = be16(buf, 2) as usize;
+        let insn_len = be16(buf, 4) as usize;
+        let mem_len = be16(buf, 6) as usize;
+        if !insn_len.is_multiple_of(WORD) || !mem_len.is_multiple_of(WORD) {
+            return Err(SpecParseError::UnalignedSection);
+        }
+        if insn_len / WORD > MAX_INSNS {
+            return Err(SpecParseError::TooManyInstructions);
+        }
+        if tpp_len != HEADER_LEN + insn_len + mem_len {
+            return Err(SpecParseError::LengthMismatch);
+        }
+        if tpp_len > buf.len() {
+            return Err(SpecParseError::Truncated);
+        }
+        if buf[8] > 1 {
+            return Err(SpecParseError::BadAddressingMode);
+        }
+        let sp = be16(buf, 10);
+        if !(sp as usize).is_multiple_of(WORD) {
+            return Err(SpecParseError::UnalignedSp);
+        }
+        if sp as usize > mem_len {
+            return Err(SpecParseError::SpOutOfRange);
+        }
+        let per_hop_len = be16(buf, 12);
+        if !(per_hop_len as usize).is_multiple_of(WORD) {
+            return Err(SpecParseError::UnalignedPerHop);
+        }
+        let insns = (0..insn_len / WORD)
+            .map(|i| be32(buf, HEADER_LEN + i * WORD))
+            .collect();
+        let mem_base = HEADER_LEN + insn_len;
+        let memory = (0..mem_len / WORD)
+            .map(|i| be32(buf, mem_base + i * WORD))
+            .collect();
+        Ok(SpecPacket {
+            version: buf[0],
+            flags: buf[1],
+            mode: buf[8],
+            hop: buf[9],
+            sp,
+            per_hop_len,
+            inner_ethertype: be16(buf, 14),
+            insns,
+            memory,
+            payload: buf[tpp_len..].to_vec(),
+        })
+    }
+
+    /// Total TPP section length in bytes (excluding the payload).
+    pub fn tpp_len(&self) -> usize {
+        HEADER_LEN + self.insns.len() * WORD + self.memory.len() * WORD
+    }
+
+    /// Packet-memory length in bytes.
+    pub fn mem_len(&self) -> usize {
+        self.memory.len() * WORD
+    }
+
+    /// Serialize back to the exact wire bytes this packet represents.
+    ///
+    /// `emit(parse(b)) == b` for every accepted buffer, so after the
+    /// spec interpreter mutates the decoded form, `emit` produces the
+    /// bytes the optimized engine must have produced by in-place edits.
+    pub fn emit(&self) -> Vec<u8> {
+        let tpp_len = self.tpp_len();
+        let mut buf = vec![0u8; tpp_len + self.payload.len()];
+        buf[0] = self.version;
+        buf[1] = self.flags;
+        buf[2..4].copy_from_slice(&(tpp_len as u16).to_be_bytes());
+        buf[4..6].copy_from_slice(&((self.insns.len() * WORD) as u16).to_be_bytes());
+        buf[6..8].copy_from_slice(&((self.memory.len() * WORD) as u16).to_be_bytes());
+        buf[8] = self.mode;
+        buf[9] = self.hop;
+        buf[10..12].copy_from_slice(&self.sp.to_be_bytes());
+        buf[12..14].copy_from_slice(&self.per_hop_len.to_be_bytes());
+        buf[14..16].copy_from_slice(&self.inner_ethertype.to_be_bytes());
+        for (i, word) in self.insns.iter().enumerate() {
+            buf[HEADER_LEN + i * WORD..HEADER_LEN + (i + 1) * WORD]
+                .copy_from_slice(&word.to_be_bytes());
+        }
+        let mem_base = HEADER_LEN + self.insns.len() * WORD;
+        for (i, word) in self.memory.iter().enumerate() {
+            buf[mem_base + i * WORD..mem_base + (i + 1) * WORD]
+                .copy_from_slice(&word.to_be_bytes());
+        }
+        buf[tpp_len..].copy_from_slice(&self.payload);
+        buf
+    }
+
+    /// Read the packet-memory word at byte `offset`; `Err(())` models
+    /// the out-of-bounds / unaligned packet-memory fault.
+    pub fn read_word(&self, offset: usize) -> Result<u32, ()> {
+        if !offset.is_multiple_of(WORD) || offset + WORD > self.mem_len() {
+            return Err(());
+        }
+        Ok(self.memory[offset / WORD])
+    }
+
+    /// Write the packet-memory word at byte `offset`.
+    pub fn write_word(&mut self, offset: usize, value: u32) -> Result<(), ()> {
+        if !offset.is_multiple_of(WORD) || offset + WORD > self.mem_len() {
+            return Err(());
+        }
+        self.memory[offset / WORD] = value;
+        Ok(())
+    }
+
+    /// `PUSH` semantics: write at `sp`, then advance it one word.
+    pub fn push_word(&mut self, value: u32) -> Result<(), ()> {
+        let sp = self.sp as usize;
+        self.write_word(sp, value)?;
+        self.sp = (sp + WORD) as u16;
+        Ok(())
+    }
+
+    /// `POP` semantics: read the word below `sp`, then retreat it.
+    ///
+    /// Mirrors the optimized engine exactly: the fault on an empty stack
+    /// happens *before* any state change, but a successful read always
+    /// commits the new `sp` — so a later fault in the same instruction
+    /// (e.g. `POP` to a read-only address) leaves `sp` already moved.
+    pub fn pop_word(&mut self) -> Result<u32, ()> {
+        let sp = self.sp as usize;
+        if sp < WORD {
+            return Err(());
+        }
+        let value = self.read_word(sp - WORD)?;
+        self.sp = (sp - WORD) as u16;
+        Ok(value)
+    }
+
+    /// Base byte offset of the current hop's packet-memory slice.
+    pub fn hop_base(&self) -> usize {
+        self.hop as usize * self.per_hop_len as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bytes() -> Vec<u8> {
+        // version 1, flags 0, tpp_len 16+8+8, insn_len 8, mem_len 8,
+        // stack mode, hop 0, sp 4, per_hop 0, inner ethertype 0x0800.
+        let mut buf = vec![1, 0, 0, 32, 0, 8, 0, 8, 0, 0, 0, 4, 0, 0, 0x08, 0x00];
+        buf.extend_from_slice(&0x6000_0007u32.to_be_bytes());
+        buf.extend_from_slice(&0x4000_0000u32.to_be_bytes());
+        buf.extend_from_slice(&0xdead_beefu32.to_be_bytes());
+        buf.extend_from_slice(&7u32.to_be_bytes());
+        buf.extend_from_slice(b"xyz");
+        buf
+    }
+
+    #[test]
+    fn parse_emit_roundtrip_is_identity() {
+        let bytes = sample_bytes();
+        let pkt = SpecPacket::parse(&bytes).unwrap();
+        assert_eq!(pkt.insns, vec![0x6000_0007, 0x4000_0000]);
+        assert_eq!(pkt.memory, vec![0xdead_beef, 7]);
+        assert_eq!(pkt.sp, 4);
+        assert_eq!(pkt.payload, b"xyz");
+        assert_eq!(pkt.emit(), bytes);
+    }
+
+    #[test]
+    fn rejects_each_malformation() {
+        let good = sample_bytes();
+        let cases: &[(usize, u8, SpecParseError)] = &[
+            (0, 2, SpecParseError::BadVersion),
+            (5, 7, SpecParseError::UnalignedSection),
+            (8, 3, SpecParseError::BadAddressingMode),
+            (11, 2, SpecParseError::UnalignedSp),
+            (11, 12, SpecParseError::SpOutOfRange),
+            (13, 2, SpecParseError::UnalignedPerHop),
+        ];
+        for &(off, val, want) in cases {
+            let mut bad = good.clone();
+            bad[off] = val;
+            assert_eq!(SpecPacket::parse(&bad), Err(want), "byte {off}");
+        }
+        assert_eq!(
+            SpecPacket::parse(&good[..10]),
+            Err(SpecParseError::Truncated)
+        );
+        let mut short = good.clone();
+        short.truncate(20);
+        assert_eq!(SpecPacket::parse(&short), Err(SpecParseError::Truncated));
+        let mut wrong_len = good;
+        wrong_len[3] = 36;
+        assert_eq!(
+            SpecPacket::parse(&wrong_len),
+            Err(SpecParseError::LengthMismatch)
+        );
+    }
+
+    #[test]
+    fn stack_ops_move_sp() {
+        let mut pkt = SpecPacket::parse(&sample_bytes()).unwrap();
+        assert_eq!(pkt.pop_word(), Ok(0xdead_beef));
+        assert_eq!(pkt.sp, 0);
+        assert_eq!(pkt.pop_word(), Err(()), "empty stack");
+        pkt.push_word(5).unwrap();
+        pkt.push_word(6).unwrap();
+        assert_eq!(pkt.push_word(7), Err(()), "memory exhausted");
+        assert_eq!(pkt.memory, vec![5, 6]);
+    }
+}

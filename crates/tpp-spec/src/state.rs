@@ -1,0 +1,306 @@
+//! Reference model of the §3.2.1 unified memory map (Table 2).
+//!
+//! [`SpecState`] restates, independently of `tpp-asic`, what every
+//! virtual address means: which bank backs it, whether it is writable,
+//! and how counters wider than 32 bits are narrowed (wrapping low 32
+//! bits, like real ASIC/SNMP counters). The address *constants* come
+//! from `tpp-isa` — the ISA crate is the shared contract — but the
+//! dispatch and permission rules are re-derived here so a bug in the
+//! optimized MMU shows up as a divergence rather than being inherited.
+
+use tpp_isa::{Namespace, Stat, VirtAddr};
+
+/// A fault raised on an illegal access; mirrors the optimized MMU's
+/// fault taxonomy one-for-one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpecFault {
+    /// The address maps to no register or SRAM cell.
+    Unmapped(VirtAddr),
+    /// A write targeted a read-only namespace.
+    ReadOnly(VirtAddr),
+    /// The address falls in SRAM but past the provisioned size.
+    OutOfRange(VirtAddr),
+}
+
+/// Global switch registers (Table 2 row 1, plus the boot-epoch register).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SwitchBank {
+    /// `Switch:SwitchID`.
+    pub switch_id: u32,
+    /// `Switch:FlowTableVersion`.
+    pub flow_table_version: u32,
+    /// `Switch:L2TableHits` (64-bit counter, low 32 exposed).
+    pub l2_hits: u64,
+    /// `Switch:L3TableHits`.
+    pub l3_hits: u64,
+    /// `Switch:TCAMHits`.
+    pub tcam_hits: u64,
+    /// `Switch:PacketsProcessed`.
+    pub packets_processed: u64,
+    /// `Switch:TPPsExecuted`.
+    pub tpps_executed: u64,
+    /// `Switch:WallClock` (nanoseconds, low 32 exposed).
+    pub wall_clock_ns: u64,
+    /// `Switch:BootEpoch`.
+    pub boot_epoch: u32,
+}
+
+/// Egress-link statistics (Table 2 row 2).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LinkBank {
+    /// `Link:RxBytes`.
+    pub rx_bytes: u64,
+    /// `Link:TxBytes`.
+    pub tx_bytes: u64,
+    /// `Link:RxUtilization` (permille).
+    pub rx_utilization_permille: u32,
+    /// `Link:TxUtilization` (permille).
+    pub tx_utilization_permille: u32,
+    /// `Link:BytesDropped`.
+    pub bytes_dropped: u64,
+    /// `Link:BytesEnqueued`.
+    pub bytes_enqueued: u64,
+    /// `Link:RxPackets`.
+    pub rx_packets: u64,
+    /// `Link:TxPackets`.
+    pub tx_packets: u64,
+    /// `Link:CapacityKbps`.
+    pub capacity_kbps: u32,
+    /// `Link:EcnMarked`.
+    pub ecn_marked: u64,
+    /// `Link:SnrDeciBel`.
+    pub snr_decidb: u32,
+}
+
+/// Egress-queue statistics (Table 2 row 3).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QueueBank {
+    /// `Queue:QueueSize` (bytes; also backs `Link:QueueSize`).
+    pub queue_size_bytes: u64,
+    /// `Queue:BytesEnqueued`.
+    pub bytes_enqueued: u64,
+    /// `Queue:BytesDropped`.
+    pub bytes_dropped: u64,
+    /// `Queue:PacketsEnqueued`.
+    pub packets_enqueued: u64,
+    /// `Queue:PacketsDropped`.
+    pub packets_dropped: u64,
+    /// `Queue:HighWatermark` (bytes).
+    pub high_watermark_bytes: u64,
+    /// `Queue:Limit` (bytes).
+    pub limit_bytes: u32,
+}
+
+/// Per-packet metadata (Table 2 row 4).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetaBank {
+    /// `PacketMetadata:InputPort`.
+    pub input_port: u32,
+    /// `PacketMetadata:OutputPort`.
+    pub output_port: u32,
+    /// `PacketMetadata:MatchedEntryID`.
+    pub matched_entry_id: u32,
+    /// `PacketMetadata:MatchedEntryVersion`.
+    pub matched_entry_version: u32,
+    /// `PacketMetadata:QueueID`.
+    pub queue_id: u32,
+    /// `PacketMetadata:PacketLength`.
+    pub packet_length: u32,
+    /// `PacketMetadata:ArrivalTime` (nanoseconds, low 32 exposed).
+    pub arrival_time_ns: u64,
+    /// `PacketMetadata:AlternateRoutes`.
+    pub alternate_routes: u32,
+}
+
+/// The complete switch state a TPP can observe at one hop: the four
+/// read-only banks plus the two writable scratch SRAMs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpecState {
+    /// Global switch registers.
+    pub switch: SwitchBank,
+    /// Egress-link statistics.
+    pub link: LinkBank,
+    /// Egress-queue statistics.
+    pub queue: QueueBank,
+    /// Per-packet metadata.
+    pub meta: MetaBank,
+    /// Writable per-link scratch SRAM of the egress port.
+    pub link_sram: Vec<u32>,
+    /// Writable global scratch SRAM.
+    pub global_sram: Vec<u32>,
+}
+
+/// Narrow a wide counter the way the hardware does: wrapping low 32 bits.
+fn low32(v: u64) -> u32 {
+    v as u32
+}
+
+impl SpecState {
+    /// Read the 32-bit word at a virtual address.
+    pub fn read(&self, addr: VirtAddr) -> Result<u32, SpecFault> {
+        match addr.namespace() {
+            Namespace::Switch => self.read_switch(addr),
+            Namespace::Link => self.read_link(addr),
+            Namespace::Queue => self.read_queue(addr),
+            Namespace::PacketMetadata => self.read_meta(addr),
+            Namespace::LinkSram => sram_get(&self.link_sram, addr),
+            Namespace::GlobalSram => sram_get(&self.global_sram, addr),
+            Namespace::Reserved => Err(SpecFault::Unmapped(addr)),
+        }
+    }
+
+    /// Write the 32-bit word at a virtual address. Only the two scratch
+    /// SRAM namespaces accept writes; every statistic is read-only and
+    /// every reserved hole is unmapped.
+    pub fn write(&mut self, addr: VirtAddr, value: u32) -> Result<(), SpecFault> {
+        match addr.namespace() {
+            Namespace::LinkSram => sram_set(&mut self.link_sram, addr, value),
+            Namespace::GlobalSram => sram_set(&mut self.global_sram, addr, value),
+            Namespace::Switch | Namespace::Link | Namespace::Queue | Namespace::PacketMetadata => {
+                Err(SpecFault::ReadOnly(addr))
+            }
+            Namespace::Reserved => Err(SpecFault::Unmapped(addr)),
+        }
+    }
+
+    fn read_switch(&self, addr: VirtAddr) -> Result<u32, SpecFault> {
+        let s = &self.switch;
+        Ok(match addr {
+            a if a == Stat::SwitchId.addr() => s.switch_id,
+            a if a == Stat::FlowTableVersion.addr() => s.flow_table_version,
+            a if a == Stat::L2TableHits.addr() => low32(s.l2_hits),
+            a if a == Stat::L3TableHits.addr() => low32(s.l3_hits),
+            a if a == Stat::TcamHits.addr() => low32(s.tcam_hits),
+            a if a == Stat::PacketsProcessed.addr() => low32(s.packets_processed),
+            a if a == Stat::TppsExecuted.addr() => low32(s.tpps_executed),
+            a if a == Stat::WallClock.addr() => low32(s.wall_clock_ns),
+            a if a == Stat::BootEpoch.addr() => s.boot_epoch,
+            other => return Err(SpecFault::Unmapped(other)),
+        })
+    }
+
+    fn read_link(&self, addr: VirtAddr) -> Result<u32, SpecFault> {
+        let l = &self.link;
+        Ok(match addr {
+            a if a == Stat::RxBytes.addr() => low32(l.rx_bytes),
+            a if a == Stat::TxBytes.addr() => low32(l.tx_bytes),
+            a if a == Stat::RxUtilization.addr() => l.rx_utilization_permille,
+            a if a == Stat::TxUtilization.addr() => l.tx_utilization_permille,
+            a if a == Stat::LinkBytesDropped.addr() => low32(l.bytes_dropped),
+            a if a == Stat::LinkBytesEnqueued.addr() => low32(l.bytes_enqueued),
+            a if a == Stat::RxPackets.addr() => low32(l.rx_packets),
+            a if a == Stat::TxPackets.addr() => low32(l.tx_packets),
+            a if a == Stat::LinkCapacityKbps.addr() => l.capacity_kbps,
+            // Table 2 aliases the egress queue occupancy into the Link
+            // namespace: same underlying register as Queue:QueueSize.
+            a if a == Stat::LinkQueueSize.addr() => low32(self.queue.queue_size_bytes),
+            a if a == Stat::EcnMarked.addr() => low32(l.ecn_marked),
+            a if a == Stat::SnrDeciBel.addr() => l.snr_decidb,
+            other => return Err(SpecFault::Unmapped(other)),
+        })
+    }
+
+    fn read_queue(&self, addr: VirtAddr) -> Result<u32, SpecFault> {
+        let q = &self.queue;
+        Ok(match addr {
+            a if a == Stat::QueueSize.addr() => low32(q.queue_size_bytes),
+            a if a == Stat::QueueBytesEnqueued.addr() => low32(q.bytes_enqueued),
+            a if a == Stat::QueueBytesDropped.addr() => low32(q.bytes_dropped),
+            a if a == Stat::QueuePacketsEnqueued.addr() => low32(q.packets_enqueued),
+            a if a == Stat::QueuePacketsDropped.addr() => low32(q.packets_dropped),
+            a if a == Stat::QueueHighWatermark.addr() => low32(q.high_watermark_bytes),
+            a if a == Stat::QueueLimit.addr() => q.limit_bytes,
+            other => return Err(SpecFault::Unmapped(other)),
+        })
+    }
+
+    fn read_meta(&self, addr: VirtAddr) -> Result<u32, SpecFault> {
+        let m = &self.meta;
+        Ok(match addr {
+            a if a == Stat::InputPort.addr() => m.input_port,
+            a if a == Stat::OutputPort.addr() => m.output_port,
+            a if a == Stat::MatchedEntryId.addr() => m.matched_entry_id,
+            a if a == Stat::MatchedEntryVersion.addr() => m.matched_entry_version,
+            a if a == Stat::QueueId.addr() => m.queue_id,
+            a if a == Stat::PacketLength.addr() => m.packet_length,
+            a if a == Stat::ArrivalTime.addr() => low32(m.arrival_time_ns),
+            a if a == Stat::AlternateRoutes.addr() => m.alternate_routes,
+            other => return Err(SpecFault::Unmapped(other)),
+        })
+    }
+}
+
+fn sram_get(sram: &[u32], addr: VirtAddr) -> Result<u32, SpecFault> {
+    sram.get(addr.word_index())
+        .copied()
+        .ok_or(SpecFault::OutOfRange(addr))
+}
+
+fn sram_set(sram: &mut [u32], addr: VirtAddr, value: u32) -> Result<(), SpecFault> {
+    match sram.get_mut(addr.word_index()) {
+        Some(cell) => {
+            *cell = value;
+            Ok(())
+        }
+        None => Err(SpecFault::OutOfRange(addr)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state() -> SpecState {
+        SpecState {
+            switch: SwitchBank {
+                switch_id: 7,
+                packets_processed: 0x1_0000_0002,
+                ..SwitchBank::default()
+            },
+            queue: QueueBank {
+                queue_size_bytes: 0xa0,
+                limit_bytes: 64_000,
+                ..QueueBank::default()
+            },
+            link_sram: vec![0; 4],
+            global_sram: vec![0; 4],
+            ..SpecState::default()
+        }
+    }
+
+    #[test]
+    fn every_defined_stat_reads() {
+        let s = state();
+        for stat in Stat::ALL {
+            assert!(s.read(stat.addr()).is_ok(), "unreadable {}", stat.symbol());
+        }
+    }
+
+    #[test]
+    fn wide_counters_narrow_to_low_bits() {
+        let s = state();
+        assert_eq!(s.read(Stat::PacketsProcessed.addr()), Ok(2));
+    }
+
+    #[test]
+    fn link_queue_size_aliases_queue_bank() {
+        let s = state();
+        assert_eq!(s.read(Stat::LinkQueueSize.addr()), Ok(0xa0));
+        assert_eq!(s.read(Stat::QueueSize.addr()), Ok(0xa0));
+    }
+
+    #[test]
+    fn permissions_and_holes() {
+        let mut s = state();
+        let stat = Stat::QueueSize.addr();
+        assert_eq!(s.write(stat, 1), Err(SpecFault::ReadOnly(stat)));
+        let hole = VirtAddr(0x0ffc);
+        assert_eq!(s.read(hole), Err(SpecFault::Unmapped(hole)));
+        let reserved = VirtAddr(0x5000);
+        assert_eq!(s.read(reserved), Err(SpecFault::Unmapped(reserved)));
+        let past = VirtAddr(0x4000 + 4 * 4);
+        assert_eq!(s.read(past), Err(SpecFault::OutOfRange(past)));
+        s.write(VirtAddr(0x8004), 9).unwrap();
+        assert_eq!(s.global_sram[1], 9);
+    }
+}

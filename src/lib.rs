@@ -22,6 +22,7 @@
 //! | [`apps`] | `tpp-apps` | §2's tasks: micro-burst, RCP\*, ndb, CSTORE counter |
 //! | [`rcp_ref`] | `tpp-rcp-ref` | Reference in-router RCP (ns-2's role) + AIMD |
 //! | [`control`] | `tpp-control` | Control-plane agent: SRAM partitioning, versions, edge security |
+//! | [`spec`] | `tpp-spec` | Executable reference semantics — the conformance oracle for `asic` |
 //!
 //! ## Quickstart
 //!
@@ -66,6 +67,7 @@ pub use tpp_host as host;
 pub use tpp_isa as isa;
 pub use tpp_netsim as netsim;
 pub use tpp_rcp_ref as rcp_ref;
+pub use tpp_spec as spec;
 pub use tpp_telemetry as telemetry;
 pub use tpp_wire as wire;
 

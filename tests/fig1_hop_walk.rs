@@ -6,12 +6,15 @@
 //! the link." The figure shows SP advancing 0x0 → 0x4 → 0x8 → 0xc and
 //! one value pushed per hop.
 
+use std::path::Path;
+
 use tpp::host::{split_hops, DATA_ETHERTYPE};
 use tpp::isa::assemble;
 use tpp::netsim::{linear_chain, time, HostApp, HostCtx, LinearChainParams};
 use tpp::wire::ethernet::build_frame;
 use tpp::wire::tpp::TppPacket;
 use tpp::wire::{EthernetAddress, Frame};
+use tpp_bench::testgen::assert_matches_golden;
 
 struct OneProbe {
     dst: EthernetAddress,
@@ -96,6 +99,34 @@ fn figure1_walk_records_one_queue_sample_per_hop() {
     // so the probe — which waited its turn at hop 0 — finds little or
     // nothing queued later.
     assert!(sample.hops[2].words[0] < 3 * 1014);
+
+    // Golden snapshot: the full hop walk, pinned exactly. The range
+    // assertions above catch gross breakage; this catches any silent
+    // drift in the simulator's timing or the ASIC's queue accounting.
+    let arrival_ns = capture
+        .frames
+        .iter()
+        .find(|(_, f)| Frame::new_checked(&f[..]).unwrap().is_tpp())
+        .map(|(t, _)| *t)
+        .unwrap();
+    let per_hop: Vec<String> = sample
+        .hops
+        .iter()
+        .map(|h| {
+            let words: Vec<String> = h.words.iter().map(|w| w.to_string()).collect();
+            format!("    [{}]", words.join(", "))
+        })
+        .collect();
+    let snapshot = format!(
+        "{{\n  \"arrival_ns\": {arrival_ns},\n  \"hop\": {},\n  \"sp\": {},\n  \"hops\": [\n{}\n  ]\n}}\n",
+        tpp.hop(),
+        tpp.sp(),
+        per_hop.join(",\n")
+    );
+    assert_matches_golden(
+        &Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/fig1_hops.json"),
+        &snapshot,
+    );
 }
 
 #[test]

@@ -10,12 +10,15 @@
 //! R/C settles near 1, 1/2, 1/3 in both systems, and RCP\* tracks the
 //! reference within a coarse band.
 
+use std::path::Path;
+
 use tpp::apps::rcpstar::{init_rate_registers, RcpStarConfig, RcpStarSender};
 use tpp::host::EchoReceiver;
 use tpp::netsim::{dumbbell, time, DumbbellParams, HostApp};
 use tpp::rcp_ref::fluid::mean_r_over_c;
 use tpp::rcp_ref::{FlowSchedule, RcpFluidSim, RcpParams};
 use tpp::wire::EthernetAddress;
+use tpp_bench::testgen::assert_matches_golden;
 
 const C_BPS: f64 = 10e6;
 
@@ -77,6 +80,7 @@ fn rcp_and_rcpstar_converge_to_matching_fair_shares() {
 
     // Settled windows: the last 40% of each regime.
     let windows = [(3.0, 5.0, 1.0), (8.0, 10.0, 0.5), (13.0, 15.0, 1.0 / 3.0)];
+    let mut golden_rows: Vec<String> = Vec::new();
     for (lo, hi, ideal) in windows {
         let r = mean_r_over_c(&reference, lo, hi);
         let s = star_mean(star, lo, hi);
@@ -96,6 +100,13 @@ fn rcp_and_rcpstar_converge_to_matching_fair_shares() {
             (s - r).abs() < 0.12,
             "RCP* does not track reference in {lo}..{hi}: {s} vs {r}"
         );
+        // R/C scaled to integer permille so the snapshot has no
+        // float-formatting ambiguity.
+        golden_rows.push(format!(
+            "    {{\"window_s\": [{lo}, {hi}], \"ref_permille\": {}, \"star_permille\": {}}}",
+            (r * 1000.0).round() as i64,
+            (s * 1000.0).round() as i64
+        ));
     }
 
     // "Quick convergence": within 2 s of the second join, flow 0's rate
@@ -109,6 +120,22 @@ fn rcp_and_rcpstar_converge_to_matching_fair_shares() {
     // RCP's signature vs loss-based control: no drops, small queues.
     let q = sim.switch(bell.left).queue_stats(bell.bottleneck_port, 0);
     assert_eq!(q.packets_dropped, 0, "RCP* should not need losses");
+
+    // Golden snapshot: the exact per-window means. The band assertions
+    // above define correctness; this pins the simulation's behavior so
+    // an unintended change anywhere in the pipeline (scheduler order,
+    // RCP arithmetic, probe cadence) shows up as a reviewed diff, not a
+    // silent drift inside the tolerance band.
+    let snapshot = format!(
+        "{{\n  \"windows\": [\n{}\n  ],\n  \"samples\": {},\n  \"bottleneck_drops\": {}\n}}\n",
+        golden_rows.join(",\n"),
+        star.len(),
+        q.packets_dropped
+    );
+    assert_matches_golden(
+        &Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/fig2_rates.json"),
+        &snapshot,
+    );
 }
 
 #[test]

@@ -7,53 +7,14 @@
 //! TPP-readable registers. Every frame is fed more than once so the
 //! caches actually serve hits, and programs include undecodable words so
 //! the cached `BadInstruction` halt position is exercised too.
+//!
+//! The shared ASIC-pair/frame builders live in `tpp_bench::testgen`,
+//! reused by the robustness tests and the conformance fuzz loop.
 
 use proptest::prelude::*;
-use tpp_asic::{Asic, AsicConfig};
+use tpp_bench::testgen::{asic_pair, regs_match, step_both, tpp_frame};
 use tpp_wire::ethernet::{build_frame, EtherType};
-use tpp_wire::tpp::{AddressingMode, TppBuilder};
 use tpp_wire::EthernetAddress;
-
-/// Identically-provisioned ASICs, caches on vs off.
-fn asic_pair() -> (Asic, Asic) {
-    let mk = |config: AsicConfig| {
-        let mut asic = Asic::new(config);
-        asic.l2_mut().insert(EthernetAddress::from_host_id(1), 1);
-        asic.l2_mut().insert(EthernetAddress::from_host_id(2), 2);
-        asic.l3_mut().insert(0x0a00_0000, 8, 3);
-        asic
-    };
-    (
-        mk(AsicConfig::with_ports(7, 4)),
-        mk(AsicConfig::with_ports(7, 4).without_hot_path_caches()),
-    )
-}
-
-/// Feed the same frame to both ASICs and require identical observable
-/// behavior, including the bytes that come out of the egress queues.
-fn step_both(cached: &mut Asic, uncached: &mut Asic, frame: &[u8], now_ns: u64) {
-    let out_a = cached.handle_frame(frame.to_vec(), 0, now_ns);
-    let out_b = uncached.handle_frame(frame.to_vec(), 0, now_ns);
-    assert_eq!(out_a, out_b, "outcome diverged");
-    for port in 0..4 {
-        assert_eq!(
-            cached.dequeue(port),
-            uncached.dequeue(port),
-            "forwarded bytes diverged on port {port}"
-        );
-    }
-}
-
-fn regs_match(cached: &Asic, uncached: &Asic) {
-    assert_eq!(cached.regs().l2_hits, uncached.regs().l2_hits);
-    assert_eq!(cached.regs().l3_hits, uncached.regs().l3_hits);
-    assert_eq!(cached.regs().tcam_hits, uncached.regs().tcam_hits);
-    assert_eq!(
-        cached.regs().packets_processed,
-        uncached.regs().packets_processed
-    );
-    assert_eq!(cached.regs().tpps_executed, uncached.regs().tpps_executed);
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
@@ -66,16 +27,7 @@ proptest! {
         mem in proptest::collection::vec(any::<u32>(), 0..16),
         repeats in 2usize..5,
     ) {
-        let payload = TppBuilder::new(AddressingMode::Stack)
-            .instructions(&words)
-            .memory_init(&mem)
-            .build();
-        let frame = build_frame(
-            EthernetAddress::from_host_id(1),
-            EthernetAddress::from_host_id(9),
-            EtherType::TPP,
-            &payload,
-        );
+        let frame = tpp_frame(1, 9, &words, &mem);
         let (mut cached, mut uncached) = asic_pair();
         // Repeats make the second and later rounds cache hits; the TPP
         // mutates in flight, so each round replays the same ingress

@@ -8,8 +8,8 @@
 
 use tpp::asic::{Asic, AsicConfig};
 use tpp::isa::{assemble, lint, Assembler};
-use tpp::wire::ethernet::{build_frame, EtherType};
 use tpp::wire::EthernetAddress;
+use tpp_bench::testgen::tpp_frame;
 
 #[test]
 fn all_shipped_programs_are_lint_clean() {
@@ -83,15 +83,11 @@ fn mutated_tpp_frames_never_panic_the_pipeline() {
          STORE [Switch:Scratch[0]], [Packet:1]",
     )
     .unwrap();
-    let payload = tpp::wire::tpp::TppBuilder::new(tpp::wire::tpp::AddressingMode::Stack)
-        .instructions(&program.encode_words().unwrap())
-        .memory_init(&[7, 8, 9, 10, 0xffff_ffff, 1])
-        .build();
-    let frame = build_frame(
-        EthernetAddress::from_host_id(1),
-        EthernetAddress::from_host_id(2),
-        EtherType::TPP,
-        &payload,
+    let frame = tpp_frame(
+        1,
+        2,
+        &program.encode_words().unwrap(),
+        &[7, 8, 9, 10, 0xffff_ffff, 1],
     );
 
     let mut asic = Asic::new(AsicConfig::with_ports(1, 2));
