@@ -54,6 +54,10 @@ pub struct MicroburstMonitor {
     pub probes_sent: u64,
     /// Echoes received and decoded.
     pub echoes_received: u64,
+    /// Per-probe `(send_t_ns, rtt_ns)`, in arrival order — the
+    /// end-host-observed round-trip latency the observability collector
+    /// aggregates alongside the queue samples.
+    pub rtts: Vec<(u64, u64)>,
 }
 
 const WORDS_PER_HOP: usize = programs::MICROBURST_WORDS_PER_HOP;
@@ -87,6 +91,7 @@ impl MicroburstMonitor {
             samples: Vec::new(),
             probes_sent: 0,
             echoes_received: 0,
+            rtts: Vec::new(),
         }
     }
 
@@ -156,6 +161,7 @@ impl HostApp for MicroburstMonitor {
             })
             .unwrap_or_else(|| ctx.now());
         self.echoes_received += 1;
+        self.rtts.push((t_ns, ctx.now().saturating_sub(t_ns)));
         for hop in sample.hops {
             self.samples.push(QueueSample {
                 t_ns,

@@ -13,6 +13,10 @@
 use crate::config::{AsicConfig, PortConfig, StripAction};
 use crate::memmap::Mmu;
 pub use crate::memmap::PacketMeta;
+use crate::profile::{
+    table_walk_cycles, PipelineProfile, ProfileConfig, EDGE_FILTER_CYCLES, MMU_ADMIT_CYCLES,
+    PARSE_CYCLES, PARSE_TPP_EXTRA_CYCLES,
+};
 use crate::queue::DropTailQueue;
 use crate::sram::{SramError, SramView, SramViewMut};
 use crate::state::{AsicState, PortState, QueueState};
@@ -201,6 +205,10 @@ pub struct Asic {
     /// Structured trace sink; `None` (the default) keeps every stage's
     /// emission down to one branch.
     trace: Option<Box<dyn TraceSink>>,
+    /// Per-packet span profiler (observability plane layer 1); `None`
+    /// (the default) keeps every stage's attribution down to one
+    /// branch, like the trace sink.
+    profile: Option<Box<PipelineProfile>>,
 }
 
 impl Asic {
@@ -225,6 +233,7 @@ impl Asic {
             flow_cache_hits: 0,
             flow_cache_misses: 0,
             trace: None,
+            profile: None,
             config,
         }
     }
@@ -257,6 +266,106 @@ impl Asic {
                 seq: self.regs.packets_processed,
                 kind,
             });
+        }
+    }
+
+    /// Enable per-packet span profiling (observability plane layer 1):
+    /// per-stage cycle attribution, reservoir-sampled stage-latency
+    /// histograms, TCPU per-opcode breakdown, and cut-through
+    /// budget-violation counters. Off by default; enabling replaces any
+    /// previous profile.
+    pub fn enable_profiling(&mut self, config: ProfileConfig) {
+        self.profile = Some(Box::new(PipelineProfile::new(
+            config,
+            self.config.switch_id as u64,
+        )));
+    }
+
+    /// Disable profiling, discarding collected statistics.
+    pub fn disable_profiling(&mut self) {
+        self.profile = None;
+    }
+
+    /// The span profiler, when profiling is enabled.
+    pub fn profile(&self) -> Option<&PipelineProfile> {
+        self.profile.as_deref()
+    }
+
+    /// True when span profiling is enabled.
+    pub fn is_profiled(&self) -> bool {
+        self.profile.is_some()
+    }
+
+    /// Begin a packet span and charge the parser stage. `#[cold]` like
+    /// [`Asic::emit`]: the unprofiled hot path pays one branch.
+    #[cold]
+    #[inline(never)]
+    fn profile_begin(&mut self, now_ns: u64, is_tpp: bool) {
+        if let Some(p) = self.profile.as_deref_mut() {
+            p.begin(now_ns);
+            let tpp_extra = if is_tpp { PARSE_TPP_EXTRA_CYCLES } else { 0 };
+            p.charge_parser(PARSE_CYCLES + tpp_extra);
+        }
+    }
+
+    /// Complete the current span for a packet dropped before reaching
+    /// MMU admission (parse error, edge filter, no route, flow drop).
+    #[cold]
+    #[inline(never)]
+    fn profile_finish_drop(&mut self) {
+        if let Some(p) = self.profile.as_deref_mut() {
+            p.finish(0, 0, false);
+        }
+    }
+
+    /// Charge the §4 edge filter's consultation to the parser stage.
+    #[cold]
+    #[inline(never)]
+    fn profile_edge_filter(&mut self) {
+        if let Some(p) = self.profile.as_deref_mut() {
+            p.charge_parser(EDGE_FILTER_CYCLES);
+        }
+    }
+
+    /// Charge the table walk. `consulted_l3`/`consulted_l2` derive from
+    /// the winning table and the flow key only, so cached and uncached
+    /// lookups charge identically (see `profile::table_walk_cycles`).
+    #[cold]
+    #[inline(never)]
+    fn profile_tables(&mut self, consulted_l3: bool, consulted_l2: bool) {
+        if let Some(p) = self.profile.as_deref_mut() {
+            p.charge_tables(table_walk_cycles(consulted_l3, consulted_l2));
+        }
+    }
+
+    /// Charge a TCPU execution, attributing executed instructions to
+    /// opcodes via `word_at`.
+    #[cold]
+    #[inline(never)]
+    fn profile_tcpu(&mut self, report: &ExecReport, word_at: impl Fn(usize) -> u32) {
+        if let Some(p) = self.profile.as_deref_mut() {
+            p.charge_tcpu(report, word_at);
+        }
+    }
+
+    /// Complete the current span at MMU admission: charge the MMU stage
+    /// and run the cut-through budget check against the head-of-line
+    /// drain estimate of `depth_before` bytes at `capacity_kbps`.
+    #[cold]
+    #[inline(never)]
+    fn profile_finish_enqueue(&mut self, depth_before: u64, capacity_kbps: u32, enqueued: bool) {
+        if let Some(p) = self.profile.as_deref_mut() {
+            let wait_ns = depth_before.saturating_mul(8_000_000) / capacity_kbps.max(1) as u64;
+            p.finish(MMU_ADMIT_CYCLES, wait_ns, enqueued);
+        }
+    }
+
+    /// Record a scheduler service (strict-priority scan depth).
+    #[cold]
+    #[inline(never)]
+    fn profile_dequeue(&mut self, queues_scanned: u32) {
+        if let Some(p) = self.profile.as_deref_mut() {
+            p.record_dequeue(queues_scanned);
         }
     }
 
@@ -514,6 +623,9 @@ impl Asic {
         let (dh, dm) = self.decode_cache_stats();
         registry.add("switch.decode_cache_hits", dh);
         registry.add("switch.decode_cache_misses", dm);
+        if let Some(p) = self.profile.as_deref() {
+            p.export_metrics(registry);
+        }
     }
 
     /// Fold per-port byte windows into the utilization EWMAs. The owner
@@ -552,6 +664,10 @@ impl Asic {
                         port: None,
                     });
                 }
+                if self.profile.is_some() {
+                    self.profile_begin(now_ns, false);
+                    self.profile_finish_drop();
+                }
                 return Outcome::Dropped {
                     reason: DropReason::ParseError,
                 };
@@ -566,9 +682,20 @@ impl Asic {
                 ok: true,
             });
         }
+        if self.profile.is_some() {
+            self.profile_begin(now_ns, is_tpp);
+        }
 
         // --- §4 edge security filter on ingress ---
         if is_tpp {
+            if self.profile.is_some()
+                && self.ports[in_port as usize]
+                    .config
+                    .ingress_tpp_filter
+                    .is_some()
+            {
+                self.profile_edge_filter();
+            }
             match self.ports[in_port as usize].config.ingress_tpp_filter {
                 Some(StripAction::Drop) => {
                     if self.trace.is_some() {
@@ -580,6 +707,9 @@ impl Asic {
                             reason: DropKind::EdgeFiltered,
                             port: None,
                         });
+                    }
+                    if self.profile.is_some() {
+                        self.profile_finish_drop();
                     }
                     return Outcome::Dropped {
                         reason: DropReason::EdgeFiltered,
@@ -605,6 +735,9 @@ impl Asic {
                                     reason: DropKind::EdgeFiltered,
                                     port: None,
                                 });
+                            }
+                            if self.profile.is_some() {
+                                self.profile_finish_drop();
                             }
                             Outcome::Dropped {
                                 reason: DropReason::EdgeFiltered,
@@ -657,6 +790,29 @@ impl Asic {
         } else {
             self.lookup_tables(key)
         };
+        if self.profile.is_some() {
+            // Which tables the (cached or fresh) walk consulted is a
+            // pure function of the winning table and the key, so the
+            // attribution replays identically on cache hits.
+            let has_ipv4 = key.ipv4_dst.is_some();
+            let (l3, l2) = match resolved {
+                CachedLookup::Forward {
+                    table: LookupKind::Tcam,
+                    ..
+                }
+                | CachedLookup::FlowDrop { .. } => (false, false),
+                CachedLookup::Forward {
+                    table: LookupKind::L3,
+                    ..
+                } => (true, false),
+                CachedLookup::Forward {
+                    table: LookupKind::L2,
+                    ..
+                }
+                | CachedLookup::Miss => (has_ipv4, true),
+            };
+            self.profile_tables(l3, l2);
+        }
         self.commit_lookup(resolved)
     }
 
@@ -807,6 +963,9 @@ impl Asic {
                 port: reason.port(),
             });
         }
+        if self.profile.is_some() {
+            self.profile_finish_drop();
+        }
         Outcome::Dropped { reason }
     }
 
@@ -876,6 +1035,9 @@ impl Asic {
                             wrote_switch: report.wrote_switch,
                         });
                     }
+                    if self.profile.is_some() {
+                        self.profile_tcpu(&report, |i| tpp.instruction_word(i));
+                    }
                     Some(report)
                 }
                 // A malformed TPP section is forwarded untouched: the
@@ -904,6 +1066,7 @@ impl Asic {
         let len = frame.len() as u64;
         let traced = self.trace.is_some();
         let port = &mut self.ports[out_port as usize];
+        let capacity_kbps = port.config.capacity_kbps;
         // Occupancy *before* this frame — the value ECN compares against
         // and the value a TPP's `PUSH [Queue:QueueSize]` read this walk.
         let depth_before = port.queues[queue_id as usize].len_bytes();
@@ -948,6 +1111,9 @@ impl Asic {
                 });
             }
         }
+        if self.profile.is_some() {
+            self.profile_finish_enqueue(depth_before, capacity_kbps, accepted);
+        }
         if accepted {
             Outcome::Enqueued {
                 port: out_port,
@@ -985,7 +1151,46 @@ impl Asic {
                 depth_bytes: depth_after,
             });
         }
+        if self.profile.is_some() {
+            // The strict-priority scan inspected queues 0..=queue.
+            self.profile_dequeue(queue as u32 + 1);
+        }
         Some(frame)
+    }
+
+    /// Number of egress queues on a port.
+    pub fn num_queues(&self, port: PortId) -> usize {
+        self.ports[port as usize].queues.len()
+    }
+
+    /// `(total, max)` occupancy in bytes across every egress queue —
+    /// the time-series layer's per-tick queue-depth sample.
+    pub fn queue_occupancy(&self) -> (u64, u64) {
+        let mut total = 0;
+        let mut max = 0;
+        for port in &self.ports {
+            for queue in &port.queues {
+                let len = queue.len_bytes();
+                total += len;
+                max = max.max(len);
+            }
+        }
+        (total, max)
+    }
+
+    /// The queue with the highest high-watermark occupancy:
+    /// `(port, queue, high_watermark_bytes)` — `tpp-top`'s "hot queue".
+    pub fn hottest_queue(&self) -> (PortId, QueueId, u64) {
+        let mut best = (0, 0, 0);
+        for (p, port) in self.ports.iter().enumerate() {
+            for (q, queue) in port.queues.iter().enumerate() {
+                let hw = queue.stats().high_watermark_bytes;
+                if hw > best.2 {
+                    best = (p as PortId, q as QueueId, hw);
+                }
+            }
+        }
+        best
     }
 
     /// True if the port has nothing queued.
@@ -1140,6 +1345,92 @@ mod tests {
         let tpp = TppPacket::new_checked(parsed.payload()).unwrap();
         assert_eq!(tpp.stack_words(), vec![0xA1]);
         assert_eq!(tpp.hop(), 1);
+    }
+
+    #[test]
+    fn profiled_span_attribution_sums_per_stage() {
+        use crate::profile::{
+            ProfStage, L2_SEARCH_CYCLES, MMU_ADMIT_CYCLES, PARSE_CYCLES, PARSE_TPP_EXTRA_CYCLES,
+            TCAM_SEARCH_CYCLES,
+        };
+        let mut asic = asic();
+        asic.enable_profiling(ProfileConfig::default());
+        let frame = tpp_frame("PUSH [Switch:SwitchID]", 2);
+        let outcome = asic.handle_frame(frame, 0, 5_000);
+        assert!(outcome.is_enqueued());
+
+        let p = asic.profile().unwrap();
+        let span = p.last_span();
+        assert_eq!(span.parser_cycles, PARSE_CYCLES + PARSE_TPP_EXTRA_CYCLES);
+        // TPP ethertype → no IPv4, so the walk is TCAM (always) + L2.
+        assert_eq!(span.tables_cycles, TCAM_SEARCH_CYCLES + L2_SEARCH_CYCLES);
+        assert_eq!(span.tcpu_cycles, crate::tcpu::cycles_for(1));
+        assert_eq!(span.mmu_cycles, MMU_ADMIT_CYCLES);
+        assert_eq!(
+            span.total_cycles(),
+            span.parser_cycles + span.tables_cycles + span.tcpu_cycles + span.mmu_cycles
+        );
+        assert_eq!(p.total_cycles(), span.total_cycles() as u64);
+        assert_eq!(p.packets(), 1);
+        assert_eq!(p.budget_violations(), 0, "empty queue, tiny program");
+        assert_eq!(p.stage(ProfStage::Tcpu).hist().count(), 1);
+        let ops = p.opcode_breakdown();
+        assert_eq!(ops.len(), 1);
+        assert_eq!(ops[0].0.mnemonic(), "PUSH");
+        assert_eq!(ops[0].1, 1);
+
+        // The scheduler stage is charged at dequeue.
+        asic.dequeue(1).unwrap();
+        assert_eq!(
+            asic.profile()
+                .unwrap()
+                .stage(ProfStage::Scheduler)
+                .hist()
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn profiling_is_invisible_to_forwarding() {
+        let mut profiled = asic();
+        profiled.enable_profiling(ProfileConfig::default());
+        let mut plain = asic();
+        for i in 0..20 {
+            let frame = tpp_frame("PUSH [Queue:QueueSize]\nPUSH [Link:TX-Bytes]", 4);
+            let a = profiled.handle_frame(frame.clone(), 0, 100 * i);
+            let b = plain.handle_frame(frame, 0, 100 * i);
+            assert_eq!(a, b);
+            assert_eq!(profiled.dequeue(1), plain.dequeue(1));
+        }
+        assert_eq!(profiled.snapshot(), plain.snapshot());
+        assert_eq!(profiled.profile().unwrap().packets(), 20);
+    }
+
+    #[test]
+    fn budget_violation_under_queue_buildup() {
+        let mut asic = asic();
+        asic.enable_profiling(ProfileConfig::default());
+        // Stack ~1.6 KB into port 1's queue: at 10 Gb/s the head-of-line
+        // drain alone is ~1.2 µs, far past the 300 ns budget.
+        for i in 0..2 {
+            let filler = build_frame(
+                EthernetAddress::from_host_id(1),
+                EthernetAddress::from_host_id(2),
+                EtherType(0x0800),
+                &[0u8; 800],
+            );
+            asic.handle_frame(filler, 0, i);
+        }
+        let frame = tpp_frame("PUSH [Queue:QueueSize]", 2);
+        assert!(asic.handle_frame(frame, 0, 10).is_enqueued());
+        let p = asic.profile().unwrap();
+        assert_eq!(p.packets(), 3);
+        assert!(
+            p.budget_violations() >= 1,
+            "a packet behind 1.6 KB of queue cannot cut through in 300 ns"
+        );
+        assert!(p.last_span().queue_wait_ns > 300);
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub mod asic;
 pub mod config;
 pub mod decode_cache;
 pub mod memmap;
+pub mod profile;
 pub mod queue;
 pub mod sram;
 pub mod state;
@@ -51,6 +52,7 @@ pub use asic::{Asic, DropReason, Outcome, PacketMeta, PortId, QueueId};
 pub use config::{AsicConfig, PortConfig, StripAction};
 pub use decode_cache::{DecodeCache, DecodedProgram};
 pub use memmap::{Mmu, MmuFault};
+pub use profile::{PipelineProfile, ProfStage, ProfileConfig, Reservoir, Span, StageStat};
 pub use queue::DropTailQueue;
 pub use sram::{SramError, SramView, SramViewMut};
 pub use state::{AsicState, PortState, QueueState};

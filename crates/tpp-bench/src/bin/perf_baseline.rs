@@ -18,7 +18,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use tpp_asic::{Asic, AsicConfig, FlowAction, FlowEntry, FlowMatch};
+use tpp_asic::{Asic, AsicConfig, FlowAction, FlowEntry, FlowMatch, ProfileConfig};
 use tpp_isa::assemble;
 use tpp_netsim::{leaf_spine, time, HostApp, HostCtx, LeafSpineParams};
 use tpp_wire::ethernet::{build_frame, EtherType};
@@ -146,7 +146,26 @@ fn run_pipeline_workload(
     frames: u64,
     tpp: bool,
 ) -> WorkloadRow {
+    run_pipeline_workload_profiled(name, caches, config, frame, frames, tpp, false)
+}
+
+/// Like [`run_pipeline_workload`], optionally with the observability
+/// profiler sampling every packet — the `obs_overhead` pair measures
+/// what turning the profiler on costs relative to the same ASIC with
+/// it off.
+fn run_pipeline_workload_profiled(
+    name: &'static str,
+    caches: &'static str,
+    config: AsicConfig,
+    frame: &[u8],
+    frames: u64,
+    tpp: bool,
+    profiled: bool,
+) -> WorkloadRow {
     let mut a = asic(config);
+    if profiled {
+        a.enable_profiling(ProfileConfig::default());
+    }
     // Warm up tables, caches, and the branch predictor outside the
     // measured window.
     for _ in 0..1000 {
@@ -358,6 +377,28 @@ fn main() {
             FRAMES,
             false,
         ),
+        // Observability overhead: identical TPP workload, caches on,
+        // with the profiler off vs sampling every packet. The "off" row
+        // is the parity check CI gates on (observability disabled must
+        // cost nothing); the on/off ratio is the tracked sampling cost.
+        run_pipeline_workload_profiled(
+            "obs_overhead_off",
+            "on",
+            AsicConfig::with_ports(1, 4),
+            &tpp,
+            FRAMES,
+            true,
+            false,
+        ),
+        run_pipeline_workload_profiled(
+            "obs_overhead_on",
+            "on",
+            AsicConfig::with_ports(1, 4),
+            &tpp,
+            FRAMES,
+            true,
+            true,
+        ),
     ];
 
     let speedup = |name: &str| -> f64 {
@@ -373,6 +414,14 @@ fn main() {
     };
     let tcpu_speedup = speedup("tcpu_repeated_program");
     let plain_speedup = speedup("pipeline_plain");
+    let row_pps = |name: &str| -> f64 {
+        rows.iter()
+            .find(|r| r.name == name)
+            .expect("row")
+            .packets_per_sec
+    };
+    // Sampling-on throughput as a fraction of sampling-off (1.0 = free).
+    let obs_on_vs_off = row_pps("obs_overhead_on") / row_pps("obs_overhead_off");
 
     for row in &rows {
         println!(
@@ -383,11 +432,13 @@ fn main() {
     println!(
         "speedup: tcpu_repeated_program {tcpu_speedup:.2}x, pipeline_plain {plain_speedup:.2}x"
     );
+    println!("obs sampling on/off throughput ratio: {obs_on_vs_off:.2}");
 
     let pipeline_json = format!(
         "{{\n  \"bench\": \"perf_baseline/pipeline\",\n  \"workloads\": [\n{}\n  ],\n  \
          \"speedup\": {{\"tcpu_repeated_program\": {tcpu_speedup:.2}, \
-         \"pipeline_plain\": {plain_speedup:.2}}}\n}}\n",
+         \"pipeline_plain\": {plain_speedup:.2}, \
+         \"obs_sampling_on_vs_off\": {obs_on_vs_off:.2}}}\n}}\n",
         rows.iter().map(json_row).collect::<Vec<_>>().join(",\n")
     );
     write_file("BENCH_pipeline.json", &pipeline_json);

@@ -1,0 +1,93 @@
+//! `tpp-top` — a `top(1)` for the TPP fabric.
+//!
+//! Runs the seeded microburst scenario (see `obs_scenario`) and renders
+//! per-switch hot queues, pipeline stage latencies, budget violations,
+//! and the probe collector's divergence check.
+//!
+//! ```console
+//! $ cargo run -p tpp-bench --bin tpp_top            # live view
+//! $ cargo run -p tpp-bench --bin tpp_top -- --headless
+//! $ cargo run -p tpp-bench --bin tpp_top -- --headless --prom snap.prom --series series.jsonl
+//! ```
+//!
+//! `--headless` prints the final table once and exits (what CI pins as
+//! a golden). `--prom FILE` / `--series FILE` additionally write the
+//! Prometheus snapshot and the JSONL ring-series dump (`-` for stdout).
+
+use std::io::Write as _;
+
+use tpp_bench::obs_scenario::{run_obs_scenario, ObsScenario, SCENARIO_END_NS};
+use tpp_netsim::time;
+
+fn write_out(path: &str, what: &str, contents: &str) {
+    if path == "-" {
+        print!("{contents}");
+        return;
+    }
+    match std::fs::write(path, contents) {
+        Ok(()) => eprintln!("wrote {what} to {path}"),
+        Err(e) => {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut headless = false;
+    let mut prom_path: Option<String> = None;
+    let mut series_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--headless" => headless = true,
+            "--prom" => prom_path = Some(it.next().expect("--prom FILE").clone()),
+            "--series" => series_path = Some(it.next().expect("--series FILE").clone()),
+            "--help" | "-h" => {
+                eprintln!("usage: tpp_top [--headless] [--prom FILE] [--series FILE]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if !headless {
+        // Live mode: advance the simulation in 100 µs frames, redrawing
+        // the table between frames like top(1).
+        let mut sc = ObsScenario::new();
+        let mut t = 0;
+        while t < SCENARIO_END_NS {
+            t += time::micros(100);
+            sc.step_to(t);
+            let frame = sc.render();
+            print!("\x1b[2J\x1b[H{frame}");
+            let _ = std::io::stdout().flush();
+            std::thread::sleep(std::time::Duration::from_millis(40));
+        }
+        println!();
+    }
+
+    // Headless (and the live mode's final summary): run the full
+    // scenario deterministically and print the end state.
+    let run = run_obs_scenario();
+    print!("{}", run.top);
+    println!(
+        "\nscenario: probes={} echoes={} peak_queue={}B bursts={} budget_violations={} divergence_max={}B",
+        run.probes_sent,
+        run.echoes_received,
+        run.peak_queue_bytes,
+        run.bursts_detected,
+        run.budget_violations,
+        run.divergence_max_bytes,
+    );
+    if let Some(p) = prom_path {
+        write_out(&p, "prometheus snapshot", &run.prom);
+    }
+    if let Some(p) = series_path {
+        write_out(&p, "series jsonl", &run.series);
+    }
+}

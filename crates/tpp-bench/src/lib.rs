@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod conformance;
+pub mod obs_scenario;
 pub mod testgen;
 
 /// Render a simple fixed-width table to stdout.

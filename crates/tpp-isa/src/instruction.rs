@@ -87,6 +87,24 @@ impl Opcode {
         Opcode::PushI,
     ];
 
+    /// The assembler mnemonic, stable for metric names and display.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Opcode::Nop => "NOP",
+            Opcode::Load => "LOAD",
+            Opcode::Store => "STORE",
+            Opcode::Push => "PUSH",
+            Opcode::Pop => "POP",
+            Opcode::Cstore => "CSTORE",
+            Opcode::Cexec => "CEXEC",
+            Opcode::Add => "ADD",
+            Opcode::Sub => "SUB",
+            Opcode::And => "AND",
+            Opcode::Or => "OR",
+            Opcode::PushI => "PUSHI",
+        }
+    }
+
     fn from_bits(bits: u8) -> Result<Opcode> {
         Ok(match bits {
             0x00 => Opcode::Nop,

@@ -61,6 +61,7 @@ pub mod event;
 pub mod fault;
 pub mod node;
 pub mod pool;
+pub mod series;
 pub mod sim;
 pub mod time;
 pub mod topology;
@@ -68,6 +69,9 @@ pub mod topology;
 pub use fault::{ChannelProfile, FaultAction, FaultCounters, FaultPlan};
 pub use node::{AsAny, HostApp, HostCtx, HostId, SwitchId};
 pub use pool::FramePool;
+pub use series::{
+    RingSeries, SeriesSet, SwitchSeries, FLEET_SERIES_METRICS, SWITCH_SERIES_METRICS,
+};
 pub use sim::{Endpoint, NetworkBuilder, Simulator, TapDir, TapRecord};
 pub use topology::{
     dumbbell, fat_tree, leaf_spine, linear_chain, Dumbbell, DumbbellParams, FatTree, FatTreeParams,

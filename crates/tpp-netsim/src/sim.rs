@@ -10,6 +10,7 @@ use crate::event::{EventKind, EventQueue, NodeRef};
 use crate::fault::{ChannelProfile, FaultAction, FaultCounters, FaultPlan};
 use crate::node::{HostAction, HostApp, HostCtx, HostId, SwitchId};
 use crate::pool::FramePool;
+use crate::series::{permille, SeriesSet};
 use crate::time::tx_time_ns;
 use tpp_asic::{Asic, AsicConfig, Outcome, PortId};
 use tpp_telemetry::{MetricsRegistry, SharedSink, TraceEvent, TraceEventKind, TraceSink};
@@ -193,6 +194,7 @@ impl NetworkBuilder {
             fleet_sink: None,
             frame_pool: FramePool::default(),
             host_actions: Vec::new(),
+            series: None,
         }
     }
 }
@@ -318,6 +320,10 @@ pub struct Simulator {
     /// Scratch buffer for host-app actions, reused across every
     /// [`Simulator::call_host`] invocation.
     host_actions: Vec<HostAction>,
+    /// Ring-buffer time series sampled on every stats tick
+    /// (observability plane layer 2); `None` (the default) keeps the
+    /// tick handler at one extra branch.
+    series: Option<SeriesSet>,
 }
 
 impl Simulator {
@@ -468,6 +474,83 @@ impl Simulator {
     /// Running totals of injected faults.
     pub fn fault_counters(&self) -> FaultCounters {
         self.fault_counters
+    }
+
+    /// Override the stats-tick interval — and therefore the sampling
+    /// period of the time-series layer. The next tick is scheduled from
+    /// the current value, so call before the first `run_until` to set
+    /// the period for the whole run.
+    pub fn set_tick_interval_ns(&mut self, ns: u64) {
+        assert!(ns > 0, "tick interval must be positive");
+        self.tick_interval_ns = ns;
+    }
+
+    /// Enable the per-tick time-series layer: from now on every stats
+    /// tick samples queue depth, link utilization, drop and cache-hit
+    /// rates for every switch (plus fleet-wide fault/loss rates) into
+    /// fixed-capacity ring series — see [`crate::series`]. `capacity`
+    /// bounds each series' point count; longer runs downsample instead
+    /// of growing. Calling again discards the recorded series.
+    pub fn enable_series(&mut self, capacity: usize) {
+        let ids: Vec<u32> = self.switches.iter().map(|sw| sw.asic.switch_id()).collect();
+        self.series = Some(SeriesSet::new(&ids, capacity));
+    }
+
+    /// The recorded time series, if [`Simulator::enable_series`] was
+    /// called.
+    pub fn series(&self) -> Option<&SeriesSet> {
+        self.series.as_ref()
+    }
+
+    /// Take one stats-tick sample of every switch into the series
+    /// layer. Off the fast path: the tick handler calls this only when
+    /// series are enabled.
+    #[cold]
+    #[inline(never)]
+    fn sample_series(&mut self) {
+        let now = self.now_ns;
+        let Some(set) = self.series.as_mut() else {
+            return;
+        };
+        set.ticks += 1;
+        for (sw, series) in self.switches.iter().zip(set.switches.iter_mut()) {
+            let asic = &sw.asic;
+            let (total, max) = asic.queue_occupancy();
+            series.offer("queue.total_bytes", now, total);
+            series.offer("queue.max_bytes", now, max);
+            let mut util = 0u64;
+            let mut dropped = 0u64;
+            for p in 0..asic.num_ports() {
+                let stats = asic.port_stats(p as PortId);
+                util = util.max(stats.tx_utilization_permille as u64);
+                dropped += stats.bytes_dropped;
+            }
+            series.offer("link.tx_util_permille", now, util);
+            // Saturating: a switch reboot resets its counters.
+            let delta = dropped.saturating_sub(series.prev_drop_bytes);
+            series.offer("drop.bytes_per_tick", now, delta);
+            series.prev_drop_bytes = dropped;
+            let (fh, fm) = asic.flow_cache_stats();
+            series.offer("cache.flow_hit_permille", now, permille(fh, fm));
+            let (dh, dm) = asic.decode_cache_stats();
+            series.offer("cache.decode_hit_permille", now, permille(dh, dm));
+        }
+        let f = self.fault_counters;
+        let faults =
+            f.link_down_drops + f.duplicated + f.corrupted + f.reordered + f.reboots + f.link_downs;
+        set.offer_fleet(
+            "fault.events_per_tick",
+            now,
+            faults.saturating_sub(set.prev_faults),
+        );
+        set.prev_faults = faults;
+        let losses: u64 = self.link_losses.values().sum();
+        set.offer_fleet(
+            "link.frames_lost_per_tick",
+            now,
+            losses.saturating_sub(set.prev_losses),
+        );
+        set.prev_losses = losses;
     }
 
     /// A switch's current boot epoch (ground truth for tests; end-hosts
@@ -722,6 +805,9 @@ impl Simulator {
                 let now = self.now_ns;
                 for sw in &mut self.switches {
                     sw.asic.tick(now);
+                }
+                if self.series.is_some() {
+                    self.sample_series();
                 }
                 self.events
                     .push(now + self.tick_interval_ns, EventKind::StatsTick);

@@ -1,0 +1,243 @@
+//! The TPP measurement collector: what the *end-hosts* saw.
+//!
+//! §2.1's monitor decodes probe echoes into per-switch queue samples;
+//! this module aggregates those observations per `(switch, queue)` with
+//! HDR-style percentiles, tracks probe RTTs, and — the part that makes
+//! it a conformance check and not just a dashboard — compares the
+//! end-host view against simulator ground truth. A probe records
+//! `Queue:QueueSize` the instant it traverses the switch, so once the
+//! network drains, the last sample of a lossless run must equal the
+//! (empty) ground-truth occupancy exactly: divergence 0.
+
+use std::collections::BTreeMap;
+
+use tpp_apps::microburst::MicroburstMonitor;
+use tpp_netsim::{Simulator, SwitchId};
+use tpp_telemetry::{Histogram, MetricsRegistry};
+
+/// Aggregated end-host observations of one `(switch, queue)`.
+#[derive(Debug, Clone, Default)]
+pub struct QueueView {
+    /// Distribution of observed `Queue:QueueSize` samples, bytes.
+    pub hist: Histogram,
+    /// The most recent observation, `(t_ns, queue_bytes)` by probe send
+    /// time.
+    pub last: Option<(u64, u64)>,
+}
+
+impl QueueView {
+    fn observe(&mut self, t_ns: u64, queue_bytes: u64) {
+        self.hist.observe(queue_bytes);
+        if self.last.is_none_or(|(t, _)| t_ns >= t) {
+            self.last = Some((t_ns, queue_bytes));
+        }
+    }
+}
+
+/// End-host observation of one switch vs simulator ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwitchDivergence {
+    /// `Switch:SwitchID` of the switch.
+    pub switch_id: u32,
+    /// The last queue occupancy any probe observed at this switch, or
+    /// `None` if no probe traversed it.
+    pub observed_bytes: Option<u64>,
+    /// The switch's total egress-queue occupancy right now (simulator
+    /// ground truth).
+    pub ground_truth_bytes: u64,
+    /// `|observed - ground truth|`; 0 for unobserved switches.
+    pub abs_diff_bytes: u64,
+}
+
+/// The collector's view vs ground truth, switch by switch.
+#[derive(Debug, Clone, Default)]
+pub struct DivergenceReport {
+    /// One row per simulator switch, in simulator index order.
+    pub per_switch: Vec<SwitchDivergence>,
+    /// Worst per-switch divergence.
+    pub max_abs_bytes: u64,
+    /// Probes sent but never echoed back (lost, or still in flight).
+    pub probes_lost: u64,
+}
+
+impl DivergenceReport {
+    /// True when every observed switch matches ground truth exactly —
+    /// the expected verdict for a drained, lossless run.
+    pub fn is_exact(&self) -> bool {
+        self.max_abs_bytes == 0
+    }
+}
+
+/// Aggregates TPP measurement results from probe-echo decoding.
+///
+/// Feed it a [`MicroburstMonitor`] after a run (or individual samples
+/// as they arrive), then export percentiles to a [`MetricsRegistry`]
+/// or cross-check with [`Collector::divergence_vs_sim`].
+#[derive(Debug, Clone, Default)]
+pub struct Collector {
+    queues: BTreeMap<(u32, u32), QueueView>,
+    rtt: Histogram,
+    /// Probes the monitored hosts sent.
+    pub probes_sent: u64,
+    /// Echoes received and decoded.
+    pub echoes_received: u64,
+}
+
+impl Collector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Collector::default()
+    }
+
+    /// Record one queue-size observation. §2.1 probes carry
+    /// `(Switch:SwitchID, Queue:QueueSize)` per hop and don't name the
+    /// queue, so callers ingesting monitor samples use `queue_id` 0.
+    pub fn ingest_queue_sample(&mut self, switch_id: u32, queue_id: u32, t_ns: u64, bytes: u64) {
+        self.queues
+            .entry((switch_id, queue_id))
+            .or_default()
+            .observe(t_ns, bytes);
+    }
+
+    /// Record one probe round-trip time.
+    pub fn ingest_rtt(&mut self, rtt_ns: u64) {
+        self.rtt.observe(rtt_ns);
+    }
+
+    /// Ingest everything a [`MicroburstMonitor`] accumulated: queue
+    /// samples (as queue 0 of each observed switch), RTTs, and the
+    /// sent/received counters. Call once, after the run.
+    pub fn ingest_monitor(&mut self, monitor: &MicroburstMonitor) {
+        for s in &monitor.samples {
+            self.ingest_queue_sample(s.switch_id, 0, s.t_ns, s.queue_bytes as u64);
+        }
+        for &(_t, rtt) in &monitor.rtts {
+            self.ingest_rtt(rtt);
+        }
+        self.probes_sent += monitor.probes_sent;
+        self.echoes_received += monitor.echoes_received;
+    }
+
+    /// The aggregated view of one `(switch, queue)`.
+    pub fn queue(&self, switch_id: u32, queue_id: u32) -> Option<&QueueView> {
+        self.queues.get(&(switch_id, queue_id))
+    }
+
+    /// Iterate `((switch_id, queue_id), view)` in key order.
+    pub fn queues(&self) -> impl Iterator<Item = (&(u32, u32), &QueueView)> {
+        self.queues.iter()
+    }
+
+    /// The probe RTT distribution.
+    pub fn rtt(&self) -> &Histogram {
+        &self.rtt
+    }
+
+    /// Total queue samples ingested.
+    pub fn samples(&self) -> u64 {
+        self.queues.values().map(|v| v.hist.count()).sum()
+    }
+
+    /// The last observation of a switch across all of its observed
+    /// queues (latest probe send time wins).
+    fn last_observed(&self, switch_id: u32) -> Option<u64> {
+        self.queues
+            .range((switch_id, 0)..=(switch_id, u32::MAX))
+            .filter_map(|(_, v)| v.last)
+            .max_by_key(|&(t, _)| t)
+            .map(|(_, bytes)| bytes)
+    }
+
+    /// Compare the end-host view against the simulator's current
+    /// ground-truth queue occupancy, switch by switch. Exact (max
+    /// divergence 0) whenever the network has drained and no probe was
+    /// lost mid-burst — the soundness check for the measurement plane.
+    pub fn divergence_vs_sim(&self, sim: &Simulator) -> DivergenceReport {
+        let mut report = DivergenceReport {
+            probes_lost: self.probes_sent.saturating_sub(self.echoes_received),
+            ..DivergenceReport::default()
+        };
+        for i in 0..sim.num_switches() {
+            let asic = sim.switch(SwitchId(i));
+            let switch_id = asic.switch_id();
+            let (ground, _) = asic.queue_occupancy();
+            let observed = self.last_observed(switch_id);
+            let diff = observed.map_or(0, |o| o.abs_diff(ground));
+            report.max_abs_bytes = report.max_abs_bytes.max(diff);
+            report.per_switch.push(SwitchDivergence {
+                switch_id,
+                observed_bytes: observed,
+                ground_truth_bytes: ground,
+                abs_diff_bytes: diff,
+            });
+        }
+        report
+    }
+
+    /// Export the collector's aggregates under `collector.*`.
+    pub fn export_metrics(&self, registry: &mut MetricsRegistry) {
+        registry.set("collector.probes_sent", self.probes_sent);
+        registry.set("collector.echoes_received", self.echoes_received);
+        registry.set("collector.queue_samples", self.samples());
+        registry.merge_histogram("collector.rtt_ns", &self.rtt);
+        let mut all = Histogram::default();
+        for view in self.queues.values() {
+            all.merge(&view.hist);
+        }
+        registry.merge_histogram("collector.queue_bytes", &all);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_per_switch_queue() {
+        let mut c = Collector::new();
+        c.ingest_queue_sample(0x10, 0, 100, 512);
+        c.ingest_queue_sample(0x10, 0, 200, 1024);
+        c.ingest_queue_sample(0x20, 0, 150, 64);
+        assert_eq!(c.samples(), 3);
+        let v = c.queue(0x10, 0).unwrap();
+        assert_eq!(v.hist.count(), 2);
+        assert_eq!(v.last, Some((200, 1024)));
+        assert_eq!(c.last_observed(0x10), Some(1024));
+        assert_eq!(c.last_observed(0x99), None);
+    }
+
+    #[test]
+    fn last_keeps_latest_send_time_not_arrival_order() {
+        let mut c = Collector::new();
+        // A late echo of an *earlier* probe arrives after a fresher one:
+        // the fresher send time must win.
+        c.ingest_queue_sample(1, 0, 500, 2048);
+        c.ingest_queue_sample(1, 0, 100, 9999);
+        assert_eq!(c.queue(1, 0).unwrap().last, Some((500, 2048)));
+    }
+
+    #[test]
+    fn rtt_percentiles() {
+        let mut c = Collector::new();
+        for rtt in [100u64, 200, 300, 400, 1000] {
+            c.ingest_rtt(rtt);
+        }
+        assert!(c.rtt().p50() >= 100);
+        assert!(c.rtt().max() == 1000);
+    }
+
+    #[test]
+    fn export_names_are_collector_scoped() {
+        let mut c = Collector::new();
+        c.ingest_queue_sample(1, 0, 10, 128);
+        c.ingest_rtt(4_000);
+        c.probes_sent = 2;
+        c.echoes_received = 1;
+        let mut reg = MetricsRegistry::new();
+        c.export_metrics(&mut reg);
+        assert_eq!(reg.counter("collector.probes_sent"), 2);
+        assert_eq!(reg.counter("collector.queue_samples"), 1);
+        assert!(reg.histogram("collector.rtt_ns").is_some());
+        assert!(reg.histogram("collector.queue_bytes").is_some());
+    }
+}

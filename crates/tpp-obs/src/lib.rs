@@ -1,0 +1,39 @@
+//! # tpp-obs — the observability plane
+//!
+//! The paper's thesis is that TPPs make the *network itself* observable
+//! at packet timescales: end-hosts read switch state by sending tiny
+//! programs instead of waiting for management-plane polls. This crate
+//! is the layer that turns the reproduction's raw signals into operator
+//! artifacts, sitting above `tpp-telemetry` (registries, trace sinks)
+//! and drawing on three sources:
+//!
+//! 1. **Dataplane spans** — `tpp-asic`'s opt-in [`PipelineProfile`]
+//!    attributes cycles to parser/tables/TCPU/MMU/scheduler stages per
+//!    packet and checks the §3 cut-through latency budget (300 ns at
+//!    1 GHz).
+//! 2. **Simulator series** — `tpp-netsim`'s ring-buffer time series
+//!    sample queue depth, utilization, drop/fault and cache-hit rates
+//!    every stats tick.
+//! 3. **TPP measurements** — the [`Collector`] aggregates what the
+//!    *end-hosts* observed via probes (§2.1 queue samples, RTTs) and
+//!    cross-checks it against simulator ground truth: if TPPs are a
+//!    sound measurement plane, the two views must agree whenever the
+//!    network is quiescent and lossless.
+//!
+//! Exports: [`prometheus_snapshot`] (Prometheus text format),
+//! [`series_jsonl`] (one JSON object per series, for offline plotting),
+//! and [`render_top`] — the `tpp-top` live table of hot queues, stage
+//! latencies, budget violations and collector divergence.
+//!
+//! [`PipelineProfile`]: tpp_asic::PipelineProfile
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collector;
+pub mod export;
+pub mod top;
+
+pub use collector::{Collector, DivergenceReport, QueueView, SwitchDivergence};
+pub use export::{prometheus_snapshot, sanitize_metric_name, series_jsonl};
+pub use top::render_top;

@@ -70,27 +70,84 @@ impl Histogram {
 
     /// Smallest upper bound `2^i` such that at least `q` (0..=1) of the
     /// samples fall below it — a coarse quantile for tail inspection.
+    ///
+    /// Returns 0 (not a bucket bound) for an empty histogram, and the
+    /// first non-empty bucket's bound for `q == 0.0`. Prefer
+    /// [`Histogram::quantile`] when the up-to-2× bucket rounding
+    /// matters.
     pub fn quantile_bound(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
-        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        // `q == 0.0` still targets the first sample; without the max the
+        // target would be rank 0, satisfied by bucket 0 even when it is
+        // empty (returning the bogus bound 1 for a histogram that holds
+        // no small samples at all).
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0;
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
-            if seen >= target {
+            if n > 0 && seen >= target {
                 return if i >= 64 { u64::MAX } else { 1u64 << i };
             }
         }
         u64::MAX
     }
 
-    /// Merge another histogram into this one.
+    /// HDR-style quantile: locate the bucket holding the `q`-th sample,
+    /// then linearly interpolate within the bucket's `[2^(i-1), 2^i)`
+    /// range, assuming samples spread uniformly inside it. Halves the
+    /// worst case from "up to 2× high" (the bucket bound) to the
+    /// sub-bucket resolution, and is exact for single-valued buckets
+    /// because the estimate is clamped to the observed maximum.
+    ///
+    /// Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= target {
+                let lo = if i == 0 { 0 } else { 1u64 << (i - 1) };
+                let hi = if i == 0 {
+                    2
+                } else if i >= 64 {
+                    u64::MAX
+                } else {
+                    1u64 << i
+                };
+                let rank = (target - seen) as f64; // 1..=n within the bucket
+                let frac = rank / n as f64;
+                let est = lo as f64 + frac * (hi - lo) as f64;
+                return (est.round() as u64).min(self.max);
+            }
+            seen += n;
+        }
+        self.max
+    }
+
+    /// Median ([`Histogram::quantile`] at 0.5).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th percentile ([`Histogram::quantile`] at 0.99).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Merge another histogram into this one (saturating, like the
+    /// registry's counters).
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *a += b;
+            *a = a.saturating_add(*b);
         }
-        self.count += other.count;
+        self.count = self.count.saturating_add(other.count);
         self.sum = self.sum.saturating_add(other.sum);
         self.max = self.max.max(other.max);
     }
@@ -114,9 +171,12 @@ impl MetricsRegistry {
     }
 
     /// Add `delta` to a counter, creating it at zero first if needed.
+    /// Counters saturate at `u64::MAX` instead of wrapping — an
+    /// aggregated view must never report a small value because one
+    /// input overflowed.
     pub fn add(&mut self, name: &str, delta: u64) {
         match self.counters.get_mut(name) {
-            Some(v) => *v += delta,
+            Some(v) => *v = v.saturating_add(delta),
             None => {
                 self.counters.insert(name.to_string(), delta);
             }
@@ -141,6 +201,16 @@ impl MetricsRegistry {
             .observe(value);
     }
 
+    /// Merge a pre-aggregated histogram into the named entry (created
+    /// empty first if needed) — the export path for subsystems that
+    /// maintain their own `Histogram` instances.
+    pub fn merge_histogram(&mut self, name: &str, hist: &Histogram) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .merge(hist);
+    }
+
     /// Read a histogram, if it exists.
     pub fn histogram(&self, name: &str) -> Option<&Histogram> {
         self.histograms.get(name)
@@ -156,11 +226,13 @@ impl MetricsRegistry {
         self.histograms.iter().map(|(k, v)| (k.as_str(), v))
     }
 
-    /// Merge another registry into this one (counters add, histograms
-    /// merge).
+    /// Merge another registry into this one (counters add saturating,
+    /// histograms merge). Keys present in only one registry survive the
+    /// merge untouched.
     pub fn merge(&mut self, other: &MetricsRegistry) {
         for (name, value) in &other.counters {
-            *self.counters.entry(name.clone()).or_insert(0) += value;
+            let v = self.counters.entry(name.clone()).or_insert(0);
+            *v = v.saturating_add(*value);
         }
         for (name, hist) in &other.histograms {
             self.histograms.entry(name.clone()).or_default().merge(hist);
@@ -235,6 +307,87 @@ mod tests {
         // 4 of 5 samples are <= 3 < 4: the 0.8 quantile bound is small.
         assert!(h.quantile_bound(0.8) <= 4);
         assert_eq!(h.quantile_bound(1.0), 1024, "1000 < 2^10");
+    }
+
+    #[test]
+    fn quantile_empty_and_edge_cases() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile_bound(0.5), 0, "empty histogram reports 0");
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+
+        // q = 0.0 must target the first sample, not fall through to
+        // bucket 0's bound when bucket 0 is empty.
+        let mut h = Histogram::default();
+        h.observe(1000);
+        assert_eq!(h.quantile_bound(0.0), 1024);
+        assert_eq!(h.quantile(0.0), h.quantile(1.0));
+    }
+
+    #[test]
+    fn quantile_interpolates_within_bucket() {
+        // 256 distinct samples filling bucket [256, 512): the true
+        // median is 383.5; the bucket bound alone would report 512
+        // (~1.33× high, and up to 2× in the worst case).
+        let mut h = Histogram::default();
+        for v in 256..512 {
+            h.observe(v);
+        }
+        let p50 = h.quantile(0.5) as i64;
+        assert!((p50 - 384).abs() <= 2, "interpolated p50 {p50} != ~384");
+        let p99 = h.quantile(0.99) as i64;
+        assert!((p99 - 509).abs() <= 4, "interpolated p99 {p99} != ~509");
+        assert_eq!(h.quantile(1.0), 511, "p100 clamps to the true max");
+        assert_eq!(h.p50(), h.quantile(0.5));
+        assert_eq!(h.p99(), h.quantile(0.99));
+    }
+
+    #[test]
+    fn quantile_single_valued_bucket_is_exact() {
+        let mut h = Histogram::default();
+        for _ in 0..100 {
+            h.observe(300);
+        }
+        // Interpolation alone would report up to 512; the max clamp
+        // makes the degenerate single-value case exact.
+        assert_eq!(h.p50(), 300);
+        assert_eq!(h.p99(), 300);
+        assert_eq!(h.max(), 300);
+    }
+
+    #[test]
+    fn counters_saturate_instead_of_wrapping() {
+        let mut r = MetricsRegistry::new();
+        r.add("c", u64::MAX - 1);
+        r.add("c", 5);
+        assert_eq!(r.counter("c"), u64::MAX, "add saturates");
+
+        let mut a = MetricsRegistry::new();
+        a.add("c", u64::MAX - 1);
+        let mut b = MetricsRegistry::new();
+        b.add("c", u64::MAX - 1);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), u64::MAX, "merge saturates");
+    }
+
+    #[test]
+    fn merge_preserves_disjoint_keys() {
+        let mut a = MetricsRegistry::new();
+        a.add("only.in.a", 1);
+        a.observe("hist.only.a", 10);
+        let mut b = MetricsRegistry::new();
+        b.add("only.in.b", 2);
+        b.observe("hist.only.b", 20);
+
+        a.merge(&b);
+        assert_eq!(a.counter("only.in.a"), 1);
+        assert_eq!(a.counter("only.in.b"), 2);
+        assert_eq!(a.histogram("hist.only.a").unwrap().count(), 1);
+        assert_eq!(a.histogram("hist.only.b").unwrap().count(), 1);
+        // And the source registry is untouched.
+        assert_eq!(b.counter("only.in.a"), 0);
+        assert_eq!(b.counter("only.in.b"), 2);
     }
 
     #[test]

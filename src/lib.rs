@@ -23,6 +23,7 @@
 //! | [`rcp_ref`] | `tpp-rcp-ref` | Reference in-router RCP (ns-2's role) + AIMD |
 //! | [`control`] | `tpp-control` | Control-plane agent: SRAM partitioning, versions, edge security |
 //! | [`spec`] | `tpp-spec` | Executable reference semantics — the conformance oracle for `asic` |
+//! | [`obs`] | `tpp-obs` | Observability plane: collector, Prometheus/JSONL export, `tpp-top` |
 //!
 //! ## Quickstart
 //!
@@ -66,6 +67,7 @@ pub use tpp_control as control;
 pub use tpp_host as host;
 pub use tpp_isa as isa;
 pub use tpp_netsim as netsim;
+pub use tpp_obs as obs;
 pub use tpp_rcp_ref as rcp_ref;
 pub use tpp_spec as spec;
 pub use tpp_telemetry as telemetry;
@@ -91,6 +93,7 @@ pub mod prelude {
         FatTree, FatTreeParams, HostApp, HostCtx, HostId, LeafSpine, LeafSpineParams, LinearChain,
         LinearChainParams, NetworkBuilder, Simulator, SwitchId,
     };
+    pub use crate::obs::{prometheus_snapshot, render_top, series_jsonl, Collector};
     pub use crate::telemetry::{
         write_csv, write_jsonl, MetricsRegistry, SharedSink, TraceEvent, TraceEventKind, TraceSink,
     };
