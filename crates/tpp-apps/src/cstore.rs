@@ -366,6 +366,7 @@ mod tests {
     use super::*;
     use tpp_host::EchoReceiver;
     use tpp_isa::Stat;
+    use tpp_netsim::RunLimit;
     use tpp_netsim::{dumbbell, time, DumbbellParams, Simulator};
 
     const COUNTER_WORD: usize = 4;
@@ -403,7 +404,7 @@ mod tests {
             },
             apps,
         );
-        sim.run_until(time::secs(30));
+        sim.run(RunLimit::Until(time::secs(30)));
         let value = sim
             .switch(bell.left)
             .global_sram()

@@ -522,6 +522,7 @@ pub fn init_rate_registers(asic: &mut tpp_asic::Asic) {
 mod tests {
     use super::*;
     use tpp_host::EchoReceiver;
+    use tpp_netsim::RunLimit;
     use tpp_netsim::{dumbbell, time, DumbbellParams, Simulator};
 
     /// A 10 Mb/s dumbbell with `n` RCP* flows starting at the given
@@ -570,7 +571,7 @@ mod tests {
     #[test]
     fn single_flow_converges_to_capacity() {
         let (mut sim, bell) = rcp_net(&[0]);
-        sim.run_until(time::secs(5));
+        sim.run(RunLimit::Until(time::secs(5)));
         let sender = sim.host_app::<RcpStarSender>(bell.senders[0]);
         assert!(sender.feedback_count > 100, "control loop ran");
         assert!(sender.updates_sent > 100, "phase 3 ran");
@@ -586,7 +587,7 @@ mod tests {
     #[test]
     fn second_flow_halves_the_rate() {
         let (mut sim, bell) = rcp_net(&[0, time::secs(5)]);
-        sim.run_until(time::secs(10));
+        sim.run(RunLimit::Until(time::secs(10)));
         let s0 = sim.host_app::<RcpStarSender>(bell.senders[0]);
         let late0 =
             mean_rate_in_window(&s0.rate_trace, time::secs(8), time::secs(10)).expect("samples");
@@ -605,7 +606,7 @@ mod tests {
     #[test]
     fn bottleneck_identified_and_register_written() {
         let (mut sim, bell) = rcp_net(&[0]);
-        sim.run_until(time::secs(2));
+        sim.run(RunLimit::Until(time::secs(2)));
         let sender = sim.host_app::<RcpStarSender>(bell.senders[0]);
         let (sid, _) = sender.bottleneck().expect("bottleneck known");
         // The left switch (id 1) owns the 10 Mb/s egress on this path.
@@ -622,7 +623,7 @@ mod tests {
     #[test]
     fn queues_stay_small_in_steady_state() {
         let (mut sim, bell) = rcp_net(&[0, 0, 0]);
-        sim.run_until(time::secs(6));
+        sim.run(RunLimit::Until(time::secs(6)));
         // After convergence the bottleneck queue should be nearly empty —
         // the RCP promise (vs AIMD's standing queues).
         let q = sim

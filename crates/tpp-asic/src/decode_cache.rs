@@ -68,11 +68,17 @@ pub struct DecodedProgram {
     pub bad_at: Option<usize>,
 }
 
-/// A small direct-mapped cache of decoded TPP programs.
+/// A small direct-mapped cache of decoded TPP programs, with a last-hit
+/// memo in front: a burst of packets carrying the identical program (the
+/// common case once the netsim batches same-instant arrivals per switch)
+/// is served by one byte compare against the previously served slot,
+/// skipping even the hash.
 #[derive(Debug, Clone)]
 pub struct DecodeCache {
     slots: Vec<Option<DecodedProgram>>,
     mask: usize,
+    /// Slot that served the previous lookup.
+    last: usize,
     hits: u64,
     misses: u64,
 }
@@ -85,6 +91,7 @@ impl DecodeCache {
         DecodeCache {
             slots: vec![None; n],
             mask: n - 1,
+            last: 0,
             hits: 0,
             misses: 0,
         }
@@ -94,8 +101,13 @@ impl DecodeCache {
     /// miss or collision. Always returns a program whose execution is
     /// bit-identical to decoding `bytes` fresh.
     pub fn lookup(&mut self, bytes: &[u8]) -> &DecodedProgram {
+        if matches!(&self.slots[self.last], Some(p) if p.bytes == bytes) {
+            self.hits += 1;
+            return self.slots[self.last].as_ref().expect("matched above");
+        }
         let hash = fnv1a(bytes);
         let idx = (hash as usize) & self.mask;
+        self.last = idx;
         let hit = matches!(&self.slots[idx], Some(p) if p.hash == hash && p.bytes == bytes);
         if hit {
             self.hits += 1;
@@ -201,6 +213,26 @@ mod tests {
         // And the slot now faithfully serves B.
         cache.lookup(&b);
         assert_eq!((cache.hits(), cache.misses()), (1, 2));
+    }
+
+    #[test]
+    fn memo_serves_bursts_and_survives_replacement() {
+        // One slot forces every distinct program to collide, so the memo
+        // is the only thing separating a burst from a re-decode.
+        let mut cache = DecodeCache::new(1);
+        let a = words_to_bytes(&[0x6000_0001]); // PUSHI 1
+        let b = words_to_bytes(&[0x6000_0002]); // PUSHI 2
+        for _ in 0..3 {
+            cache.lookup(&a);
+        }
+        assert_eq!((cache.hits(), cache.misses()), (2, 1));
+        // B evicts A from the shared slot; the memo must not serve A's
+        // decode for B's bytes.
+        assert_eq!(cache.lookup(&b).bytes, b);
+        assert_eq!((cache.hits(), cache.misses()), (2, 2));
+        // And a re-lookup of A after eviction is a genuine miss again.
+        assert_eq!(cache.lookup(&a).bytes, a);
+        assert_eq!((cache.hits(), cache.misses()), (2, 3));
     }
 
     #[test]

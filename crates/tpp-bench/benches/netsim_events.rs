@@ -7,6 +7,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use tpp_apps::rcpstar::{init_rate_registers, RcpStarConfig, RcpStarSender};
 use tpp_host::EchoReceiver;
+use tpp_netsim::RunLimit;
 use tpp_netsim::{dumbbell, time, DumbbellParams, HostApp};
 use tpp_wire::EthernetAddress;
 
@@ -30,7 +31,7 @@ fn run_rcp_slice(sim_duration_ms: u64) -> u64 {
     for sw in [bell.left, bell.right] {
         init_rate_registers(sim.switch_mut(sw));
     }
-    sim.run_until(time::millis(sim_duration_ms));
+    sim.run(RunLimit::Until(time::millis(sim_duration_ms)));
     sim.switch(bell.left).regs().packets_processed
 }
 

@@ -11,6 +11,7 @@
 use tpp_apps::{CounterTask, CounterWriteMode};
 use tpp_bench::print_table;
 use tpp_host::EchoReceiver;
+use tpp_netsim::RunLimit;
 use tpp_netsim::{dumbbell, time, DumbbellParams, HostApp};
 use tpp_wire::EthernetAddress;
 
@@ -35,7 +36,7 @@ fn run(n_hosts: usize, mode: CounterWriteMode) -> (u32, u32, u64, u64) {
         },
         apps,
     );
-    sim.run_until(time::secs(60));
+    sim.run(RunLimit::Until(time::secs(60)));
     let value = sim
         .switch(bell.left)
         .global_sram()

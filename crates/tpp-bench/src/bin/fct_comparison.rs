@@ -18,6 +18,7 @@
 use tpp_apps::rcpstar::{init_rate_registers, RcpStarConfig, RcpStarSender};
 use tpp_bench::print_table;
 use tpp_host::EchoReceiver;
+use tpp_netsim::RunLimit;
 use tpp_netsim::{dumbbell, time, DumbbellParams, HostApp};
 use tpp_rcp_ref::aimd::{AimdAcker, AimdConfig, AimdSender};
 use tpp_wire::EthernetAddress;
@@ -107,7 +108,7 @@ fn run_rcpstar() -> FctStats {
     for sw in [bell.left, bell.right] {
         init_rate_registers(sim.switch_mut(sw));
     }
-    sim.run_until(time::secs(RUN_S));
+    sim.run(RunLimit::Until(time::secs(RUN_S)));
     let mut done = Vec::new();
     let mut unfinished = 0;
     for (i, s) in bell.senders.iter().enumerate() {
@@ -145,7 +146,7 @@ fn run_aimd() -> FctStats {
         },
         apps,
     );
-    sim.run_until(time::secs(RUN_S));
+    sim.run(RunLimit::Until(time::secs(RUN_S)));
     let mut done = Vec::new();
     let mut unfinished = 0;
     for (i, s) in bell.senders.iter().enumerate() {

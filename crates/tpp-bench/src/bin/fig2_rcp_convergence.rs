@@ -9,6 +9,7 @@
 use tpp_apps::rcpstar::{init_rate_registers, RcpStarConfig, RcpStarSender};
 use tpp_bench::{mean, print_table};
 use tpp_host::EchoReceiver;
+use tpp_netsim::RunLimit;
 use tpp_netsim::{dumbbell, time, DumbbellParams, HostApp};
 use tpp_rcp_ref::{FlowSchedule, NativeRcpRouter, RcpFluidSim, RcpParams};
 use tpp_wire::EthernetAddress;
@@ -53,12 +54,12 @@ fn run_packet_level(native: bool) -> Vec<(u64, u64)> {
         let mut t = 0;
         while t < time::secs(DURATION_S) {
             t += time::millis(10);
-            sim.run_until(t);
+            sim.run(RunLimit::Until(t));
             routers[0].step(sim.switch_mut(bell.left), t);
             routers[1].step(sim.switch_mut(bell.right), t);
         }
     } else {
-        sim.run_until(time::secs(DURATION_S));
+        sim.run(RunLimit::Until(time::secs(DURATION_S)));
     }
     sim.host_app::<RcpStarSender>(bell.senders[0])
         .rate_trace

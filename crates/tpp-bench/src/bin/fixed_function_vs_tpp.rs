@@ -21,6 +21,7 @@
 use tpp_apps::rcpstar::{init_rate_registers, RcpStarConfig, RcpStarSender};
 use tpp_bench::print_table;
 use tpp_host::EchoReceiver;
+use tpp_netsim::RunLimit;
 use tpp_netsim::{dumbbell, time, Dumbbell, DumbbellParams, HostApp, Simulator};
 use tpp_rcp_ref::aimd::{AimdAcker, AimdConfig, AimdSender};
 use tpp_rcp_ref::dctcp::{DctcpConfig, DctcpReceiver, DctcpSender};
@@ -42,7 +43,7 @@ fn finish(
     bell: Dumbbell,
     goodputs: impl Fn(&Simulator, &Dumbbell) -> Vec<f64>,
 ) -> Score {
-    sim.run_until(time::secs(RUN_S));
+    sim.run(RunLimit::Until(time::secs(RUN_S)));
     let g = goodputs(&sim, &bell);
     let stats = sim.switch(bell.left).queue_stats(bell.bottleneck_port, 0);
     let max = g.iter().cloned().fold(0.0, f64::max);

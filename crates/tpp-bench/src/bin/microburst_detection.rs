@@ -9,6 +9,7 @@
 use tpp_apps::{detect_bursts, MicroburstMonitor};
 use tpp_bench::{print_table, trace_arg, write_trace};
 use tpp_host::{EchoReceiver, DATA_ETHERTYPE};
+use tpp_netsim::RunLimit;
 use tpp_netsim::{dumbbell, time, DumbbellParams, HostApp, HostCtx};
 use tpp_wire::ethernet::build_frame;
 use tpp_wire::EthernetAddress;
@@ -81,7 +82,7 @@ fn main() {
     // With `--trace`, capture the most recent pipeline events fleet-wide
     // (bounded ring: this run processes hundreds of thousands of frames).
     let trace_to = trace_arg();
-    let sink = trace_to.as_ref().map(|_| sim.trace_all(65_536));
+    let sink = trace_to.as_ref().map(|_| sim.observe().trace_all(65_536));
 
     // Ground truth + pollers at several rates, all sampled in one pass.
     let poll_intervals_ns: Vec<(String, u64)> = vec![
@@ -96,7 +97,7 @@ fn main() {
     let mut t = 0;
     while t < time::millis(RUN_MS) {
         t += step;
-        sim.run_until(t);
+        sim.run(RunLimit::Until(t));
         let q = sim
             .switch(bell.left)
             .queue_len_bytes(bell.bottleneck_port, 0);

@@ -10,6 +10,7 @@ use tpp_apps::ndb::{missing_ids, NdbProbeSender, PathPolicy, TraceCollector, Vio
 use tpp_asic::{FlowAction, FlowMatch};
 use tpp_bench::{print_table, trace_arg, write_trace};
 use tpp_control::NetworkController;
+use tpp_netsim::RunLimit;
 use tpp_netsim::{linear_chain, time, LinearChainParams};
 use tpp_wire::EthernetAddress;
 
@@ -72,7 +73,7 @@ fn inject_and_detect(fault: Fault, position: usize) -> (bool, bool) {
             );
         }
     }
-    sim.run_until(time::millis(20));
+    sim.run(RunLimit::Until(time::millis(20)));
 
     let policy = PathPolicy {
         expected_path: (1..=N_SWITCHES as u32).collect(),
@@ -159,8 +160,8 @@ fn main() {
             FlowAction::Forward(1),
         );
     }
-    let sink = trace_to.as_ref().map(|_| sim.trace_all(65_536));
-    sim.run_until(time::millis(20));
+    let sink = trace_to.as_ref().map(|_| sim.observe().trace_all(65_536));
+    sim.run(RunLimit::Until(time::millis(20)));
     let policy = PathPolicy {
         expected_path: (1..=N_SWITCHES as u32).collect(),
         expected_versions: controller.intended_versions_all(),

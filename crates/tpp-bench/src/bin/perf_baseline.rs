@@ -20,7 +20,8 @@ use std::time::Instant;
 
 use tpp_asic::{Asic, AsicConfig, FlowAction, FlowEntry, FlowMatch, ProfileConfig};
 use tpp_isa::assemble;
-use tpp_netsim::{leaf_spine, time, HostApp, HostCtx, LeafSpineParams};
+use tpp_netsim::RunLimit;
+use tpp_netsim::{leaf_spine_with, time, HostApp, HostCtx, LeafSpineParams, SimConfig};
 use tpp_wire::ethernet::{build_frame, EtherType};
 use tpp_wire::tpp::{AddressingMode, TppBuilder};
 use tpp_wire::EthernetAddress;
@@ -264,7 +265,23 @@ impl HostApp for ProbeSink {
     }
 }
 
-fn run_netsim_workload() -> String {
+struct NetsimRow {
+    name: &'static str,
+    shards: usize,
+    threaded: bool,
+    elapsed_s: f64,
+    sent: u64,
+    delivered: u64,
+    tpps: u64,
+    allocs: u64,
+    pool: (u64, u64, u64),
+}
+
+/// One full netsim workload under `cfg`: a leaf-spine fabric where even
+/// hosts stream TPP probes across the fabric at odd hosts. Every config
+/// must report identical `sent`/`delivered`/`tpps` (shard-count
+/// invariance); only the wall clock may differ.
+fn run_netsim_row(name: &'static str, shards: usize, threaded: bool, cfg: SimConfig) -> NetsimRow {
     const SIM_MS: u64 = 50;
     const PROBE_PERIOD_NS: u64 = 5_000; // 200k probes/sec per host
 
@@ -291,10 +308,10 @@ fn run_netsim_workload() -> String {
             }
         })
         .collect();
-    let (mut sim, fabric) = leaf_spine(params, apps);
+    let (mut sim, fabric) = leaf_spine_with(cfg, params, apps);
 
     let m = measure(|| {
-        sim.run_until(time::millis(SIM_MS));
+        sim.run(RunLimit::Until(time::millis(SIM_MS)));
     });
 
     let mut sent = 0u64;
@@ -312,26 +329,88 @@ fn run_netsim_workload() -> String {
         .chain(fabric.spines.iter())
         .map(|&s| sim.switch(s).regs().tpps_executed)
         .sum();
-    let (reused, fresh, recycled) = sim.frame_pool_stats();
+    NetsimRow {
+        name,
+        shards,
+        threaded,
+        elapsed_s: m.elapsed_s,
+        sent,
+        delivered,
+        tpps,
+        allocs: m.allocs,
+        pool: sim.frame_pool_stats(),
+    }
+}
 
-    println!(
-        "netsim: {sent} probes sent, {delivered} delivered, {tpps} TPP executions \
-         in {:.3} s wall ({:.0} TPPs/sec)",
-        m.elapsed_s,
-        tpps as f64 / m.elapsed_s
-    );
+fn netsim_json_row(r: &NetsimRow) -> String {
+    let (reused, fresh, recycled) = r.pool;
+    format!(
+        "    {{\"name\": \"{}\", \"shards\": {}, \"threaded\": {}, \
+         \"elapsed_s\": {:.4}, \"probes_sent\": {}, \"probes_delivered\": {}, \
+         \"tpp_executions\": {}, \"tpps_per_wall_sec\": {:.0}, \
+         \"allocations\": {}, \
+         \"frame_pool\": {{\"reused\": {reused}, \"fresh\": {fresh}, \"recycled\": {recycled}}}}}",
+        r.name,
+        r.shards,
+        r.threaded,
+        r.elapsed_s,
+        r.sent,
+        r.delivered,
+        r.tpps,
+        r.tpps as f64 / r.elapsed_s,
+        r.allocs
+    )
+}
+
+fn run_netsim_workload() -> String {
+    const SIM_MS: u64 = 50;
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // The 1-shard row is the tracked baseline CI gates on; the 4-shard
+    // rows measure what the windowed scheduler costs (sequential) and
+    // what threading buys on this machine's core count (threaded). On a
+    // single-core box the threaded row is expected to *lose* to 1 shard
+    // — barrier churn with nothing to run in parallel — which is why
+    // every row carries the `cores` context field.
+    let rows = [
+        run_netsim_row("1_shard", 1, true, SimConfig::new().shards(1)),
+        run_netsim_row(
+            "4_shards_seq",
+            4,
+            false,
+            SimConfig::new().shards(4).sequential(),
+        ),
+        run_netsim_row("4_shards_threaded", 4, true, SimConfig::new().shards(4)),
+    ];
+
+    let base = &rows[0];
+    for r in &rows {
+        assert_eq!(
+            (r.sent, r.delivered, r.tpps),
+            (base.sent, base.delivered, base.tpps),
+            "{}: sharded run diverged from the 1-shard baseline",
+            r.name
+        );
+        println!(
+            "netsim[{:<17}] {} probes sent, {} delivered, {} TPP executions \
+             in {:.3} s wall ({:.0} TPPs/sec)",
+            r.name,
+            r.sent,
+            r.delivered,
+            r.tpps,
+            r.elapsed_s,
+            r.tpps as f64 / r.elapsed_s
+        );
+    }
 
     format!(
         "{{\n  \"bench\": \"perf_baseline/netsim\",\n  \
          \"topology\": \"leaf_spine 4 leaves x 2 spines, 16 hosts\",\n  \
-         \"sim_ms\": {SIM_MS},\n  \"elapsed_s\": {:.4},\n  \
-         \"probes_sent\": {sent},\n  \"probes_delivered\": {delivered},\n  \
-         \"tpp_executions\": {tpps},\n  \"tpps_per_wall_sec\": {:.0},\n  \
-         \"allocations\": {},\n  \
-         \"frame_pool\": {{\"reused\": {reused}, \"fresh\": {fresh}, \"recycled\": {recycled}}}\n}}\n",
-        m.elapsed_s,
-        tpps as f64 / m.elapsed_s,
-        m.allocs
+         \"sim_ms\": {SIM_MS},\n  \"cores\": {cores},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        rows.iter()
+            .map(netsim_json_row)
+            .collect::<Vec<_>>()
+            .join(",\n")
     )
 }
 

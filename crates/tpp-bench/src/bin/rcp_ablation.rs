@@ -15,6 +15,7 @@
 use tpp_apps::rcpstar::{init_rate_registers, RcpStarConfig, RcpStarSender};
 use tpp_bench::print_table;
 use tpp_host::EchoReceiver;
+use tpp_netsim::RunLimit;
 use tpp_netsim::{dumbbell, time, DumbbellParams, HostApp};
 use tpp_wire::EthernetAddress;
 
@@ -42,7 +43,7 @@ fn run(cfg_mod: impl Fn(&mut RcpStarConfig)) -> (f64, f64, u64) {
     for sw in [bell.left, bell.right] {
         init_rate_registers(sim.switch_mut(sw));
     }
-    sim.run_until(time::secs(10));
+    sim.run(RunLimit::Until(time::secs(10)));
 
     // Score flow 0's settled window (6-10 s).
     let trace = &sim.host_app::<RcpStarSender>(bell.senders[0]).rate_trace;

@@ -17,7 +17,7 @@ use tpp_apps::{detect_bursts, MicroburstMonitor};
 use tpp_asic::ProfileConfig;
 use tpp_host::EchoReceiver;
 use tpp_netsim::{
-    leaf_spine, time, HostApp, HostCtx, HostId, LeafSpine, LeafSpineParams, Simulator,
+    leaf_spine, time, HostApp, HostCtx, HostId, LeafSpine, LeafSpineParams, RunLimit, Simulator,
 };
 use tpp_obs::{prometheus_snapshot, render_top, series_jsonl, Collector};
 use tpp_telemetry::MetricsRegistry;
@@ -120,11 +120,11 @@ impl ObsScenario {
         ];
         let (mut sim, fabric) = leaf_spine(params, apps);
         // 20 µs ticks: fine-grained series without drowning the run.
-        sim.set_tick_interval_ns(time::micros(20));
+        sim.observe().tick_interval_ns(time::micros(20));
         for &s in fabric.leaves.iter().chain(fabric.spines.iter()) {
             sim.switch_mut(s).enable_profiling(ProfileConfig::default());
         }
-        sim.enable_series(128);
+        sim.observe().series(128);
         let monitor_host = fabric.hosts[0][0];
         ObsScenario {
             sim,
@@ -135,7 +135,7 @@ impl ObsScenario {
 
     /// Advance simulation time.
     pub fn step_to(&mut self, t_ns: u64) {
-        self.sim.run_until(t_ns);
+        self.sim.run(RunLimit::Until(t_ns));
     }
 
     /// A fresh collector fed from the monitor's current state.
@@ -195,7 +195,9 @@ pub struct ObsRun {
 /// Drive the scenario to quiescence and collect every artifact.
 pub fn run_obs_scenario() -> ObsRun {
     let mut sc = ObsScenario::new();
-    sc.sim.run_until_quiescent(SCENARIO_END_NS);
+    sc.sim.run(RunLimit::Quiescent {
+        limit_ns: SCENARIO_END_NS,
+    });
     let collector = sc.collector();
     let report = collector.divergence_vs_sim(&sc.sim);
     let top = render_top(&sc.sim, Some(&collector));

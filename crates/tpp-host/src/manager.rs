@@ -381,6 +381,7 @@ mod tests {
     use crate::EchoReceiver;
     use tpp_asic::AsicConfig;
     use tpp_isa::assemble;
+    use tpp_netsim::RunLimit;
     use tpp_netsim::{time, Endpoint, HostApp, HostCtx, NetworkBuilder};
     use tpp_wire::EthernetAddress;
 
@@ -450,7 +451,7 @@ mod tests {
     #[test]
     fn clean_network_delivers_fresh_exactly_once() {
         let (mut sim, h0) = two_hosts(RetryPolicy::default());
-        sim.run_until(time::secs(1));
+        sim.run(RunLimit::Until(time::secs(1)));
         let t = sim.host_app::<Tracker>(h0);
         assert_eq!(t.fresh, 1);
         assert_eq!(t.dup, 0);
@@ -470,7 +471,7 @@ mod tests {
         // Lose everything the host transmits.
         let hep = Endpoint::host(h0);
         assert_eq!(sim.set_link_loss(hep, 1000), 1000);
-        sim.run_until(time::secs(2));
+        sim.run(RunLimit::Until(time::secs(2)));
         let t = sim.host_app::<Tracker>(h0);
         assert_eq!(t.fresh, 0);
         assert_eq!(t.expired, 1);

@@ -1,0 +1,191 @@
+//! Simulation-wide configuration ([`SimConfig`]) and run limits
+//! ([`RunLimit`]).
+//!
+//! `SimConfig` is the one place where knobs that used to be scattered
+//! over `NetworkBuilder` setters and post-build `Simulator` methods now
+//! live: shard count, tick interval, RNG seed, series capacity and
+//! frame-pool bounds. It is an owned value with chainable builder
+//! methods, consumed by [`NetworkBuilder::with_config`] — no `&mut`
+//! chaining, no partially-applied state.
+//!
+//! [`NetworkBuilder::with_config`]: crate::NetworkBuilder::with_config
+
+/// Configuration for a [`Simulator`](crate::Simulator).
+///
+/// Marked `#[non_exhaustive]` so future knobs can be added without a
+/// breaking release: construct it with [`SimConfig::new`] /
+/// [`SimConfig::default`] and the chainable setters, not with a struct
+/// literal.
+///
+/// ```
+/// use tpp_netsim::SimConfig;
+/// let cfg = SimConfig::new().shards(4).tick_interval_ns(500_000);
+/// assert_eq!(cfg.shards, 4);
+/// ```
+#[non_exhaustive]
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Number of scheduler shards the topology is partitioned into
+    /// (clamped to the node count at build time; zero-delay inter-shard
+    /// links force a single shard). Seeded results are bit-identical
+    /// for every shard count.
+    pub shards: usize,
+    /// Step shards on worker threads when `shards > 1`. Purely a
+    /// throughput knob: the sequential and threaded drivers share the
+    /// identical window schedule, so results never depend on it.
+    pub parallel: bool,
+    /// How often switch utilization EWMAs (and the series layer) tick,
+    /// ns. Default 1 ms.
+    pub tick_interval_ns: u64,
+    /// Seed of the simulator-owned RNG streams (per-link in-flight loss).
+    /// Fault-plan streams are seeded separately by
+    /// [`FaultPlan::seed`](crate::FaultPlan::seed).
+    pub seed: u64,
+    /// When `Some(capacity)`, the per-tick time-series layer is enabled
+    /// from the start with ring series of that capacity (see
+    /// [`crate::series`]).
+    pub series_capacity: Option<usize>,
+    /// Retired frame buffers each shard's pool retains for reuse.
+    pub frame_pool_buffers: usize,
+}
+
+/// The historical simulator seed; kept as the default so seeded runs
+/// predating `SimConfig` reproduce unchanged.
+pub(crate) const DEFAULT_SEED: u64 = 0x7199_7199;
+
+impl Default for SimConfig {
+    /// The single-shard configuration every pre-existing experiment ran
+    /// under. The `TPP_SHARDS` environment variable overrides the shard
+    /// count so whole unmodified test suites can be replayed sharded
+    /// (the multi-shard CI determinism lane does exactly this).
+    fn default() -> Self {
+        let shards = std::env::var("TPP_SHARDS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(1);
+        SimConfig {
+            shards,
+            parallel: true,
+            tick_interval_ns: crate::time::millis(1),
+            seed: DEFAULT_SEED,
+            series_capacity: None,
+            frame_pool_buffers: 1024,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Alias of [`SimConfig::default`].
+    pub fn new() -> Self {
+        SimConfig::default()
+    }
+
+    /// Set the shard count.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Force sequential shard stepping (one thread), e.g. for profiling.
+    pub fn sequential(mut self) -> Self {
+        self.parallel = false;
+        self
+    }
+
+    /// Set whether multi-shard runs use worker threads.
+    pub fn parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// Set the stats-tick interval (must be positive).
+    pub fn tick_interval_ns(mut self, ns: u64) -> Self {
+        assert!(ns > 0, "tick interval must be positive");
+        self.tick_interval_ns = ns;
+        self
+    }
+
+    /// Set the seed of the simulator-owned RNG streams.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enable the time-series layer from the start with ring series of
+    /// `capacity` points.
+    pub fn series_capacity(mut self, capacity: usize) -> Self {
+        self.series_capacity = Some(capacity);
+        self
+    }
+
+    /// Bound each shard's frame pool to `buffers` retired buffers.
+    pub fn frame_pool_buffers(mut self, buffers: usize) -> Self {
+        self.frame_pool_buffers = buffers;
+        self
+    }
+}
+
+/// How long [`Simulator::run`](crate::Simulator::run) runs.
+///
+/// Replaces the old `run_until` / `run_until_quiescent` method pair with
+/// one argument, so the run loop has a single entry point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunLimit {
+    /// Run until simulation time `t_end_ns` (inclusive). May be issued
+    /// repeatedly with increasing times; experiments step the clock in
+    /// increments to sample ground-truth state in between.
+    Until(u64),
+    /// Run until all traffic has drained (no pending events anywhere),
+    /// or `limit_ns` is reached, whichever comes first. Quiescence is
+    /// checked at stats-tick boundaries.
+    Quiescent {
+        /// Hard time limit, ns.
+        limit_ns: u64,
+    },
+}
+
+impl RunLimit {
+    /// Shorthand for [`RunLimit::Until`].
+    pub fn until(t_end_ns: u64) -> Self {
+        RunLimit::Until(t_end_ns)
+    }
+
+    /// Shorthand for [`RunLimit::Quiescent`].
+    pub fn quiescent(limit_ns: u64) -> Self {
+        RunLimit::Quiescent { limit_ns }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_methods_chain_by_value() {
+        let cfg = SimConfig::new()
+            .shards(4)
+            .sequential()
+            .tick_interval_ns(42)
+            .seed(7)
+            .series_capacity(128)
+            .frame_pool_buffers(8);
+        assert_eq!(cfg.shards, 4);
+        assert!(!cfg.parallel);
+        assert_eq!(cfg.tick_interval_ns, 42);
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.series_capacity, Some(128));
+        assert_eq!(cfg.frame_pool_buffers, 8);
+    }
+
+    #[test]
+    fn shards_clamped_to_at_least_one() {
+        assert_eq!(SimConfig::new().shards(0).shards, 1);
+    }
+
+    #[test]
+    fn run_limit_shorthands() {
+        assert_eq!(RunLimit::until(5), RunLimit::Until(5));
+        assert_eq!(RunLimit::quiescent(9), RunLimit::Quiescent { limit_ns: 9 });
+    }
+}

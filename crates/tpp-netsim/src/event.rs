@@ -1,11 +1,26 @@
-//! The event queue: a binary heap ordered by `(time, seq)`.
+//! The event queue: a binary heap ordered by a canonical [`EventKey`].
 //!
-//! The sequence number breaks ties deterministically in insertion order,
-//! which is what makes whole simulations reproducible bit-for-bit.
+//! The single-threaded simulator used to break time ties by insertion
+//! order, which is deterministic but *schedule-dependent*: two shards
+//! inserting the same logical events in different orders would disagree.
+//! The canonical key orders events by content instead —
+//! `(time, class, major, minor)` — so every shard's heap, and the
+//! one-shard heap, pop the same logical sequence. Cross-shard mailboxes
+//! need no separate merge step: delivered events simply take their place
+//! in key order.
+//!
+//! Classes at equal time: scheduled faults fire first (they were
+//! installed before the run, lowest legacy sequence numbers), then host
+//! timers, then transmitter-free events, then frame arrivals (which are
+//! pushed last by the transmit path). `major` identifies the target
+//! (a `(node, port)` key, a host, or a fault-plan entry index) and
+//! `minor` a per-target monotone sequence (per-link-direction frame
+//! counter, per-host timer counter).
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use crate::fault::ChannelProfile;
 use crate::node::{HostId, SwitchId};
 use tpp_asic::PortId;
 
@@ -16,6 +31,117 @@ pub enum NodeRef {
     Switch(SwitchId),
     /// A host.
     Host(HostId),
+}
+
+pub(crate) const CLASS_FAULT: u8 = 0;
+pub(crate) const CLASS_TIMER: u8 = 1;
+pub(crate) const CLASS_LINK_FREE: u8 = 2;
+pub(crate) const CLASS_FRAME: u8 = 3;
+
+/// A canonical `(node, port)` ordering key: switches below hosts, then
+/// node index, then port.
+pub(crate) fn node_port_key(node: NodeRef, port: PortId) -> u64 {
+    match node {
+        NodeRef::Switch(s) => ((s.0 as u64) << 16) | port as u64,
+        NodeRef::Host(h) => (1u64 << 63) | ((h.0 as u64) << 16),
+    }
+}
+
+/// The canonical total order on simulation events.
+///
+/// Keys are derived from event *content*, never from insertion order, so
+/// seeded runs order identically for every shard count. Lexicographic:
+/// time, then class, then target, then per-target sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct EventKey {
+    /// Absolute simulation time, ns.
+    pub time: u64,
+    pub(crate) class: u8,
+    pub(crate) major: u64,
+    pub(crate) minor: u64,
+}
+
+impl EventKey {
+    /// Key of a scheduled fault step: `entry` is the global plan-entry
+    /// index (plan order is preserved at equal times), `dir` orders the
+    /// two per-direction steps of a full-duplex link fault.
+    pub(crate) fn fault(time: u64, entry: u64, dir: u64) -> Self {
+        EventKey {
+            time,
+            class: CLASS_FAULT,
+            major: entry,
+            minor: dir,
+        }
+    }
+
+    /// Key of a host timer firing; `seq` is the per-host timer counter.
+    pub(crate) fn timer(time: u64, host: HostId, seq: u64) -> Self {
+        EventKey {
+            time,
+            class: CLASS_TIMER,
+            major: (1u64 << 63) | ((host.0 as u64) << 16),
+            minor: seq,
+        }
+    }
+
+    /// Key of a transmitter becoming free at `(node, port)`.
+    pub(crate) fn link_free(time: u64, node: NodeRef, port: PortId) -> Self {
+        EventKey {
+            time,
+            class: CLASS_LINK_FREE,
+            major: node_port_key(node, port),
+            minor: 0,
+        }
+    }
+
+    /// Key of a frame arrival at `(node, port)`; `seq` is the
+    /// transmitting link direction's frame counter (duplicated copies
+    /// take the lower sequence, so they deliver before the original).
+    pub(crate) fn frame(time: u64, node: NodeRef, port: PortId, seq: u64) -> Self {
+        EventKey {
+            time,
+            class: CLASS_FRAME,
+            major: node_port_key(node, port),
+            minor: seq,
+        }
+    }
+}
+
+/// One shard-local step of an injected fault.
+///
+/// [`FaultAction`](crate::fault::FaultAction) entries are expanded at
+/// install time into steps that each touch state owned by exactly one
+/// shard (a full-duplex link flap becomes two per-direction steps), so
+/// fault application never reaches across a shard boundary.
+#[derive(Debug, Clone, Copy)]
+pub enum FaultApply {
+    /// Set the up/down state of the link direction transmitted from
+    /// `(node, port)`.
+    SetLinkUp {
+        /// Transmitting node.
+        node: NodeRef,
+        /// Transmitting port.
+        port: PortId,
+        /// New state: `true` restores the direction, `false` black-holes
+        /// it.
+        up: bool,
+    },
+    /// Reboot a switch: wipe SRAM, bump the boot epoch, restore its L2
+    /// routes from the precomputed control-plane tables.
+    Reboot {
+        /// The switch.
+        switch: SwitchId,
+    },
+    /// Replace the channel fault profile of the link direction
+    /// transmitted from `(node, port)`.
+    SetChannel {
+        /// Transmitting node.
+        node: NodeRef,
+        /// Transmitting port.
+        port: PortId,
+        /// The new profile.
+        profile: ChannelProfile,
+    },
 }
 
 /// What happens.
@@ -46,30 +172,26 @@ pub enum EventKind {
         /// App-defined token.
         token: u64,
     },
-    /// Periodic statistics tick (utilization EWMAs).
-    StatsTick,
-    /// A scheduled fault fires (installed via
+    /// A scheduled fault step fires (installed via
     /// [`Simulator::install_faults`](crate::Simulator::install_faults)).
     Fault {
-        /// What to inject.
-        action: crate::fault::FaultAction,
+        /// The shard-local step to apply.
+        apply: FaultApply,
     },
 }
 
 /// A scheduled event.
 #[derive(Debug)]
 pub struct Event {
-    /// Absolute time in ns.
-    pub time: u64,
-    /// Tie-breaking sequence number.
-    pub seq: u64,
+    /// Canonical ordering key.
+    pub key: EventKey,
     /// Payload.
     pub kind: EventKind,
 }
 
 impl PartialEq for Event {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.key == other.key
     }
 }
 impl Eq for Event {}
@@ -81,15 +203,14 @@ impl PartialOrd for Event {
 impl Ord for Event {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse: BinaryHeap is a max-heap, we want earliest first.
-        other.time.cmp(&self.time).then(other.seq.cmp(&self.seq))
+        other.key.cmp(&self.key)
     }
 }
 
-/// A deterministic min-queue of events.
+/// A deterministic min-queue of events in canonical key order.
 #[derive(Debug, Default)]
 pub struct EventQueue {
     heap: BinaryHeap<Event>,
-    next_seq: u64,
 }
 
 impl EventQueue {
@@ -98,16 +219,29 @@ impl EventQueue {
         EventQueue::default()
     }
 
-    /// Schedule `kind` at absolute time `time`.
-    pub fn push(&mut self, time: u64, kind: EventKind) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.heap.push(Event { time, seq, kind });
+    /// Schedule `kind` under canonical key `key`.
+    pub fn push(&mut self, key: EventKey, kind: EventKind) {
+        self.heap.push(Event { key, kind });
+    }
+
+    /// Re-insert an already-keyed event (mailbox delivery).
+    pub fn push_event(&mut self, event: Event) {
+        self.heap.push(event);
+    }
+
+    /// Key of the earliest pending event.
+    pub fn peek_key(&self) -> Option<EventKey> {
+        self.heap.peek().map(|e| e.key)
     }
 
     /// Time of the earliest pending event.
     pub fn peek_time(&self) -> Option<u64> {
-        self.heap.peek().map(|e| e.time)
+        self.heap.peek().map(|e| e.key.time)
+    }
+
+    /// The earliest pending event, without removing it.
+    pub fn peek(&self) -> Option<&Event> {
+        self.heap.peek()
     }
 
     /// Pop the earliest event.
@@ -130,57 +264,107 @@ impl EventQueue {
 mod tests {
     use super::*;
 
+    fn timer_kind(token: u64) -> EventKind {
+        EventKind::Timer {
+            host: HostId(0),
+            token,
+        }
+    }
+
     #[test]
     fn pops_in_time_order() {
         let mut q = EventQueue::new();
-        q.push(30, EventKind::StatsTick);
-        q.push(10, EventKind::StatsTick);
-        q.push(20, EventKind::StatsTick);
+        q.push(EventKey::timer(30, HostId(0), 0), timer_kind(0));
+        q.push(EventKey::timer(10, HostId(0), 1), timer_kind(1));
+        q.push(EventKey::timer(20, HostId(0), 2), timer_kind(2));
         assert_eq!(q.peek_time(), Some(10));
-        assert_eq!(q.pop().unwrap().time, 10);
-        assert_eq!(q.pop().unwrap().time, 20);
-        assert_eq!(q.pop().unwrap().time, 30);
+        assert_eq!(q.pop().unwrap().key.time, 10);
+        assert_eq!(q.pop().unwrap().key.time, 20);
+        assert_eq!(q.pop().unwrap().key.time, 30);
         assert!(q.pop().is_none());
     }
 
     #[test]
-    fn ties_break_in_insertion_order() {
+    fn ties_break_by_class_then_target() {
         let mut q = EventQueue::new();
+        let node = NodeRef::Switch(SwitchId(1));
+        // Push in scrambled order; pops must follow the canonical class
+        // order: fault, timer, link-free, frame.
         q.push(
-            5,
-            EventKind::Timer {
-                host: HostId(0),
-                token: 1,
+            EventKey::frame(5, node, 0, 0),
+            EventKind::FrameArrive {
+                node,
+                port: 0,
+                frame: vec![],
             },
         );
         q.push(
-            5,
-            EventKind::Timer {
-                host: HostId(0),
-                token: 2,
-            },
+            EventKey::link_free(5, node, 0),
+            EventKind::LinkFree { node, port: 0 },
         );
+        q.push(EventKey::timer(5, HostId(0), 0), timer_kind(0));
         q.push(
-            5,
-            EventKind::Timer {
-                host: HostId(0),
-                token: 3,
+            EventKey::fault(5, 0, 0),
+            EventKind::Fault {
+                apply: FaultApply::Reboot {
+                    switch: SwitchId(1),
+                },
             },
         );
+        let classes: Vec<u8> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.key.class)
+            .collect();
+        assert_eq!(
+            classes,
+            vec![CLASS_FAULT, CLASS_TIMER, CLASS_LINK_FREE, CLASS_FRAME]
+        );
+    }
+
+    #[test]
+    fn equal_time_timers_pop_in_sequence_order() {
+        let mut q = EventQueue::new();
+        for (seq, token) in [(2u64, 3u64), (0, 1), (1, 2)] {
+            q.push(EventKey::timer(5, HostId(0), seq), timer_kind(token));
+        }
         let mut tokens = Vec::new();
         while let Some(e) = q.pop() {
             if let EventKind::Timer { token, .. } = e.kind {
                 tokens.push(token);
             }
         }
-        assert_eq!(tokens, vec![1, 2, 3]);
+        assert_eq!(tokens, vec![1, 2, 3], "per-host timer sequence orders ties");
+    }
+
+    #[test]
+    fn insertion_order_is_irrelevant() {
+        // The property the sharded scheduler rests on: any insertion
+        // order of the same event set pops identically.
+        let node = NodeRef::Host(HostId(2));
+        let keys = [
+            EventKey::frame(7, node, 0, 4),
+            EventKey::frame(7, node, 0, 1),
+            EventKey::timer(7, HostId(2), 0),
+            EventKey::frame(6, node, 0, 9),
+        ];
+        let pop_order = |order: &[usize]| -> Vec<EventKey> {
+            let mut q = EventQueue::new();
+            for &i in order {
+                q.push(keys[i], EventKind::LinkFree { node, port: 0 });
+            }
+            std::iter::from_fn(|| q.pop()).map(|e| e.key).collect()
+        };
+        let a = pop_order(&[0, 1, 2, 3]);
+        let b = pop_order(&[3, 2, 1, 0]);
+        let c = pop_order(&[1, 3, 0, 2]);
+        assert_eq!(a, b);
+        assert_eq!(b, c);
     }
 
     #[test]
     fn len_and_empty() {
         let mut q = EventQueue::new();
         assert!(q.is_empty());
-        q.push(1, EventKind::StatsTick);
+        q.push(EventKey::timer(1, HostId(0), 0), timer_kind(0));
         assert_eq!(q.len(), 1);
         q.pop();
         assert!(q.is_empty());

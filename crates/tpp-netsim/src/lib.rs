@@ -7,9 +7,15 @@
 //!
 //! Design goals, in the smoltcp spirit:
 //!
-//! * **Deterministic.** Single-threaded; the event queue orders by
-//!   `(time, sequence-number)`, so identical inputs give bit-identical
-//!   runs. Any randomness lives in seeded RNGs owned by workloads.
+//! * **Deterministic.** Event queues order by a canonical content-derived
+//!   key (`time`, class, target, per-target sequence), never by insertion
+//!   order or thread schedule — so identical inputs give bit-identical
+//!   runs at *any* shard count, threaded or not. Any randomness lives in
+//!   seeded per-link RNG streams.
+//! * **Sharded.** The topology partitions into shards stepping in
+//!   conservative windows bounded by the minimum inter-shard link delay
+//!   (see [`SimConfig::shards`]); one shard reproduces the classic
+//!   single event loop exactly.
 //! * **Simple.** Store-and-forward output-queued switches, full-duplex
 //!   links with a serialization rate (taken from the transmitting port's
 //!   configured capacity) and a propagation delay. That is exactly the
@@ -20,7 +26,7 @@
 //! Time is `u64` nanoseconds throughout ([`time`] has conversion helpers).
 //!
 //! ```
-//! use tpp_netsim::{NetworkBuilder, Endpoint, HostApp, HostCtx, time};
+//! use tpp_netsim::{NetworkBuilder, Endpoint, HostApp, HostCtx, RunLimit, time};
 //! use tpp_asic::AsicConfig;
 //!
 //! // Two hosts through one switch; host 0 sends one frame to host 1.
@@ -50,30 +56,36 @@
 //! net.connect(Endpoint::host(h1), Endpoint::switch(s, 1), time::micros(1));
 //! let mut sim = net.build();
 //! sim.populate_l2();
-//! sim.run_until(time::millis(10));
+//! sim.run(RunLimit::Until(time::millis(10)));
 //! assert_eq!(sim.host_app::<Receiver>(h1).got, 1);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod config;
 pub mod event;
 pub mod fault;
 pub mod node;
+pub mod obs;
 pub mod pool;
 pub mod series;
+mod shard;
 pub mod sim;
 pub mod time;
 pub mod topology;
 
+pub use config::{RunLimit, SimConfig};
 pub use fault::{ChannelProfile, FaultAction, FaultCounters, FaultPlan};
 pub use node::{AsAny, HostApp, HostCtx, HostId, SwitchId};
+pub use obs::ObsHandle;
 pub use pool::FramePool;
 pub use series::{
     RingSeries, SeriesSet, SwitchSeries, FLEET_SERIES_METRICS, SWITCH_SERIES_METRICS,
 };
-pub use sim::{Endpoint, NetworkBuilder, Simulator, TapDir, TapRecord};
+pub use sim::{Endpoint, NetworkBuilder, Simulator, TapDir, TapRecord, Topology};
 pub use topology::{
-    dumbbell, fat_tree, leaf_spine, linear_chain, Dumbbell, DumbbellParams, FatTree, FatTreeParams,
-    LeafSpine, LeafSpineParams, LinearChain, LinearChainParams,
+    dumbbell, dumbbell_with, fat_tree, fat_tree_with, leaf_spine, leaf_spine_with, linear_chain,
+    linear_chain_with, Dumbbell, DumbbellParams, FatTree, FatTreeParams, LeafSpine,
+    LeafSpineParams, LinearChain, LinearChainParams,
 };

@@ -39,8 +39,9 @@ impl<T: Any> AsAny for T {
 ///
 /// All methods have empty defaults, so simple apps implement only what
 /// they need. Apps must be `'static` (owned state only) so they can be
-/// recovered by downcast via [`crate::Simulator::host_app`].
-pub trait HostApp: AsAny + 'static {
+/// recovered by downcast via [`crate::Simulator::host_app`], and `Send`
+/// because the sharded simulator steps hosts from worker threads.
+pub trait HostApp: AsAny + Send + 'static {
     /// Called once when the simulation starts.
     fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
         let _ = ctx;

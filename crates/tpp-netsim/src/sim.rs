@@ -1,20 +1,28 @@
-//! The simulator core: topology wiring, the event loop, and link
-//! transmission logic.
+//! The simulator core: topology wiring, the sharded run loop, and the
+//! public control surface.
+//!
+//! The event loop itself lives in [`crate::shard`]; this module owns the
+//! topology arrays, partitions them into shards at build time, drives
+//! the window schedule (and the stats-tick barrier), and re-aggregates
+//! per-shard state (fault counters, losses, pools, taps) behind the same
+//! accessors the single-threaded simulator had.
 
 use std::collections::{HashMap, VecDeque};
+use std::ops::Range;
+use std::sync::Mutex;
 
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 
-use crate::event::{EventKind, EventQueue, NodeRef};
+use crate::config::{RunLimit, SimConfig};
+use crate::event::{node_port_key, Event, EventKey, EventKind, FaultApply, NodeRef};
 use crate::fault::{ChannelProfile, FaultAction, FaultCounters, FaultPlan};
-use crate::node::{HostAction, HostApp, HostCtx, HostId, SwitchId};
-use crate::pool::FramePool;
+use crate::node::{HostApp, HostId, SwitchId};
 use crate::series::{permille, SeriesSet};
-use crate::time::tx_time_ns;
-use tpp_asic::{Asic, AsicConfig, Outcome, PortId};
-use tpp_telemetry::{MetricsRegistry, SharedSink, TraceEvent, TraceEventKind, TraceSink};
-use tpp_wire::ethernet::{Frame, ETHERNET_HEADER_LEN};
+use crate::shard::{mix64, step_shards, ShardRun, ShardState};
+use tpp_asic::{Asic, AsicConfig, PortId};
+use tpp_telemetry::{MetricsRegistry, SharedSink};
+use tpp_wire::ethernet::Frame;
 use tpp_wire::tpp::TppPacket;
 use tpp_wire::EthernetAddress;
 
@@ -53,13 +61,18 @@ impl Endpoint {
     }
 }
 
-/// Builder for a [`Simulator`].
+/// Builder for a [`Simulator`]: the topology description consumed by
+/// [`NetworkBuilder::build`].
 pub struct NetworkBuilder {
     switches: Vec<AsicConfig>,
     hosts: Vec<(Box<dyn HostApp>, u32)>,
     links: Vec<(Endpoint, Endpoint, u64)>,
-    tick_interval_ns: u64,
+    config: SimConfig,
 }
+
+/// Role alias: the builder *is* the topology half of the
+/// `SimConfig + Topology → Simulator` surface.
+pub type Topology = NetworkBuilder;
 
 impl Default for NetworkBuilder {
     fn default() -> Self {
@@ -68,19 +81,25 @@ impl Default for NetworkBuilder {
 }
 
 impl NetworkBuilder {
-    /// An empty network.
+    /// An empty network under the default [`SimConfig`].
     pub fn new() -> Self {
+        NetworkBuilder::with_config(SimConfig::default())
+    }
+
+    /// An empty network under an explicit configuration.
+    pub fn with_config(config: SimConfig) -> Self {
         NetworkBuilder {
             switches: Vec::new(),
             hosts: Vec::new(),
             links: Vec::new(),
-            tick_interval_ns: crate::time::millis(1),
+            config,
         }
     }
 
     /// How often switch utilization EWMAs tick (default 1 ms).
+    #[deprecated(note = "set `SimConfig::tick_interval_ns` and use `NetworkBuilder::with_config`")]
     pub fn tick_interval_ns(&mut self, ns: u64) -> &mut Self {
-        self.tick_interval_ns = ns;
+        self.config.tick_interval_ns = ns;
         self
     }
 
@@ -105,20 +124,28 @@ impl NetworkBuilder {
         self.links.push((a, b, delay_ns));
     }
 
-    /// Build the simulator.
+    /// Build the simulator: wire the dense adjacency, partition nodes
+    /// into shards, compute the conservative lookahead (the minimum
+    /// inter-shard propagation delay) and the control-plane L2 tables.
+    ///
+    /// The shard count is clamped to the node count, and a topology with
+    /// a zero-delay link crossing a shard boundary falls back to one
+    /// shard (zero lookahead would serialize the windows anyway). Seeded
+    /// results are bit-identical for every shard count.
     ///
     /// # Panics
     /// Panics on invalid wiring: out-of-range switch ports or endpoints
     /// used by more than one link. These are construction-time programmer
     /// errors, not runtime conditions.
     pub fn build(self) -> Simulator {
+        let cfg = self.config;
         let switches: Vec<SwitchNode> = self
             .switches
             .into_iter()
-            .map(|cfg| {
-                let ports = cfg.num_ports();
+            .map(|config| {
+                let ports = config.num_ports();
                 SwitchNode {
-                    asic: Asic::new(cfg),
+                    asic: Asic::new(config),
                     tx_busy: vec![false; ports],
                 }
             })
@@ -133,6 +160,7 @@ impl NetworkBuilder {
                 nic_rate_kbps: rate,
                 nic_queue: VecDeque::new(),
                 nic_busy: false,
+                timer_seq: 0,
             })
             .collect();
 
@@ -140,9 +168,15 @@ impl NetworkBuilder {
         // hot path indexes an array instead of probing a HashMap.
         let mut switch_links: Vec<Vec<Option<Link>>> = switches
             .iter()
-            .map(|sw| vec![None; sw.asic.num_ports()])
+            .map(|sw| {
+                let ports = sw.asic.num_ports();
+                let mut v = Vec::with_capacity(ports);
+                v.resize_with(ports, || None);
+                v
+            })
             .collect();
-        let mut host_links: Vec<Option<Link>> = vec![None; hosts.len()];
+        let mut host_links: Vec<Option<Link>> = Vec::new();
+        host_links.resize_with(hosts.len(), || None);
         for (a, b, delay) in &self.links {
             for ep in [a, b] {
                 if let Endpoint::SwitchPort(s, p) = ep {
@@ -159,10 +193,17 @@ impl NetworkBuilder {
                 let link = Link {
                     peer: peer.node(),
                     peer_port: peer.port(),
+                    peer_shard: 0,
                     delay_ns: *delay,
                     loss_permille: 0,
                     up: true,
                     faults: ChannelProfile::default(),
+                    key: node_port_key(ep.node(), ep.port()),
+                    seq: 0,
+                    losses: 0,
+                    loss_rng: None,
+                    fault_rng: None,
+                    fault_rng_epoch: 0,
                 };
                 let slot = match ep {
                     Endpoint::SwitchPort(s, p) => &mut switch_links[s.0][*p as usize],
@@ -176,27 +217,187 @@ impl NetworkBuilder {
             }
         }
 
+        // Partition: contiguous blocks of switch and host indices per
+        // shard. Retry at one shard if any inter-shard link has zero
+        // propagation delay (no usable lookahead).
+        let total_nodes = switches.len() + hosts.len();
+        let mut num_shards = cfg.shards.clamp(1, total_nodes.max(1));
+        let (switch_shard, host_shard, switch_ranges, host_ranges, lookahead_ns) = loop {
+            let switch_ranges = block_ranges(switches.len(), num_shards);
+            let host_ranges = block_ranges(hosts.len(), num_shards);
+            let switch_shard = expand_ranges(&switch_ranges, switches.len());
+            let host_shard = expand_ranges(&host_ranges, hosts.len());
+            let shard_of = |node: NodeRef| match node {
+                NodeRef::Switch(s) => switch_shard[s.0],
+                NodeRef::Host(h) => host_shard[h.0],
+            };
+            let mut lookahead_ns = u64::MAX;
+            let mut zero_delay_cross = false;
+            let mut visit = |own: usize, link: &Link| {
+                if shard_of(link.peer) != own {
+                    if link.delay_ns == 0 {
+                        zero_delay_cross = true;
+                    }
+                    lookahead_ns = lookahead_ns.min(link.delay_ns);
+                }
+            };
+            for (s, ports) in switch_links.iter().enumerate() {
+                for link in ports.iter().flatten() {
+                    visit(switch_shard[s], link);
+                }
+            }
+            for (h, link) in host_links.iter().enumerate() {
+                if let Some(link) = link {
+                    visit(host_shard[h], link);
+                }
+            }
+            if zero_delay_cross && num_shards > 1 {
+                num_shards = 1;
+                continue;
+            }
+            break (
+                switch_shard,
+                host_shard,
+                switch_ranges,
+                host_ranges,
+                lookahead_ns,
+            );
+        };
+        for (s, ports) in switch_links.iter_mut().enumerate() {
+            let _ = s;
+            for link in ports.iter_mut().flatten() {
+                link.peer_shard = match link.peer {
+                    NodeRef::Switch(p) => switch_shard[p.0],
+                    NodeRef::Host(p) => host_shard[p.0],
+                };
+            }
+        }
+        for link in host_links.iter_mut().flatten() {
+            link.peer_shard = match link.peer {
+                NodeRef::Switch(p) => switch_shard[p.0],
+                NodeRef::Host(p) => host_shard[p.0],
+            };
+        }
+
+        let l2_routes = compute_l2_routes(&switches, &hosts, &switch_links, &host_links);
+        let series = cfg.series_capacity.map(|cap| {
+            let ids: Vec<u32> = switches.iter().map(|sw| sw.asic.switch_id()).collect();
+            SeriesSet::new(&ids, cap)
+        });
+
         Simulator {
             now_ns: 0,
             started: false,
-            events: EventQueue::new(),
+            next_tick_ns: 0,
+            tick_interval_ns: cfg.tick_interval_ns,
+            seed: cfg.seed,
+            parallel: cfg.parallel,
+            num_shards,
+            lookahead_ns,
             switches,
             hosts,
             switch_links,
             host_links,
-            tick_interval_ns: self.tick_interval_ns,
-            rng: StdRng::seed_from_u64(0x7199_7199),
-            fault_rng: None,
-            fault_counters: FaultCounters::default(),
-            link_losses: HashMap::new(),
-            taps: HashMap::new(),
+            switch_ranges,
+            host_ranges,
+            switch_shard,
+            host_shard,
+            shards: (0..num_shards)
+                .map(|_| ShardState::new(cfg.frame_pool_buffers))
+                .collect(),
+            inboxes: (0..num_shards).map(|_| Mutex::new(Vec::new())).collect(),
+            l2_routes,
+            fault_seed: 0,
+            fault_epoch: 0,
+            next_fault_entry: 0,
             metrics: MetricsRegistry::new(),
             fleet_sink: None,
-            frame_pool: FramePool::default(),
-            host_actions: Vec::new(),
-            series: None,
+            series,
         }
     }
+}
+
+fn block_ranges(n: usize, shards: usize) -> Vec<Range<usize>> {
+    (0..shards)
+        .map(|k| (k * n / shards)..((k + 1) * n / shards))
+        .collect()
+}
+
+fn expand_ranges(ranges: &[Range<usize>], n: usize) -> Vec<usize> {
+    let mut owner = vec![0usize; n];
+    for (k, range) in ranges.iter().enumerate() {
+        for slot in &mut owner[range.clone()] {
+            *slot = k;
+        }
+    }
+    owner
+}
+
+fn peek_link<'a>(
+    switch_links: &'a [Vec<Option<Link>>],
+    host_links: &'a [Option<Link>],
+    node: NodeRef,
+    port: PortId,
+) -> Option<&'a Link> {
+    match node {
+        NodeRef::Switch(s) => switch_links[s.0]
+            .get(port as usize)
+            .and_then(Option::as_ref),
+        NodeRef::Host(h) => {
+            if port == 0 {
+                host_links[h.0].as_ref()
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Shortest-path L2 tables (BFS over the physical topology), computed
+/// once at build time: `routes[s]` lists the `(mac, out_port)` entries
+/// switch `s` needs for every host. [`Simulator::populate_l2`] installs
+/// them; a rebooted switch restores only its own slice — which is what
+/// lets `SwitchReboot` stay shard-local.
+fn compute_l2_routes(
+    switches: &[SwitchNode],
+    hosts: &[HostNode],
+    switch_links: &[Vec<Option<Link>>],
+    host_links: &[Option<Link>],
+) -> Vec<Vec<(EthernetAddress, PortId)>> {
+    let mut routes: Vec<Vec<(EthernetAddress, PortId)>> = vec![Vec::new(); switches.len()];
+    for (h, host) in hosts.iter().enumerate() {
+        let mac = host.mac;
+        // BFS from the host; at each discovered switch, the way back
+        // toward the host is the port the search arrived on.
+        let mut visited: HashMap<NodeRef, ()> = HashMap::new();
+        let mut frontier: VecDeque<NodeRef> = VecDeque::new();
+        let start = NodeRef::Host(HostId(h));
+        visited.insert(start, ());
+        frontier.push_back(start);
+        while let Some(node) = frontier.pop_front() {
+            let ports: Vec<PortId> = match node {
+                NodeRef::Host(_) => vec![0],
+                NodeRef::Switch(s) => (0..switches[s.0].asic.num_ports() as PortId).collect(),
+            };
+            for port in ports {
+                let Some(link) = peek_link(switch_links, host_links, node, port) else {
+                    continue;
+                };
+                let (peer, peer_port) = (link.peer, link.peer_port);
+                if visited.contains_key(&peer) {
+                    continue;
+                }
+                visited.insert(peer, ());
+                if let NodeRef::Switch(s) = peer {
+                    routes[s.0].push((mac, peer_port));
+                    frontier.push_back(peer);
+                }
+                // Hosts terminate the search along this branch but are
+                // still marked visited.
+            }
+        }
+    }
+    routes
 }
 
 /// Which way a tapped frame was travelling relative to the tap point.
@@ -230,7 +431,7 @@ pub struct TapRecord {
 }
 
 impl TapRecord {
-    fn capture(t_ns: u64, dir: TapDir, frame: &[u8]) -> Option<TapRecord> {
+    pub(crate) fn capture(t_ns: u64, dir: TapDir, frame: &[u8]) -> Option<TapRecord> {
         let parsed = Frame::new_checked(frame).ok()?;
         let tpp_hop = if parsed.is_tpp() {
             TppPacket::new_checked(parsed.payload())
@@ -251,43 +452,80 @@ impl TapRecord {
     }
 }
 
-/// One direction of a link: the peer and the channel properties.
-#[derive(Debug, Clone, Copy)]
-struct Link {
-    peer: NodeRef,
-    peer_port: PortId,
-    delay_ns: u64,
+/// One direction of a link: the peer, the channel properties, and the
+/// direction-owned determinism state (frame sequence counter and the
+/// lazily-armed per-direction RNG streams).
+#[derive(Debug)]
+pub(crate) struct Link {
+    pub(crate) peer: NodeRef,
+    pub(crate) peer_port: PortId,
+    /// Shard owning the receiving node; transmissions to another shard
+    /// go through its mailbox.
+    pub(crate) peer_shard: usize,
+    pub(crate) delay_ns: u64,
     /// In-flight loss probability in per-mille. 0 = lossless (and the
     /// RNG is never consulted, so lossless runs are unchanged by the
     /// feature). Models a fading wireless channel; set per direction
     /// via [`Simulator::set_link_loss`].
-    loss_permille: u16,
+    pub(crate) loss_permille: u16,
     /// False while an injected [`FaultAction::LinkDown`] holds the link
     /// down: every frame transmitted on this direction is lost.
-    up: bool,
+    pub(crate) up: bool,
     /// Active channel fault profile (clean outside fault windows; the
     /// fault RNG is never consulted while clean).
-    faults: ChannelProfile,
+    pub(crate) faults: ChannelProfile,
+    /// Canonical key of this (transmitting) direction; seeds the
+    /// per-direction RNG streams.
+    pub(crate) key: u64,
+    /// Frames placed on the wire in this direction — the `minor` order
+    /// of arrival events at the peer.
+    pub(crate) seq: u64,
+    /// Frames lost in flight on this direction (channel loss + link-down
+    /// drops).
+    pub(crate) losses: u64,
+    /// Per-direction loss stream, armed by [`Simulator::set_link_loss`]
+    /// from `mix64(config seed, key)`. Boxed: lossless links (the common
+    /// case) pay one pointer.
+    pub(crate) loss_rng: Option<Box<StdRng>>,
+    /// Per-direction fault stream, armed lazily from
+    /// `mix64(plan seed, key)` on first use after a plan install.
+    pub(crate) fault_rng: Option<Box<StdRng>>,
+    /// Which plan install `fault_rng` belongs to.
+    pub(crate) fault_rng_epoch: u32,
 }
 
-struct SwitchNode {
-    asic: Asic,
-    tx_busy: Vec<bool>,
+pub(crate) struct SwitchNode {
+    pub(crate) asic: Asic,
+    pub(crate) tx_busy: Vec<bool>,
 }
 
-struct HostNode {
-    app: Box<dyn HostApp>,
-    mac: EthernetAddress,
-    nic_rate_kbps: u32,
-    nic_queue: VecDeque<Vec<u8>>,
-    nic_busy: bool,
+pub(crate) struct HostNode {
+    pub(crate) app: Box<dyn HostApp>,
+    pub(crate) mac: EthernetAddress,
+    pub(crate) nic_rate_kbps: u32,
+    pub(crate) nic_queue: VecDeque<Vec<u8>>,
+    pub(crate) nic_busy: bool,
+    /// Per-host timer counter: the `minor` order of this host's timer
+    /// events at equal times.
+    pub(crate) timer_seq: u64,
 }
 
 /// The assembled network simulation.
 pub struct Simulator {
     now_ns: u64,
     started: bool,
-    events: EventQueue,
+    /// Absolute time of the next stats tick (valid once started). Ticks
+    /// are coordinator-driven barriers, not queue events: every shard
+    /// stops strictly before the tick time, the coordinator advances the
+    /// EWMAs and samples the series, and the shards resume.
+    next_tick_ns: u64,
+    tick_interval_ns: u64,
+    seed: u64,
+    parallel: bool,
+    num_shards: usize,
+    /// Conservative window length: the minimum propagation delay of any
+    /// inter-shard link (`u64::MAX` when nothing crosses a boundary).
+    lookahead_ns: u64,
     switches: Vec<SwitchNode>,
     hosts: Vec<HostNode>,
     /// Dense adjacency: `switch_links[s][p]` is the link transmitted
@@ -297,29 +535,34 @@ pub struct Simulator {
     /// frame.
     switch_links: Vec<Vec<Option<Link>>>,
     host_links: Vec<Option<Link>>,
-    tick_interval_ns: u64,
-    rng: StdRng,
-    /// Dedicated RNG for fault injection, created by
-    /// [`Simulator::install_faults`] from the plan's seed. Kept separate
-    /// from `rng` so installing a plan never perturbs the loss stream,
-    /// and fault-free runs stay bit-identical to pre-fault builds.
-    fault_rng: Option<StdRng>,
-    fault_counters: FaultCounters,
-    link_losses: HashMap<(NodeRef, PortId), u64>,
-    taps: HashMap<(NodeRef, PortId), Vec<TapRecord>>,
+    /// Contiguous index blocks per shard (switches and hosts partition
+    /// independently); the slices handed to [`ShardRun`]s split here.
+    switch_ranges: Vec<Range<usize>>,
+    host_ranges: Vec<Range<usize>>,
+    switch_shard: Vec<usize>,
+    host_shard: Vec<usize>,
+    shards: Vec<ShardState>,
+    /// Cross-shard mailboxes, one per destination shard, drained into
+    /// the owner's queue at window barriers.
+    inboxes: Vec<Mutex<Vec<Event>>>,
+    /// Precomputed control-plane L2 tables (see [`compute_l2_routes`]).
+    l2_routes: Vec<Vec<(EthernetAddress, PortId)>>,
+    /// Seed of the installed fault plan; per-link fault streams derive
+    /// from it.
+    fault_seed: u64,
+    /// Bumped per [`Simulator::install_faults`] so links re-arm their
+    /// fault streams lazily.
+    fault_epoch: u32,
+    /// Global fault-plan entry counter: preserves plan order at equal
+    /// times across installs.
+    next_fault_entry: u64,
     /// Fleet-wide metrics, rebuilt lazily from every switch's registers
     /// when [`Simulator::metrics`] is called.
     metrics: MetricsRegistry,
     /// Clone of the fleet trace sink handed out by
-    /// [`Simulator::trace_all`]; simulator-level fault events
-    /// (link flaps, corruption) are recorded here.
+    /// [`ObsHandle::trace_all`](crate::ObsHandle::trace_all); shards
+    /// record simulator-level fault events into their own clones.
     fleet_sink: Option<SharedSink>,
-    /// Recycles `Vec<u8>` capacity from frames the network consumed
-    /// (losses, link-down drops, black-holed frames) back to senders.
-    frame_pool: FramePool,
-    /// Scratch buffer for host-app actions, reused across every
-    /// [`Simulator::call_host`] invocation.
-    host_actions: Vec<HostAction>,
     /// Ring-buffer time series sampled on every stats tick
     /// (observability plane layer 2); `None` (the default) keeps the
     /// tick handler at one extra branch.
@@ -332,18 +575,26 @@ impl Simulator {
         self.now_ns
     }
 
+    /// The effective shard count (the configured count clamped at build
+    /// time).
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// The conservative window length: minimum inter-shard propagation
+    /// delay, or `u64::MAX` when no link crosses a shard boundary.
+    pub fn lookahead_ns(&self) -> u64 {
+        self.lookahead_ns
+    }
+
+    /// Total events dispatched so far, summed over shards.
+    pub fn events_processed(&self) -> u64 {
+        self.shards.iter().map(|s| s.processed).sum()
+    }
+
     /// The link transmitted from `(node, port)`, if connected.
-    fn link(&self, node: NodeRef, port: PortId) -> Option<Link> {
-        match node {
-            NodeRef::Switch(s) => self.switch_links[s.0].get(port as usize).copied().flatten(),
-            NodeRef::Host(h) => {
-                if port == 0 {
-                    self.host_links[h.0]
-                } else {
-                    None
-                }
-            }
-        }
+    fn link(&self, node: NodeRef, port: PortId) -> Option<&Link> {
+        peek_link(&self.switch_links, &self.host_links, node, port)
     }
 
     /// Mutable view of the link transmitted from `(node, port)`.
@@ -359,6 +610,13 @@ impl Simulator {
                     None
                 }
             }
+        }
+    }
+
+    fn node_shard(&self, node: NodeRef) -> usize {
+        match node {
+            NodeRef::Switch(s) => self.switch_shard[s.0],
+            NodeRef::Host(h) => self.host_shard[h.0],
         }
     }
 
@@ -420,7 +678,10 @@ impl Simulator {
 
     /// Set the in-flight loss probability (per-mille) of the link
     /// direction transmitted from `from`. Models a degrading wireless
-    /// channel; change it over time to model fading.
+    /// channel; change it over time to model fading. Losses draw from a
+    /// per-direction RNG stream seeded from the configured seed and the
+    /// direction's canonical key, so outcomes are independent of shard
+    /// layout.
     ///
     /// Probabilities are capped at 1000 ‰ (certain loss); the returned
     /// value is the one actually installed, so callers passing a larger
@@ -430,20 +691,24 @@ impl Simulator {
     /// # Panics
     /// Panics if `from` is not connected.
     pub fn set_link_loss(&mut self, from: Endpoint, loss_permille: u16) -> u16 {
+        let seed = self.seed;
         let link = self
             .link_mut(from.node(), from.port())
             .unwrap_or_else(|| panic!("{from:?} is not connected"));
         let effective = loss_permille.min(1000);
         link.loss_permille = effective;
+        if effective > 0 && link.loss_rng.is_none() {
+            link.loss_rng = Some(Box::new(StdRng::seed_from_u64(mix64(seed, link.key))));
+        }
         effective
     }
 
-    /// Install a seeded [`FaultPlan`]: schedules every entry on the
-    /// event queue and arms the dedicated fault RNG with the plan's
-    /// seed. May be called before or after the simulation starts (times
-    /// already in the past fire immediately on the next step).
-    /// Installing a second plan replaces the RNG and adds the new
-    /// entries.
+    /// Install a seeded [`FaultPlan`]: expands every entry into
+    /// shard-local steps on the owning shards' queues and re-arms the
+    /// per-link fault streams from the plan's seed. May be called before
+    /// or after the simulation starts (times already in the past fire
+    /// immediately on the next step). Installing a second plan replaces
+    /// the streams and adds the new entries.
     ///
     /// # Panics
     /// Panics if an entry references a disconnected endpoint or an
@@ -464,40 +729,75 @@ impl Simulator {
                 }
             }
         }
-        self.fault_rng = Some(StdRng::seed_from_u64(plan.seed()));
+        self.fault_seed = plan.seed();
+        self.fault_epoch += 1;
         for (t_ns, action) in plan.entries() {
-            self.events
-                .push(*t_ns, EventKind::Fault { action: *action });
+            let entry = self.next_fault_entry;
+            self.next_fault_entry += 1;
+            match action {
+                FaultAction::LinkDown { at } | FaultAction::LinkUp { at } => {
+                    let up = matches!(action, FaultAction::LinkUp { .. });
+                    // A link is full-duplex: flapping takes both
+                    // directions with it, as two per-direction steps
+                    // routed to the owning shards (forward first).
+                    let a = (at.node(), at.port());
+                    let link = self.link(a.0, a.1).expect("validated above");
+                    let b = (link.peer, link.peer_port);
+                    for (dir, (node, port)) in [(0u64, a), (1, b)] {
+                        let shard = self.node_shard(node);
+                        self.shards[shard].events.push(
+                            EventKey::fault(*t_ns, entry, dir),
+                            EventKind::Fault {
+                                apply: FaultApply::SetLinkUp { node, port, up },
+                            },
+                        );
+                    }
+                }
+                FaultAction::SwitchReboot { switch } => {
+                    let shard = self.switch_shard[switch.0];
+                    self.shards[shard].events.push(
+                        EventKey::fault(*t_ns, entry, 0),
+                        EventKind::Fault {
+                            apply: FaultApply::Reboot { switch: *switch },
+                        },
+                    );
+                }
+                FaultAction::SetChannel { from, profile } => {
+                    let node = from.node();
+                    let shard = self.node_shard(node);
+                    self.shards[shard].events.push(
+                        EventKey::fault(*t_ns, entry, 0),
+                        EventKind::Fault {
+                            apply: FaultApply::SetChannel {
+                                node,
+                                port: from.port(),
+                                profile: *profile,
+                            },
+                        },
+                    );
+                }
+            }
         }
     }
 
-    /// Running totals of injected faults.
+    /// Running totals of injected faults, summed over shards.
     pub fn fault_counters(&self) -> FaultCounters {
-        self.fault_counters
+        let mut total = FaultCounters::default();
+        for shard in &self.shards {
+            let c = shard.counters;
+            total.link_down_drops += c.link_down_drops;
+            total.duplicated += c.duplicated;
+            total.corrupted += c.corrupted;
+            total.reordered += c.reordered;
+            total.reboots += c.reboots;
+            total.link_downs += c.link_downs;
+        }
+        total
     }
 
-    /// Override the stats-tick interval — and therefore the sampling
-    /// period of the time-series layer. The next tick is scheduled from
-    /// the current value, so call before the first `run_until` to set
-    /// the period for the whole run.
-    pub fn set_tick_interval_ns(&mut self, ns: u64) {
-        assert!(ns > 0, "tick interval must be positive");
-        self.tick_interval_ns = ns;
-    }
-
-    /// Enable the per-tick time-series layer: from now on every stats
-    /// tick samples queue depth, link utilization, drop and cache-hit
-    /// rates for every switch (plus fleet-wide fault/loss rates) into
-    /// fixed-capacity ring series — see [`crate::series`]. `capacity`
-    /// bounds each series' point count; longer runs downsample instead
-    /// of growing. Calling again discards the recorded series.
-    pub fn enable_series(&mut self, capacity: usize) {
-        let ids: Vec<u32> = self.switches.iter().map(|sw| sw.asic.switch_id()).collect();
-        self.series = Some(SeriesSet::new(&ids, capacity));
-    }
-
-    /// The recorded time series, if [`Simulator::enable_series`] was
-    /// called.
+    /// The recorded time series, if enabled (via
+    /// [`SimConfig::series_capacity`] or
+    /// [`ObsHandle::series`](crate::ObsHandle::series)).
     pub fn series(&self) -> Option<&SeriesSet> {
         self.series.as_ref()
     }
@@ -509,6 +809,11 @@ impl Simulator {
     #[inline(never)]
     fn sample_series(&mut self) {
         let now = self.now_ns;
+        let faults = {
+            let f = self.fault_counters();
+            f.link_down_drops + f.duplicated + f.corrupted + f.reordered + f.reboots + f.link_downs
+        };
+        let losses = self.total_losses();
         let Some(set) = self.series.as_mut() else {
             return;
         };
@@ -535,16 +840,12 @@ impl Simulator {
             let (dh, dm) = asic.decode_cache_stats();
             series.offer("cache.decode_hit_permille", now, permille(dh, dm));
         }
-        let f = self.fault_counters;
-        let faults =
-            f.link_down_drops + f.duplicated + f.corrupted + f.reordered + f.reboots + f.link_downs;
         set.offer_fleet(
             "fault.events_per_tick",
             now,
             faults.saturating_sub(set.prev_faults),
         );
         set.prev_faults = faults;
-        let losses: u64 = self.link_losses.values().sum();
         set.offer_fleet(
             "link.frames_lost_per_tick",
             now,
@@ -562,57 +863,55 @@ impl Simulator {
     /// Frames lost in flight on the link direction transmitted from
     /// `from`.
     pub fn link_losses(&self, from: Endpoint) -> u64 {
-        self.link_losses
-            .get(&(from.node(), from.port()))
-            .copied()
+        self.link(from.node(), from.port())
+            .map(|l| l.losses)
             .unwrap_or(0)
     }
 
-    /// Start capturing frame summaries at an endpoint (both directions).
-    pub fn enable_tap(&mut self, at: Endpoint) {
-        self.taps.entry((at.node(), at.port())).or_default();
+    fn total_losses(&self) -> u64 {
+        let switch: u64 = self
+            .switch_links
+            .iter()
+            .flatten()
+            .flatten()
+            .map(|l| l.losses)
+            .sum();
+        let host: u64 = self.host_links.iter().flatten().map(|l| l.losses).sum();
+        switch + host
     }
 
     /// The frames captured at a tapped endpoint so far (empty for
     /// untapped endpoints).
     pub fn tap_records(&self, at: Endpoint) -> &[TapRecord] {
-        self.taps
+        let shard = self.node_shard(at.node());
+        self.shards[shard]
+            .taps
             .get(&(at.node(), at.port()))
             .map(Vec::as_slice)
             .unwrap_or(&[])
     }
 
-    fn tap(&mut self, node: NodeRef, port: PortId, dir: TapDir, frame: &[u8]) {
-        // Untapped runs (the common case) must not pay a hash probe per
-        // frame.
-        if self.taps.is_empty() {
-            return;
-        }
-        let now = self.now_ns;
-        if let Some(records) = self.taps.get_mut(&(node, port)) {
-            if let Some(record) = TapRecord::capture(now, dir, frame) {
-                records.push(record);
-            }
-        }
+    pub(crate) fn enable_tap_impl(&mut self, at: Endpoint) {
+        let shard = self.node_shard(at.node());
+        self.shards[shard]
+            .taps
+            .entry((at.node(), at.port()))
+            .or_default();
     }
 
-    /// Attach one shared trace sink (a ring buffer of `capacity` events)
-    /// to every switch, so the whole fleet's pipeline events interleave
-    /// in one stream ordered by emission. Simulator-level fault events
-    /// (link flaps, corruption, reboots) are recorded into the same
-    /// stream. Returns a handle to read the events back; call again to
-    /// replace the fleet's sink.
-    pub fn trace_all(&mut self, capacity: usize) -> SharedSink {
+    pub(crate) fn trace_all_impl(&mut self, capacity: usize) -> SharedSink {
         let sink = SharedSink::new(capacity);
         for sw in &mut self.switches {
             sw.asic.set_trace_sink(Some(Box::new(sink.clone())));
+        }
+        for shard in &mut self.shards {
+            shard.sink = Some(sink.clone());
         }
         self.fleet_sink = Some(sink.clone());
         sink
     }
 
-    /// Attach a shared trace sink to one switch only.
-    pub fn trace_switch(&mut self, id: SwitchId, capacity: usize) -> SharedSink {
+    pub(crate) fn trace_switch_impl(&mut self, id: SwitchId, capacity: usize) -> SharedSink {
         let sink = SharedSink::new(capacity);
         self.switches[id.0]
             .asic
@@ -620,36 +919,30 @@ impl Simulator {
         sink
     }
 
-    /// Detach every switch's trace sink (and the simulator's fault
-    /// event sink).
-    pub fn trace_off(&mut self) {
+    pub(crate) fn trace_off_impl(&mut self) {
         for sw in &mut self.switches {
             sw.asic.set_trace_sink(None);
+        }
+        for shard in &mut self.shards {
+            shard.sink = None;
         }
         self.fleet_sink = None;
     }
 
-    /// Record a simulator-level fault event into the fleet sink, if one
-    /// is attached. `switch_id` is the dataplane switch id of the node
-    /// involved (0 for hosts), matching the ASIC's own events.
-    fn emit_fault(&mut self, switch_id: u32, kind: TraceEventKind) {
-        if let Some(sink) = self.fleet_sink.as_mut() {
-            sink.record(TraceEvent {
-                t_ns: self.now_ns,
-                switch_id,
-                seq: 0,
-                kind,
-            });
-        }
+    pub(crate) fn set_tick_interval_impl(&mut self, ns: u64) {
+        assert!(ns > 0, "tick interval must be positive");
+        self.tick_interval_ns = ns;
     }
 
-    /// The dataplane switch id of a node (0 for hosts, which have no
-    /// switch id).
-    fn node_switch_id(&self, node: NodeRef) -> u32 {
-        match node {
-            NodeRef::Switch(s) => self.switches[s.0].asic.switch_id(),
-            NodeRef::Host(_) => 0,
-        }
+    pub(crate) fn enable_series_impl(&mut self, capacity: usize) {
+        let ids: Vec<u32> = self.switches.iter().map(|sw| sw.asic.switch_id()).collect();
+        self.series = Some(SeriesSet::new(&ids, capacity));
+    }
+
+    /// The observability handle: tick interval, time series, taps and
+    /// trace sinks live behind one accessor (see [`crate::ObsHandle`]).
+    pub fn observe(&mut self) -> crate::ObsHandle<'_> {
+        crate::ObsHandle::new(self)
     }
 
     /// The fleet-wide metrics registry, rebuilt from every switch's
@@ -667,9 +960,9 @@ impl Simulator {
         for sw in &self.switches {
             sw.asic.export_metrics(&mut self.metrics);
         }
-        let lost: u64 = self.link_losses.values().sum();
+        let lost = self.total_losses();
         self.metrics.set("link.frames_lost", lost);
-        let f = self.fault_counters;
+        let f = self.fault_counters();
         if f != FaultCounters::default() {
             self.metrics.set("fault.link_down_drops", f.link_down_drops);
             self.metrics.set("fault.duplicated", f.duplicated);
@@ -680,376 +973,209 @@ impl Simulator {
         }
     }
 
-    /// `(reused, fresh, recycled)` counters of the frame-buffer pool:
-    /// allocations served from recycled capacity, allocations that fell
-    /// through to the allocator, and buffers accepted back.
+    /// `(reused, fresh, recycled)` counters of the frame-buffer pools,
+    /// summed over shards: allocations served from recycled capacity,
+    /// allocations that fell through to the allocator, and buffers
+    /// accepted back.
     pub fn frame_pool_stats(&self) -> (u64, u64, u64) {
-        self.frame_pool.stats()
+        let mut totals = (0, 0, 0);
+        for shard in &self.shards {
+            let (reused, fresh, recycled) = shard.pool.stats();
+            totals.0 += reused;
+            totals.1 += fresh;
+            totals.2 += recycled;
+        }
+        totals
     }
 
     /// Install L2 forwarding entries for every host at every switch along
-    /// shortest paths (BFS over the physical topology). Call once after
-    /// `build()`; this plays the role of a pre-converged control plane.
+    /// shortest paths (BFS over the physical topology, precomputed at
+    /// build time). Call once after `build()`; this plays the role of a
+    /// pre-converged control plane.
     pub fn populate_l2(&mut self) {
-        for h in 0..self.hosts.len() {
-            let host = HostId(h);
-            let mac = self.hosts[h].mac;
-            // BFS from the host; `reached_via` is the port at each
-            // discovered switch that faces back toward the host.
-            let mut visited: HashMap<NodeRef, ()> = HashMap::new();
-            let mut frontier: VecDeque<NodeRef> = VecDeque::new();
-            let start = NodeRef::Host(host);
-            visited.insert(start, ());
-            frontier.push_back(start);
-            while let Some(node) = frontier.pop_front() {
-                let ports: Vec<PortId> = match node {
-                    NodeRef::Host(_) => vec![0],
-                    NodeRef::Switch(s) => {
-                        (0..self.switches[s.0].asic.num_ports() as PortId).collect()
-                    }
-                };
-                for port in ports {
-                    let Some(Link {
-                        peer, peer_port, ..
-                    }) = self.link(node, port)
-                    else {
-                        continue;
-                    };
-                    if visited.contains_key(&peer) {
-                        continue;
-                    }
-                    visited.insert(peer, ());
-                    if let NodeRef::Switch(s) = peer {
-                        // At `peer`, the way back toward the host is the
-                        // port we arrived on.
-                        self.switches[s.0].asic.l2_mut().insert(mac, peer_port);
-                        frontier.push_back(peer);
-                    }
-                    // Hosts terminate the search along this branch but
-                    // are still marked visited.
-                }
+        for (s, routes) in self.l2_routes.iter().enumerate() {
+            let asic = &mut self.switches[s].asic;
+            for (mac, port) in routes {
+                asic.l2_mut().insert(*mac, *port);
             }
+        }
+    }
+
+    /// Pending events across all shard queues and mailboxes.
+    fn pending_events(&self) -> usize {
+        let queued: usize = self.shards.iter().map(|s| s.events.len()).sum();
+        let mailed: usize = self
+            .inboxes
+            .iter()
+            .map(|m| m.lock().expect("inbox lock").len())
+            .sum();
+        queued + mailed
+    }
+
+    /// Construct the per-shard working views by splitting the node and
+    /// link arrays at the partition boundaries.
+    fn shard_runs(&mut self) -> Vec<ShardRun<'_>> {
+        let now_ns = self.now_ns;
+        let fault_seed = self.fault_seed;
+        let fault_epoch = self.fault_epoch;
+        let mut runs = Vec::with_capacity(self.num_shards);
+        let mut switches = self.switches.as_mut_slice();
+        let mut hosts = self.hosts.as_mut_slice();
+        let mut switch_links = self.switch_links.as_mut_slice();
+        let mut host_links = self.host_links.as_mut_slice();
+        let mut shards = self.shards.as_mut_slice();
+        for k in 0..self.num_shards {
+            let n_switches = self.switch_ranges[k].len();
+            let n_hosts = self.host_ranges[k].len();
+            let (sw, rest) = switches.split_at_mut(n_switches);
+            switches = rest;
+            let (h, rest) = hosts.split_at_mut(n_hosts);
+            hosts = rest;
+            let (sl, rest) = switch_links.split_at_mut(n_switches);
+            switch_links = rest;
+            let (hl, rest) = host_links.split_at_mut(n_hosts);
+            host_links = rest;
+            let (st, rest) = shards.split_at_mut(1);
+            shards = rest;
+            runs.push(ShardRun {
+                idx: k,
+                now_ns,
+                switch_base: self.switch_ranges[k].start,
+                host_base: self.host_ranges[k].start,
+                switches: sw,
+                hosts: h,
+                switch_links: sl,
+                host_links: hl,
+                state: &mut st[0],
+                inboxes: &self.inboxes,
+                l2_routes: &self.l2_routes,
+                fault_seed,
+                fault_epoch,
+            });
+        }
+        runs
+    }
+
+    /// Advance every shard until no pending event lies strictly before
+    /// `limit`.
+    fn step_events_below(&mut self, limit: u64) {
+        let lookahead = self.lookahead_ns;
+        let parallel = self.parallel;
+        let mut runs = self.shard_runs();
+        step_shards(&mut runs, limit, lookahead, parallel);
+    }
+
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        self.next_tick_ns = self.now_ns + self.tick_interval_ns;
+        let mut runs = self.shard_runs();
+        for run in runs.iter_mut() {
+            for h in run.host_base..run.host_base + run.hosts.len() {
+                run.call_host(HostId(h), |app, ctx| app.on_start(ctx));
+            }
+        }
+    }
+
+    /// One coordinator-driven stats tick at time `t`: every shard has
+    /// drained all events strictly before `t`, so the EWMAs and series
+    /// observe a globally consistent state.
+    fn do_tick(&mut self, t: u64) {
+        self.now_ns = t;
+        for sw in &mut self.switches {
+            sw.asic.tick(t);
+        }
+        if self.series.is_some() {
+            self.sample_series();
+        }
+    }
+
+    /// Run the event loop under `limit` — the single entry point of the
+    /// redesigned surface.
+    ///
+    /// * [`RunLimit::Until`] runs to an absolute time (inclusive); may
+    ///   be issued repeatedly with increasing times.
+    /// * [`RunLimit::Quiescent`] steps tick by tick until all traffic
+    ///   has drained or the limit is reached.
+    pub fn run(&mut self, limit: RunLimit) {
+        self.ensure_started();
+        match limit {
+            RunLimit::Until(t_end_ns) => {
+                while self.next_tick_ns <= t_end_ns {
+                    let t = self.next_tick_ns;
+                    self.step_events_below(t);
+                    self.do_tick(t);
+                    self.next_tick_ns = t + self.tick_interval_ns;
+                }
+                self.step_events_below(t_end_ns.saturating_add(1));
+                self.now_ns = self.now_ns.max(t_end_ns);
+            }
+            RunLimit::Quiescent { limit_ns } => loop {
+                let t = self.next_tick_ns;
+                if t > limit_ns {
+                    self.step_events_below(limit_ns.saturating_add(1));
+                    self.now_ns = self.now_ns.max(limit_ns);
+                    break;
+                }
+                self.step_events_below(t);
+                self.do_tick(t);
+                self.next_tick_ns = t + self.tick_interval_ns;
+                if self.pending_events() == 0 {
+                    break;
+                }
+            },
         }
     }
 
     /// Run the event loop until simulation time `t_end_ns`.
-    ///
-    /// May be called repeatedly with increasing times; experiments step
-    /// the clock in increments to sample ground-truth state in between.
+    #[deprecated(note = "use `sim.run(RunLimit::Until(t_end_ns))`")]
     pub fn run_until(&mut self, t_end_ns: u64) {
-        if !self.started {
-            self.started = true;
-            self.events
-                .push(self.now_ns + self.tick_interval_ns, EventKind::StatsTick);
-            for h in 0..self.hosts.len() {
-                self.call_host(HostId(h), |app, ctx| app.on_start(ctx));
-            }
-        }
-        while let Some(t) = self.events.peek_time() {
-            if t > t_end_ns {
-                break;
-            }
-            let event = self.events.pop().expect("peeked");
-            self.now_ns = event.time;
-            self.dispatch(event.kind);
-        }
-        self.now_ns = self.now_ns.max(t_end_ns);
+        self.run(RunLimit::Until(t_end_ns));
     }
 
-    /// Run until the event queue only contains future stats ticks (i.e.
-    /// all traffic has drained), or `t_limit_ns` is reached.
+    /// Run until all traffic has drained, or `t_limit_ns` is reached.
+    #[deprecated(note = "use `sim.run(RunLimit::Quiescent { limit_ns })`")]
     pub fn run_until_quiescent(&mut self, t_limit_ns: u64) {
-        // StatsTicks self-perpetuate, so "quiescent" means stepping tick
-        // by tick until no other events remain.
-        while self.now_ns < t_limit_ns {
-            let next = self.now_ns + self.tick_interval_ns;
-            self.run_until(next.min(t_limit_ns));
-            if self.events.len() <= 1 {
-                break;
-            }
-        }
+        self.run(RunLimit::Quiescent {
+            limit_ns: t_limit_ns,
+        });
     }
 
-    fn dispatch(&mut self, kind: EventKind) {
-        match kind {
-            EventKind::FrameArrive { node, port, frame } => match node {
-                NodeRef::Switch(s) => {
-                    self.tap(node, port, TapDir::Rx, &frame);
-                    let now = self.now_ns;
-                    let outcome = self.switches[s.0].asic.handle_frame(frame, port, now);
-                    if let Outcome::Enqueued { port: out, .. } = outcome {
-                        self.try_tx_switch(s, out);
-                    }
-                }
-                NodeRef::Host(h) => {
-                    self.tap(node, 0, TapDir::Rx, &frame);
-                    self.call_host(h, |app, ctx| app.on_frame(frame, ctx));
-                }
-            },
-            EventKind::LinkFree { node, port } => match node {
-                NodeRef::Switch(s) => {
-                    self.switches[s.0].tx_busy[port as usize] = false;
-                    self.try_tx_switch(s, port);
-                }
-                NodeRef::Host(h) => {
-                    self.hosts[h.0].nic_busy = false;
-                    self.try_tx_host(h);
-                }
-            },
-            EventKind::Timer { host, token } => {
-                self.call_host(host, |app, ctx| app.on_timer(token, ctx));
-            }
-            EventKind::StatsTick => {
-                // Ticks only advance the switches' EWMAs; the fleet
-                // registry is rebuilt lazily by `metrics()`.
-                let now = self.now_ns;
-                for sw in &mut self.switches {
-                    sw.asic.tick(now);
-                }
-                if self.series.is_some() {
-                    self.sample_series();
-                }
-                self.events
-                    .push(now + self.tick_interval_ns, EventKind::StatsTick);
-            }
-            EventKind::Fault { action } => self.apply_fault(action),
-        }
+    /// Override the stats-tick interval.
+    #[deprecated(note = "use `sim.observe().tick_interval_ns(ns)`")]
+    pub fn set_tick_interval_ns(&mut self, ns: u64) {
+        self.set_tick_interval_impl(ns);
     }
 
-    /// Execute one scheduled fault action.
-    fn apply_fault(&mut self, action: FaultAction) {
-        match action {
-            FaultAction::LinkDown { at } | FaultAction::LinkUp { at } => {
-                let going_up = matches!(action, FaultAction::LinkUp { .. });
-                // A link is full-duplex: flapping takes both directions
-                // with it. Resolve the peer direction through the
-                // forward one.
-                let a = (at.node(), at.port());
-                let link = self.link(a.0, a.1).expect("validated on install");
-                let b = (link.peer, link.peer_port);
-                for key in [a, b] {
-                    let dir = self.link_mut(key.0, key.1).expect("resolved above");
-                    let was_up = dir.up;
-                    dir.up = going_up;
-                    if was_up == going_up {
-                        continue;
-                    }
-                    let switch_id = self.node_switch_id(key.0);
-                    let kind = if going_up {
-                        TraceEventKind::LinkUp { port: key.1 }
-                    } else {
-                        self.fault_counters.link_downs += 1;
-                        TraceEventKind::LinkDown { port: key.1 }
-                    };
-                    self.emit_fault(switch_id, kind);
-                }
-            }
-            FaultAction::SwitchReboot { switch } => {
-                let now = self.now_ns;
-                self.switches[switch.0].asic.reset(now);
-                self.fault_counters.reboots += 1;
-                // The control plane reconverges: re-install L2 routes
-                // (idempotent for the switches that kept their tables).
-                self.populate_l2();
-            }
-            FaultAction::SetChannel { from, profile } => {
-                self.link_mut(from.node(), from.port())
-                    .expect("validated on install")
-                    .faults = profile;
-            }
-        }
+    /// Enable the per-tick time-series layer.
+    #[deprecated(note = "use `sim.observe().series(capacity)` (or `SimConfig::series_capacity`)")]
+    pub fn enable_series(&mut self, capacity: usize) {
+        self.enable_series_impl(capacity);
     }
 
-    /// Start transmitting the next queued frame on a switch port, if the
-    /// transmitter is idle and the port is connected.
-    fn try_tx_switch(&mut self, s: SwitchId, port: PortId) {
-        if self.switches[s.0].tx_busy[port as usize] {
-            return;
-        }
-        let Some(link) = self.link(NodeRef::Switch(s), port) else {
-            // Unconnected port: black-hole anything queued there,
-            // reclaiming the buffers.
-            while let Some(frame) = self.switches[s.0].asic.dequeue(port) {
-                self.frame_pool.recycle(frame);
-            }
-            return;
-        };
-        let Some(frame) = self.switches[s.0].asic.dequeue(port) else {
-            return;
-        };
-        let rate = self.switches[s.0].asic.port_capacity_kbps(port);
-        let tx = tx_time_ns(frame.len(), rate);
-        self.switches[s.0].tx_busy[port as usize] = true;
-        self.events.push(
-            self.now_ns + tx,
-            EventKind::LinkFree {
-                node: NodeRef::Switch(s),
-                port,
-            },
-        );
-        self.transmit(NodeRef::Switch(s), port, link, tx, frame);
+    /// Start capturing frame summaries at an endpoint (both directions).
+    #[deprecated(note = "use `sim.observe().tap(at)`")]
+    pub fn enable_tap(&mut self, at: Endpoint) {
+        self.enable_tap_impl(at);
     }
 
-    /// Start transmitting the next queued frame from a host NIC.
-    fn try_tx_host(&mut self, h: HostId) {
-        if self.hosts[h.0].nic_busy {
-            return;
-        }
-        let Some(link) = self.link(NodeRef::Host(h), 0) else {
-            while let Some(frame) = self.hosts[h.0].nic_queue.pop_front() {
-                self.frame_pool.recycle(frame);
-            }
-            return;
-        };
-        let Some(frame) = self.hosts[h.0].nic_queue.pop_front() else {
-            return;
-        };
-        let rate = self.hosts[h.0].nic_rate_kbps;
-        let tx = tx_time_ns(frame.len(), rate);
-        self.hosts[h.0].nic_busy = true;
-        self.events.push(
-            self.now_ns + tx,
-            EventKind::LinkFree {
-                node: NodeRef::Host(h),
-                port: 0,
-            },
-        );
-        self.transmit(NodeRef::Host(h), 0, link, tx, frame);
+    /// Attach one shared trace sink to every switch.
+    #[deprecated(note = "use `sim.observe().trace_all(capacity)`")]
+    pub fn trace_all(&mut self, capacity: usize) -> SharedSink {
+        self.trace_all_impl(capacity)
     }
 
-    /// Put a frame on the wire: deliver after serialization +
-    /// propagation, unless the channel eats it (or an installed fault
-    /// plan duplicates, corrupts, or delays it).
-    fn transmit(&mut self, from: NodeRef, port: PortId, link: Link, tx_ns: u64, frame: Vec<u8>) {
-        self.tap(from, port, TapDir::Tx, &frame);
-        if !link.up {
-            *self.link_losses.entry((from, port)).or_insert(0) += 1;
-            self.fault_counters.link_down_drops += 1;
-            self.frame_pool.recycle(frame);
-            return;
-        }
-        if link.loss_permille > 0 && self.rng.gen_range(0..1000u32) < link.loss_permille as u32 {
-            *self.link_losses.entry((from, port)).or_insert(0) += 1;
-            self.frame_pool.recycle(frame);
-            return;
-        }
-        let mut frame = frame;
-        let mut arrival = self.now_ns + tx_ns + link.delay_ns;
-        let mut duplicate = false;
-        if !link.faults.is_clean() {
-            // Fixed consultation order (corrupt → duplicate → reorder)
-            // keeps the fault RNG stream, and with it the whole run,
-            // deterministic for a given plan.
-            let f = link.faults;
-            let rng = self
-                .fault_rng
-                .as_mut()
-                .expect("fault windows only open via install_faults");
-            if f.corrupt_permille > 0 && rng.gen_range(0..1000u32) < f.corrupt_permille as u32 {
-                if let Some((byte, bit)) = Self::pick_tpp_bit(rng, &frame) {
-                    frame[byte] ^= 1 << bit;
-                    self.fault_counters.corrupted += 1;
-                    let switch_id = self.node_switch_id(from);
-                    self.emit_fault(
-                        switch_id,
-                        TraceEventKind::CorruptionInjected {
-                            port,
-                            byte: byte as u32,
-                            bit,
-                        },
-                    );
-                }
-            }
-            let rng = self.fault_rng.as_mut().expect("checked above");
-            if f.duplicate_permille > 0 && rng.gen_range(0..1000u32) < f.duplicate_permille as u32 {
-                duplicate = true;
-                self.fault_counters.duplicated += 1;
-            }
-            let rng = self.fault_rng.as_mut().expect("checked above");
-            if f.reorder_permille > 0
-                && f.reorder_spread_ns > 0
-                && rng.gen_range(0..1000u32) < f.reorder_permille as u32
-            {
-                arrival += rng.gen_range(0..f.reorder_spread_ns);
-                self.fault_counters.reordered += 1;
-            }
-        }
-        if duplicate {
-            let copy = self.frame_pool.copy_of(&frame);
-            self.events.push(
-                arrival,
-                EventKind::FrameArrive {
-                    node: link.peer,
-                    port: link.peer_port,
-                    frame: copy,
-                },
-            );
-        }
-        self.events.push(
-            arrival,
-            EventKind::FrameArrive {
-                node: link.peer,
-                port: link.peer_port,
-                frame,
-            },
-        );
+    /// Attach a shared trace sink to one switch only.
+    #[deprecated(note = "use `sim.observe().trace_switch(id, capacity)`")]
+    pub fn trace_switch(&mut self, id: SwitchId, capacity: usize) -> SharedSink {
+        self.trace_switch_impl(id, capacity)
     }
 
-    /// Choose a random bit inside the TPP section of `frame` for
-    /// corruption. Returns `(byte_offset, bit)` relative to the whole
-    /// frame, or `None` for frames without a parseable TPP section
-    /// (non-TPP traffic is never corrupted: the fault models §3's
-    /// concern that a damaged TPP must not wedge a switch, not generic
-    /// payload corruption). Consumes RNG draws only when a target
-    /// exists, keeping the stream deterministic per plan.
-    fn pick_tpp_bit(rng: &mut StdRng, frame: &[u8]) -> Option<(usize, u8)> {
-        let parsed = Frame::new_checked(frame).ok()?;
-        if !parsed.is_tpp() {
-            return None;
-        }
-        let tpp = TppPacket::new_checked(parsed.payload()).ok()?;
-        let len = tpp.tpp_len();
-        if len == 0 {
-            return None;
-        }
-        let byte = ETHERNET_HEADER_LEN + rng.gen_range(0..len);
-        let bit = rng.gen_range(0..8u32) as u8;
-        Some((byte, bit))
-    }
-
-    /// Invoke a host-app callback and apply the actions it requested.
-    fn call_host<F>(&mut self, h: HostId, f: F)
-    where
-        F: FnOnce(&mut dyn HostApp, &mut HostCtx<'_>),
-    {
-        // Reuse one scratch buffer across all callbacks instead of
-        // allocating a fresh Vec per invocation. `call_host` never
-        // re-enters itself (applying actions only pushes events), so
-        // taking the buffer out of `self` for the duration is safe.
-        let mut actions = std::mem::take(&mut self.host_actions);
-        {
-            let host = &mut self.hosts[h.0];
-            let mut ctx = HostCtx {
-                now_ns: self.now_ns,
-                host: h,
-                mac: host.mac,
-                actions: &mut actions,
-                pool: &mut self.frame_pool,
-            };
-            f(host.app.as_mut(), &mut ctx);
-        }
-        for action in actions.drain(..) {
-            match action {
-                HostAction::Send(frame) => {
-                    self.hosts[h.0].nic_queue.push_back(frame);
-                    self.try_tx_host(h);
-                }
-                HostAction::Timer { delay_ns, token } => {
-                    self.events
-                        .push(self.now_ns + delay_ns, EventKind::Timer { host: h, token });
-                }
-            }
-        }
-        self.host_actions = actions;
+    /// Detach every switch's trace sink.
+    #[deprecated(note = "use `sim.observe().trace_off()`")]
+    pub fn trace_off(&mut self) {
+        self.trace_off_impl();
     }
 }

@@ -14,6 +14,7 @@
 //! `0x20 + s`), installs shortest-path L2 routes, and returns handle
 //! structs so experiments can reach any element.
 
+use crate::config::SimConfig;
 use crate::node::{HostApp, HostId, SwitchId};
 use crate::sim::{Endpoint, NetworkBuilder, Simulator};
 use tpp_asic::{AsicConfig, PortId};
@@ -64,8 +65,19 @@ pub fn linear_chain(
     left_app: Box<dyn HostApp>,
     right_app: Box<dyn HostApp>,
 ) -> (Simulator, LinearChain) {
+    linear_chain_with(SimConfig::default(), params, left_app, right_app)
+}
+
+/// [`linear_chain`] under an explicit [`SimConfig`] (shard count, seed,
+/// tick interval, ...).
+pub fn linear_chain_with(
+    config: SimConfig,
+    params: LinearChainParams,
+    left_app: Box<dyn HostApp>,
+    right_app: Box<dyn HostApp>,
+) -> (Simulator, LinearChain) {
     assert!(params.n_switches >= 1, "chain needs at least one switch");
-    let mut net = NetworkBuilder::new();
+    let mut net = NetworkBuilder::with_config(config);
     let switches: Vec<SwitchId> = (0..params.n_switches)
         .map(|i| {
             net.add_switch(
@@ -161,9 +173,18 @@ pub fn dumbbell(
     params: DumbbellParams,
     apps: Vec<(Box<dyn HostApp>, Box<dyn HostApp>)>,
 ) -> (Simulator, Dumbbell) {
+    dumbbell_with(SimConfig::default(), params, apps)
+}
+
+/// [`dumbbell`] under an explicit [`SimConfig`].
+pub fn dumbbell_with(
+    config: SimConfig,
+    params: DumbbellParams,
+    apps: Vec<(Box<dyn HostApp>, Box<dyn HostApp>)>,
+) -> (Simulator, Dumbbell) {
     assert_eq!(apps.len(), params.n_pairs, "one app pair per host pair");
     let n = params.n_pairs;
-    let mut net = NetworkBuilder::new();
+    let mut net = NetworkBuilder::with_config(config);
     // Ports 0..n face hosts at edge rate; port n is the bottleneck.
     let mk_cfg = |id: u32| {
         let mut cfg = AsicConfig::with_ports(id, n + 1)
@@ -322,11 +343,20 @@ impl FatTree {
 /// # Panics
 /// Panics if `k` is odd or zero, or if the app count ≠ `k^3/4`.
 pub fn fat_tree(params: FatTreeParams, apps: Vec<Box<dyn HostApp>>) -> (Simulator, FatTree) {
+    fat_tree_with(SimConfig::default(), params, apps)
+}
+
+/// [`fat_tree`] under an explicit [`SimConfig`].
+pub fn fat_tree_with(
+    config: SimConfig,
+    params: FatTreeParams,
+    apps: Vec<Box<dyn HostApp>>,
+) -> (Simulator, FatTree) {
     let k = params.k;
     assert!(k >= 2 && k.is_multiple_of(2), "fat-tree arity must be even");
     let half = k / 2;
     assert_eq!(apps.len(), k * half * half, "one app per host (k^3/4)");
-    let mut net = NetworkBuilder::new();
+    let mut net = NetworkBuilder::with_config(config);
 
     // Edge switch ports: 0..half hosts, half..k up to aggs.
     // Agg switch ports: 0..half down to edges, half..k up to cores.
@@ -411,12 +441,21 @@ pub fn fat_tree(params: FatTreeParams, apps: Vec<Box<dyn HostApp>>) -> (Simulato
 /// `s`; spine `s` uses port `l` toward leaf `l`. Routing is shortest-path
 /// L2 (no ECMP: BFS picks the lowest-numbered spine deterministically).
 pub fn leaf_spine(params: LeafSpineParams, apps: Vec<Box<dyn HostApp>>) -> (Simulator, LeafSpine) {
+    leaf_spine_with(SimConfig::default(), params, apps)
+}
+
+/// [`leaf_spine`] under an explicit [`SimConfig`].
+pub fn leaf_spine_with(
+    config: SimConfig,
+    params: LeafSpineParams,
+    apps: Vec<Box<dyn HostApp>>,
+) -> (Simulator, LeafSpine) {
     assert_eq!(
         apps.len(),
         params.n_leaves * params.hosts_per_leaf,
         "one app per host"
     );
-    let mut net = NetworkBuilder::new();
+    let mut net = NetworkBuilder::with_config(config);
     let leaves: Vec<SwitchId> = (0..params.n_leaves)
         .map(|l| {
             let mut cfg =

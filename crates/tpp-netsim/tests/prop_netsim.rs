@@ -2,7 +2,7 @@
 //! and determinism under randomized workloads.
 
 use proptest::prelude::*;
-use tpp_netsim::{linear_chain, time, HostApp, HostCtx, LinearChainParams};
+use tpp_netsim::{linear_chain, time, HostApp, HostCtx, LinearChainParams, RunLimit};
 use tpp_wire::ethernet::{build_frame, EtherType, Frame};
 use tpp_wire::EthernetAddress;
 
@@ -80,7 +80,7 @@ proptest! {
             }),
             Box::new(Recorder::default()),
         );
-        sim.run_until(time::millis(100));
+        sim.run(RunLimit::Until(time::millis(100)));
         let recorder = sim.host_app::<Recorder>(chain.right);
         prop_assert_eq!(recorder.seqs.len(), n, "every frame delivered once");
         let in_order: Vec<u32> = (0..n as u32).collect();
@@ -111,7 +111,7 @@ proptest! {
             }),
             Box::new(Recorder::default()),
         );
-        sim.run_until(time::secs(30));
+        sim.run(RunLimit::Until(time::secs(30)));
         let recorder = sim.host_app::<Recorder>(chain.right);
         let s0 = chain.switches[0];
         let delivered = recorder.seqs.len() as u64;
@@ -146,7 +146,7 @@ proptest! {
                 }),
                 Box::new(Recorder::default()),
             );
-            sim.run_until(time::millis(60));
+            sim.run(RunLimit::Until(time::millis(60)));
             (
                 sim.host_app::<Recorder>(chain.right).bytes,
                 sim.switch(chain.switches[0]).regs().packets_processed,

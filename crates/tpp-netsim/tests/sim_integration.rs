@@ -4,6 +4,7 @@
 
 use tpp_asic::PortId;
 use tpp_isa::assemble;
+use tpp_netsim::RunLimit;
 use tpp_netsim::{
     dumbbell, leaf_spine, linear_chain, time, DumbbellParams, HostApp, HostCtx, LeafSpineParams,
     LinearChainParams,
@@ -72,7 +73,7 @@ fn figure1_queue_walk_across_chain() {
         }),
         Box::new(TppCollector::default()),
     );
-    sim.run_until(time::millis(1));
+    sim.run(RunLimit::Until(time::millis(1)));
     let collector = sim.host_app::<TppCollector>(chain.right);
     assert_eq!(collector.received.len(), 1);
     let (_, words, hop) = &collector.received[0];
@@ -96,7 +97,7 @@ fn switch_ids_recorded_in_path_order() {
         }),
         Box::new(TppCollector::default()),
     );
-    sim.run_until(time::millis(1));
+    sim.run(RunLimit::Until(time::millis(1)));
     let collector = sim.host_app::<TppCollector>(chain.right);
     assert_eq!(collector.received[0].1, vec![1, 2, 3, 4, 5]);
 }
@@ -124,7 +125,7 @@ fn arrival_time_accounts_for_serialization_and_propagation() {
         }),
         Box::new(TppCollector::default()),
     );
-    sim.run_until(time::millis(10));
+    sim.run(RunLimit::Until(time::millis(10)));
     let collector = sim.host_app::<TppCollector>(chain.right);
     let (arrival, _, _) = collector.received[0];
     // Frame: 14 (eth) + 16 (tpp hdr) + 4 (1 insn) + 4 (1 word) = 38 bytes.
@@ -180,7 +181,7 @@ fn queue_builds_at_dumbbell_bottleneck_and_tpp_sees_it() {
         },
         apps,
     );
-    sim.run_until(time::millis(4));
+    sim.run(RunLimit::Until(time::millis(4)));
     // Ground truth: the bottleneck queue really is backlogged.
     assert!(
         sim.switch(bell.left)
@@ -192,7 +193,7 @@ fn queue_builds_at_dumbbell_bottleneck_and_tpp_sees_it() {
                 .bytes_enqueued
                 > 0
     );
-    sim.run_until(time::millis(50));
+    sim.run(RunLimit::Until(time::millis(50)));
     let collector = sim.host_app::<TppCollector>(bell.receivers[1]);
     assert_eq!(collector.received.len(), 1);
     let (_, words, _) = &collector.received[0];
@@ -224,7 +225,7 @@ fn leaf_spine_cross_rack_path_is_three_switches() {
         Box::new(TppCollector::default()),
     ];
     let (mut sim, fabric) = leaf_spine(params, apps);
-    sim.run_until(time::millis(1));
+    sim.run(RunLimit::Until(time::millis(1)));
     let collector = sim.host_app::<TppCollector>(fabric.hosts[1][1]);
     assert_eq!(collector.received.len(), 1);
     let (_, words, hop) = &collector.received[0];
@@ -254,7 +255,7 @@ fn intra_rack_path_stays_on_one_switch() {
         Box::new(Idle),
     ];
     let (mut sim, fabric) = leaf_spine(params, apps);
-    sim.run_until(time::millis(1));
+    sim.run(RunLimit::Until(time::millis(1)));
     let collector = sim.host_app::<TppCollector>(fabric.hosts[0][1]);
     assert_eq!(collector.received[0].1, vec![0x10]);
 }
@@ -279,7 +280,7 @@ fn simulation_is_deterministic() {
             }),
             Box::new(TppCollector::default()),
         );
-        sim.run_until(time::millis(5));
+        sim.run(RunLimit::Until(time::millis(5)));
         let received = sim.host_app::<TppCollector>(chain.right).received.clone();
         let tx = sim.switch(chain.switches[0]).port_stats(1).tx_bytes;
         let processed = sim.switch(chain.switches[3]).regs().packets_processed;
@@ -309,7 +310,7 @@ fn timers_fire_in_order_and_at_the_right_time() {
         Box::new(TimerApp::default()),
         Box::new(Idle),
     );
-    sim.run_until(time::millis(1));
+    sim.run(RunLimit::Until(time::millis(1)));
     let app = sim.host_app::<TimerApp>(chain.left);
     assert_eq!(app.fired, vec![(100, 1), (200, 2), (300, 3)]);
 }
@@ -348,7 +349,7 @@ fn utilization_register_reflects_offered_load() {
         },
         apps,
     );
-    sim.run_until(time::millis(200));
+    sim.run(RunLimit::Until(time::millis(200)));
     let util = sim
         .switch(bell.left)
         .port_stats(bell.bottleneck_port)
@@ -402,7 +403,7 @@ fn tpp_frames_share_fate_with_congestion() {
         },
         apps,
     );
-    sim.run_until(time::millis(300));
+    sim.run(RunLimit::Until(time::millis(300)));
     let sent = sim.host_app::<FloodAndProbe>(bell.senders[0]).sent_probes;
     let got = sim
         .host_app::<TppCollector>(bell.receivers[0])
@@ -458,8 +459,8 @@ fn taps_capture_both_directions_with_hop_counts() {
         Box::new(TppCollector::default()),
     );
     // Tap the inter-switch link on switch 0's side.
-    sim.enable_tap(Endpoint::switch(chain.switches[0], 1));
-    sim.run_until(time::millis(1));
+    sim.observe().tap(Endpoint::switch(chain.switches[0], 1));
+    sim.run(RunLimit::Until(time::millis(1)));
     let records = sim.tap_records(Endpoint::switch(chain.switches[0], 1));
     // One TPP transits the tap exactly once (Tx from switch 0).
     assert_eq!(records.len(), 1);
@@ -487,8 +488,8 @@ fn taps_capture_both_directions_with_hop_counts() {
         }),
         Box::new(TppCollector::default()),
     );
-    sim2.enable_tap(Endpoint::host(chain2.right));
-    sim2.run_until(time::millis(1));
+    sim2.observe().tap(Endpoint::host(chain2.right));
+    sim2.run(RunLimit::Until(time::millis(1)));
     let records = sim2.tap_records(Endpoint::host(chain2.right));
     assert_eq!(records.len(), 1);
     assert_eq!(records[0].dir, TapDir::Rx);
@@ -496,7 +497,7 @@ fn taps_capture_both_directions_with_hop_counts() {
 }
 
 #[test]
-fn run_until_quiescent_stops_when_traffic_drains() {
+fn quiescent_run_stops_when_traffic_drains() {
     let dst = EthernetAddress::from_host_id(1);
     let (mut sim, chain) = linear_chain(
         LinearChainParams::default(),
@@ -508,7 +509,9 @@ fn run_until_quiescent_stops_when_traffic_drains() {
         }),
         Box::new(TppCollector::default()),
     );
-    sim.run_until_quiescent(time::secs(10));
+    sim.run(RunLimit::Quiescent {
+        limit_ns: time::secs(10),
+    });
     // The probe was delivered and the clock stopped far before the limit
     // (only the self-perpetuating stats tick remains).
     assert_eq!(sim.host_app::<TppCollector>(chain.right).received.len(), 1);
@@ -527,7 +530,7 @@ fn broadcast_and_unknown_destinations_blackhole() {
         }),
         Box::new(TppCollector::default()),
     );
-    sim.run_until(time::millis(5));
+    sim.run(RunLimit::Until(time::millis(5)));
     // No flooding in this L2 model: broadcast has no table entry.
     assert!(sim
         .host_app::<TppCollector>(chain.right)
@@ -576,7 +579,7 @@ fn fat_tree_paths_have_textbook_lengths() {
         apps,
     );
     assert_eq!(tree.cores.len(), 4);
-    sim.run_until(time::millis(1));
+    sim.run(RunLimit::Until(time::millis(1)));
 
     // Same edge: 1 switch.
     let same_edge = &sim.host_app::<TppCollector>(tree.hosts[0][0][1]).received;

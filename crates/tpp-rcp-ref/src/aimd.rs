@@ -213,6 +213,7 @@ impl HostApp for AimdAcker {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tpp_netsim::RunLimit;
     use tpp_netsim::{dumbbell, time, DumbbellParams};
 
     fn run_flows(n: usize, duration_ms: u64) -> (tpp_netsim::Simulator, tpp_netsim::Dumbbell) {
@@ -233,7 +234,7 @@ mod tests {
             },
             apps,
         );
-        sim.run_until(time::millis(duration_ms));
+        sim.run(RunLimit::Until(time::millis(duration_ms)));
         (sim, bell)
     }
 

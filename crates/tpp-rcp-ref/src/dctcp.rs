@@ -251,6 +251,7 @@ impl HostApp for DctcpReceiver {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tpp_netsim::RunLimit;
     use tpp_netsim::{dumbbell, time, DumbbellParams, Simulator};
 
     fn run(n: usize, ms: u64, ecn_threshold: u32) -> (Simulator, tpp_netsim::Dumbbell) {
@@ -274,7 +275,7 @@ mod tests {
         let port = bell.bottleneck_port;
         sim.switch_mut(bell.left)
             .set_ecn_threshold(port, Some(ecn_threshold));
-        sim.run_until(time::millis(ms));
+        sim.run(RunLimit::Until(time::millis(ms)));
         (sim, bell)
     }
 

@@ -21,8 +21,9 @@
 //! * [`RingBufferSink`] — the bounded default sink: keeps the most
 //!   recent `capacity` events, counts what it sheds.
 //! * [`SharedSink`] — a cheaply clonable handle letting one buffer
-//!   collect events from many switches (the simulator is single
-//!   threaded, so this is an `Rc<RefCell<…>>`).
+//!   collect events from many switches (shards record from worker
+//!   threads, so this is an `Arc<Mutex<…>>`, and reads come back in a
+//!   canonical `(t_ns, switch_id)` order).
 //! * JSON-lines and CSV exporters ([`write_jsonl`], [`write_csv`]) —
 //!   the formats `tpp-bench`'s `--trace out.jsonl` flags produce.
 //! * [`MetricsRegistry`] — named counters and log₂-bucket histograms,

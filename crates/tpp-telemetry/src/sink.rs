@@ -5,9 +5,8 @@
 //! what lets tracing live inside `handle_frame` without taxing the
 //! line-rate benchmarks.
 
-use std::cell::RefCell;
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use crate::event::TraceEvent;
 
@@ -17,8 +16,11 @@ use crate::event::TraceEvent;
 /// from `handle_frame`. Anything expensive (serialization, IO) belongs in
 /// an exporter run after the fact over a buffered sink.
 ///
+/// `Send` because switches (and the sinks inside them) are stepped from
+/// the sharded simulator's worker threads.
+///
 /// [`record`]: TraceSink::record
-pub trait TraceSink {
+pub trait TraceSink: Send {
     /// Consume one event.
     fn record(&mut self, event: TraceEvent);
 }
@@ -100,46 +102,64 @@ impl TraceSink for VecSink {
 /// caller keep a handle to read events back out after the dataplane has
 /// consumed the boxed sink).
 ///
-/// The whole simulator is single-threaded by design, so this is
-/// `Rc<RefCell<…>>`, not a lock.
+/// Shards step switches from worker threads, so the shared buffer sits
+/// behind a `Mutex`. Events from different shards interleave in lock
+/// acquisition order; [`SharedSink::events`] and [`SharedSink::drain`]
+/// therefore re-establish the canonical order — a stable sort by
+/// `(t_ns, switch_id)` — so readers see the same sequence regardless of
+/// shard count or thread scheduling. Within one switch, events keep
+/// their emission order (a switch's clock is monotone and lives on one
+/// shard).
 #[derive(Debug, Clone)]
-pub struct SharedSink(Rc<RefCell<RingBufferSink>>);
+pub struct SharedSink(Arc<Mutex<RingBufferSink>>);
 
 impl SharedSink {
     /// A shared ring buffer of `capacity` events.
     pub fn new(capacity: usize) -> Self {
-        SharedSink(Rc::new(RefCell::new(RingBufferSink::new(capacity))))
+        SharedSink(Arc::new(Mutex::new(RingBufferSink::new(capacity))))
     }
 
-    /// Snapshot the buffered events, oldest first.
+    /// Snapshot the buffered events in canonical order: stable-sorted by
+    /// `(t_ns, switch_id)`, oldest first.
     pub fn events(&self) -> Vec<TraceEvent> {
-        self.0.borrow().events().cloned().collect()
+        let mut events: Vec<TraceEvent> = self
+            .0
+            .lock()
+            .expect("sink lock poisoned")
+            .events()
+            .cloned()
+            .collect();
+        events.sort_by_key(|e| (e.t_ns, e.switch_id));
+        events
     }
 
     /// Number of buffered events.
     pub fn len(&self) -> usize {
-        self.0.borrow().len()
+        self.0.lock().expect("sink lock poisoned").len()
     }
 
     /// True when nothing is buffered.
     pub fn is_empty(&self) -> bool {
-        self.0.borrow().is_empty()
+        self.0.lock().expect("sink lock poisoned").is_empty()
     }
 
     /// Events shed because the buffer was full.
     pub fn shed(&self) -> u64 {
-        self.0.borrow().shed()
+        self.0.lock().expect("sink lock poisoned").shed()
     }
 
-    /// Drain all buffered events, oldest first.
+    /// Drain all buffered events, in the same canonical order as
+    /// [`SharedSink::events`].
     pub fn drain(&self) -> Vec<TraceEvent> {
-        self.0.borrow_mut().drain()
+        let mut events = self.0.lock().expect("sink lock poisoned").drain();
+        events.sort_by_key(|e| (e.t_ns, e.switch_id));
+        events
     }
 }
 
 impl TraceSink for SharedSink {
     fn record(&mut self, event: TraceEvent) {
-        self.0.borrow_mut().record(event);
+        self.0.lock().expect("sink lock poisoned").record(event);
     }
 }
 
@@ -180,6 +200,38 @@ mod tests {
         assert_eq!(shared.len(), 3);
         let seqs: Vec<u64> = shared.events().iter().map(|e| e.seq).collect();
         assert_eq!(seqs, vec![1, 2, 3], "arrival order preserved");
+    }
+
+    #[test]
+    fn events_sort_canonically_across_switches() {
+        let shared = SharedSink::new(16);
+        let mut s = shared.clone();
+        // Two switches' streams interleaved out of id order, as a
+        // multi-shard run would record them.
+        s.record(TraceEvent {
+            t_ns: 5,
+            switch_id: 2,
+            seq: 0,
+            kind: TraceEventKind::LookupMiss,
+        });
+        s.record(TraceEvent {
+            t_ns: 5,
+            switch_id: 1,
+            seq: 0,
+            kind: TraceEventKind::LookupMiss,
+        });
+        s.record(TraceEvent {
+            t_ns: 4,
+            switch_id: 2,
+            seq: 1,
+            kind: TraceEventKind::LookupMiss,
+        });
+        let order: Vec<(u64, u32)> = shared
+            .events()
+            .iter()
+            .map(|e| (e.t_ns, e.switch_id))
+            .collect();
+        assert_eq!(order, vec![(4, 2), (5, 1), (5, 2)]);
     }
 
     #[test]

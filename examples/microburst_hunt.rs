@@ -104,7 +104,7 @@ fn main() {
     let mut t = 0;
     while t < end {
         t += time::micros(10);
-        sim.run_until(t);
+        sim.run(RunLimit::Until(t));
         truth.push((t, sim.switch(victim_leaf).queue_len_bytes(0, 0)));
         if t % time::millis(100) == 0 {
             polled.push((t, sim.switch(victim_leaf).queue_len_bytes(0, 0)));

@@ -79,7 +79,7 @@ fn phase_misroute() {
         },
         FlowAction::Forward(2),
     );
-    sim.run_until(time::millis(50));
+    sim.run(RunLimit::Until(time::millis(50)));
     let policy = PathPolicy {
         expected_path: vec![0x10, 0x20, 0x11],
         expected_versions: Default::default(),
@@ -148,7 +148,7 @@ fn run_phase(
         }
     }
 
-    sim.run_until(time::millis(50));
+    sim.run(RunLimit::Until(time::millis(50)));
 
     let policy = PathPolicy {
         expected_path: vec![1, 2, 3],

@@ -65,7 +65,7 @@ fn main() {
         Box::new(Prober),
         Box::new(Sink::default()),
     );
-    sim.run_until(time::millis(1));
+    sim.run(RunLimit::Until(time::millis(1)));
 
     let sink = sim.host_app::<Sink>(chain.right);
     match &sink.report {

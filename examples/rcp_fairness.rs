@@ -81,7 +81,7 @@ fn main() {
         println!("# chaos schedule installed (seed {seed}): corruption 5-6 s, flap 12-12.3 s, reboot 22 s");
     }
 
-    sim.run_until(time::secs(DURATION_S));
+    sim.run(RunLimit::Until(time::secs(DURATION_S)));
 
     if faults_seed.is_some() {
         let f = sim.fault_counters();

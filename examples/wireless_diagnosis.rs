@@ -190,9 +190,9 @@ fn main() {
         let snr = snr_at(t);
         sim.switch_mut(ap).set_port_snr(1, snr);
         sim.set_link_loss(Endpoint::switch(ap, 1), loss_for_snr(snr));
-        sim.run_until(t);
+        sim.run(RunLimit::Until(t));
     }
-    sim.run_until(RUN_NS + time::millis(100)); // drain
+    sim.run(RunLimit::Until(RUN_NS + time::millis(100))); // drain
 
     // --- Diagnosis ---
     let station_app_received: Vec<u32> = sim.host_app::<Station>(station).received.clone();

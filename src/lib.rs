@@ -89,9 +89,11 @@ pub mod prelude {
     };
     pub use crate::isa::{assemble, Program};
     pub use crate::netsim::{
-        dumbbell, fat_tree, leaf_spine, linear_chain, time, Dumbbell, DumbbellParams, Endpoint,
-        FatTree, FatTreeParams, HostApp, HostCtx, HostId, LeafSpine, LeafSpineParams, LinearChain,
-        LinearChainParams, NetworkBuilder, Simulator, SwitchId,
+        dumbbell, dumbbell_with, fat_tree, fat_tree_with, leaf_spine, leaf_spine_with,
+        linear_chain, linear_chain_with, time, Dumbbell, DumbbellParams, Endpoint, FatTree,
+        FatTreeParams, HostApp, HostCtx, HostId, LeafSpine, LeafSpineParams, LinearChain,
+        LinearChainParams, NetworkBuilder, ObsHandle, RunLimit, SimConfig, Simulator, SwitchId,
+        Topology,
     };
     pub use crate::obs::{prometheus_snapshot, render_top, series_jsonl, Collector};
     pub use crate::telemetry::{

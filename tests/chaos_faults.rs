@@ -20,6 +20,7 @@
 use tpp::apps::cstore::{CounterTask, CounterWriteMode};
 use tpp::apps::rcpstar::{init_rate_registers, RcpStarConfig, RcpStarSender, RCP_RATE_REGISTER};
 use tpp::host::EchoReceiver;
+use tpp::netsim::RunLimit;
 use tpp::netsim::{
     dumbbell, time, ChannelProfile, Dumbbell, DumbbellParams, Endpoint, FaultCounters, FaultPlan,
     HostApp, Simulator,
@@ -74,7 +75,7 @@ fn rcp_reconverges_after_bottleneck_flap() {
     plan.corrupt_window(time::secs(1), time::millis(1500), bottleneck, 300)
         .link_flap(time::secs(2), time::millis(2300), bottleneck);
     sim.install_faults(&plan);
-    sim.run_until(time::secs(6));
+    sim.run(RunLimit::Until(time::secs(6)));
 
     let counters = sim.fault_counters();
     // A flap takes both directions of the full-duplex link down.
@@ -148,7 +149,7 @@ fn cstore_counter_exact_under_loss_reorder_duplication() {
         );
     }
     sim.install_faults(&plan);
-    sim.run_until(time::secs(30));
+    sim.run(RunLimit::Until(time::secs(30)));
 
     let counters = sim.fault_counters();
     assert!(counters.duplicated > 0, "duplication window fired");
@@ -181,11 +182,11 @@ fn cstore_counter_exact_under_loss_reorder_duplication() {
 #[test]
 fn switch_reboot_detected_and_reseeded() {
     let (mut sim, bell) = rcp_dumbbell(1);
-    let sink = sim.trace_all(1 << 20);
+    let sink = sim.observe().trace_all(1 << 20);
     let mut plan = FaultPlan::new(0xc4a0_5003);
     plan.switch_reboot(time::secs(2), bell.left);
     sim.install_faults(&plan);
-    sim.run_until(time::secs(6));
+    sim.run(RunLimit::Until(time::secs(6)));
 
     assert_eq!(sim.fault_counters().reboots, 1);
     assert_eq!(sim.boot_epoch(bell.left), 1, "epoch bumped by the reboot");
@@ -224,7 +225,7 @@ fn switch_reboot_detected_and_reseeded() {
 
 fn chaotic_run(seed: u64) -> (Vec<String>, FaultCounters) {
     let (mut sim, bell) = rcp_dumbbell(2);
-    let sink = sim.trace_all(1 << 20);
+    let sink = sim.observe().trace_all(1 << 20);
     let host0 = Endpoint::host(bell.senders[0]);
     let bottleneck = Endpoint::switch(bell.left, bell.bottleneck_port);
     let mut plan = FaultPlan::new(seed);
@@ -240,7 +241,7 @@ fn chaotic_run(seed: u64) -> (Vec<String>, FaultCounters) {
         .link_flap(time::millis(2500), time::millis(2700), host0)
         .switch_reboot(time::secs(3), bell.right);
     sim.install_faults(&plan);
-    sim.run_until(time::secs(4));
+    sim.run(RunLimit::Until(time::secs(4)));
     let rows = sink.events().iter().map(|e| e.to_csv_row()).collect();
     (rows, sim.fault_counters())
 }
@@ -277,8 +278,8 @@ fn identical_fault_plans_replay_byte_identically() {
 #[test]
 fn plan_free_runs_inject_nothing() {
     let (mut sim, _bell) = rcp_dumbbell(1);
-    let sink = sim.trace_all(1 << 20);
-    sim.run_until(time::secs(1));
+    let sink = sim.observe().trace_all(1 << 20);
+    sim.run(RunLimit::Until(time::secs(1)));
     assert_eq!(sim.fault_counters(), FaultCounters::default());
     assert!(
         sink.events().iter().all(|e| !matches!(

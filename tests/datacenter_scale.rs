@@ -7,6 +7,7 @@ use tpp::apps::ndb::{NdbProbeSender, TraceCollector};
 use tpp::apps::rcpstar::{init_rate_registers, RcpStarConfig, RcpStarSender};
 use tpp::apps::{CounterTask, CounterWriteMode, MicroburstMonitor};
 use tpp::host::EchoReceiver;
+use tpp::netsim::RunLimit;
 use tpp::netsim::{leaf_spine, time, HostApp, LeafSpineParams, Simulator};
 use tpp::wire::EthernetAddress;
 
@@ -82,7 +83,7 @@ fn build_and_run() -> (Simulator, tpp::netsim::LeafSpine, Snapshot) {
     for sw in fabric.leaves.iter().chain(&fabric.spines) {
         init_rate_registers(sim.switch_mut(*sw));
     }
-    sim.run_until(time::secs(2));
+    sim.run(RunLimit::Until(time::secs(2)));
 
     let rcp_rates = [(0, 0), (0, 1), (1, 0), (1, 1)]
         .iter()

@@ -10,6 +10,7 @@ use std::path::Path;
 
 use tpp::host::{split_hops, DATA_ETHERTYPE};
 use tpp::isa::assemble;
+use tpp::netsim::RunLimit;
 use tpp::netsim::{linear_chain, time, HostApp, HostCtx, LinearChainParams};
 use tpp::wire::ethernet::build_frame;
 use tpp::wire::tpp::TppPacket;
@@ -66,7 +67,7 @@ fn figure1_walk_records_one_queue_sample_per_hop() {
         }),
         Box::new(Capture::default()),
     );
-    sim.run_until(time::secs(1));
+    sim.run(RunLimit::Until(time::secs(1)));
 
     let capture = sim.host_app::<Capture>(chain.right);
     let tpp_frames: Vec<&Vec<u8>> = capture
@@ -149,7 +150,7 @@ fn hop_addressed_variant_records_identically() {
         }),
         Box::new(Capture::default()),
     );
-    sim.run_until(time::millis(5));
+    sim.run(RunLimit::Until(time::millis(5)));
     let capture = sim.host_app::<Capture>(chain.right);
     assert_eq!(capture.frames.len(), 1);
     let parsed = Frame::new_checked(&capture.frames[0].1[..]).unwrap();

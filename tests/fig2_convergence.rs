@@ -14,6 +14,7 @@ use std::path::Path;
 
 use tpp::apps::rcpstar::{init_rate_registers, RcpStarConfig, RcpStarSender};
 use tpp::host::EchoReceiver;
+use tpp::netsim::RunLimit;
 use tpp::netsim::{dumbbell, time, DumbbellParams, HostApp};
 use tpp::rcp_ref::fluid::mean_r_over_c;
 use tpp::rcp_ref::{FlowSchedule, RcpFluidSim, RcpParams};
@@ -75,7 +76,7 @@ fn rcp_and_rcpstar_converge_to_matching_fair_shares() {
     for sw in [bell.left, bell.right] {
         init_rate_registers(sim.switch_mut(sw));
     }
-    sim.run_until(time::secs(15));
+    sim.run(RunLimit::Until(time::secs(15)));
     let star = &sim.host_app::<RcpStarSender>(bell.senders[0]).rate_trace;
 
     // Settled windows: the last 40% of each regime.
@@ -160,7 +161,7 @@ fn rcpstar_flows_share_fairly_among_themselves() {
     for sw in [bell.left, bell.right] {
         init_rate_registers(sim.switch_mut(sw));
     }
-    sim.run_until(time::secs(8));
+    sim.run(RunLimit::Until(time::secs(8)));
     let goodputs: Vec<f64> = bell
         .receivers
         .iter()

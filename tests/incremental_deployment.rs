@@ -10,6 +10,7 @@ use tpp::apps::microburst::MicroburstMonitor;
 use tpp::asic::AsicConfig;
 use tpp::host::{decode_echo, parse_echo, EchoReceiver, ProbeBuilder};
 use tpp::isa::programs;
+use tpp::netsim::RunLimit;
 use tpp::netsim::{time, Endpoint, HostApp, HostCtx, NetworkBuilder, Simulator, SwitchId};
 use tpp::wire::EthernetAddress;
 
@@ -86,7 +87,7 @@ fn probe_app() -> Box<PathProbe> {
 #[test]
 fn tpp_unaware_middle_switch_is_invisible_to_collection() {
     let (mut sim, _switches) = chain(probe_app(), Box::<EchoReceiver>::default(), false);
-    sim.run_until(time::millis(10));
+    sim.run(RunLimit::Until(time::millis(10)));
 
     let left = sim.host_app::<PathProbe>(tpp::netsim::HostId(0));
     let frame = left.echo.as_ref().expect("echo came back");
@@ -108,7 +109,7 @@ fn tpp_unaware_middle_switch_is_invisible_to_collection() {
 #[test]
 fn full_deployment_sees_every_switch() {
     let (mut sim, _switches) = chain(probe_app(), Box::<EchoReceiver>::default(), true);
-    sim.run_until(time::millis(10));
+    sim.run(RunLimit::Until(time::millis(10)));
 
     let left = sim.host_app::<PathProbe>(tpp::netsim::HostId(0));
     let frame = left.echo.as_ref().expect("echo came back");
@@ -127,7 +128,7 @@ fn microburst_monitor_works_over_partial_deployment() {
         time::millis(500),
     );
     let (mut sim, _switches) = chain(Box::new(monitor), Box::<EchoReceiver>::default(), false);
-    sim.run_until(time::millis(600));
+    sim.run(RunLimit::Until(time::millis(600)));
 
     let monitor = sim.host_app::<MicroburstMonitor>(tpp::netsim::HostId(0));
     assert!(monitor.echoes_received > 100, "steady sampling");
@@ -152,7 +153,7 @@ fn cstore_writes_land_beyond_the_dark_switch() {
         CounterWriteMode::Linearizable,
     );
     let (mut sim, switches) = chain(Box::new(task), Box::<EchoReceiver>::default(), false);
-    sim.run_until(time::secs(5));
+    sim.run(RunLimit::Until(time::secs(5)));
 
     let task = sim.host_app::<CounterTask>(tpp::netsim::HostId(0));
     assert!(task.done(), "counter task finished across the partial path");

@@ -3,6 +3,7 @@
 
 use tpp::apps::{detect_bursts, MicroburstMonitor};
 use tpp::host::{EchoReceiver, DATA_ETHERTYPE};
+use tpp::netsim::RunLimit;
 use tpp::netsim::{dumbbell, time, DumbbellParams, HostApp, HostCtx};
 use tpp::wire::ethernet::build_frame;
 use tpp::wire::EthernetAddress;
@@ -83,7 +84,7 @@ fn tpp_monitor_finds_bursts_where_poller_sees_nothing() {
     let mut t = 0;
     while t < time::millis(50) {
         t += time::millis(10);
-        sim.run_until(t);
+        sim.run(RunLimit::Until(t));
         polled.push((
             t,
             sim.switch(bell.left)
@@ -147,7 +148,7 @@ fn quiet_network_reports_no_bursts() {
         },
         apps,
     );
-    sim.run_until(time::millis(25));
+    sim.run(RunLimit::Until(time::millis(25)));
     let monitor = sim.host_app::<MicroburstMonitor>(bell.senders[0]);
     for sid in monitor.switches_observed() {
         let bursts = detect_bursts(&monitor.series_for(sid), 1_000, time::micros(300));

@@ -13,6 +13,7 @@ use tpp::apps::rcpstar::{
 use tpp::apps::MicroburstMonitor;
 use tpp::control::{NetworkController, PortTrust, Region, SramAllocator};
 use tpp::host::EchoReceiver;
+use tpp::netsim::RunLimit;
 use tpp::netsim::{dumbbell, time, DumbbellParams, HostApp};
 use tpp::wire::EthernetAddress;
 
@@ -73,7 +74,7 @@ fn rcp_and_ndb_coexist_on_one_network() {
     for sw in [bell.left, bell.right] {
         init_rate_registers(sim.switch_mut(sw));
     }
-    sim.run_until(time::secs(3));
+    sim.run(RunLimit::Until(time::secs(3)));
 
     // RCP* converged (sole data flow -> near capacity).
     let rcp = sim.host_app::<RcpStarSender>(bell.senders[0]);
@@ -140,7 +141,7 @@ fn untrusted_edge_ports_stop_tpps_but_not_data() {
     let mut controller = NetworkController::new();
     // Tenant 0 attaches at the left switch port 0: untrusted.
     controller.set_port_trust(sim.switch_mut(bell.left), 0, PortTrust::UntrustedDrop);
-    sim.run_until(time::millis(600));
+    sim.run(RunLimit::Until(time::millis(600)));
 
     let tenant = sim.host_app::<MicroburstMonitor>(bell.senders[0]);
     let infra = sim.host_app::<MicroburstMonitor>(bell.senders[1]);

@@ -5,6 +5,7 @@
 
 use tpp::apps::rcpstar::{init_rate_registers, RcpStarConfig, RcpStarSender};
 use tpp::host::EchoReceiver;
+use tpp::netsim::RunLimit;
 use tpp::netsim::{dumbbell, time, DumbbellParams, HostApp};
 use tpp::rcp_ref::NativeRcpRouter;
 use tpp::wire::EthernetAddress;
@@ -57,12 +58,12 @@ fn run(n: usize, secs: u64, native: bool) -> Vec<f64> {
         let mut t = 0;
         while t < time::secs(secs) {
             t += PERIOD;
-            sim.run_until(t);
+            sim.run(RunLimit::Until(t));
             routers[0].step(sim.switch_mut(bell.left), t);
             routers[1].step(sim.switch_mut(bell.right), t);
         }
     } else {
-        sim.run_until(time::secs(secs));
+        sim.run(RunLimit::Until(time::secs(secs)));
     }
     bell.senders
         .iter()

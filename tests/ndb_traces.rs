@@ -5,6 +5,7 @@ use tpp::apps::ndb::{missing_ids, NdbProbeSender, PathPolicy, TraceCollector};
 use tpp::apps::Violation;
 use tpp::asic::{FlowAction, FlowMatch};
 use tpp::control::NetworkController;
+use tpp::netsim::RunLimit;
 use tpp::netsim::{leaf_spine, linear_chain, time, HostApp, LeafSpineParams, LinearChainParams};
 use tpp::wire::EthernetAddress;
 
@@ -40,7 +41,7 @@ fn chain_with_rules(
 fn healthy_network_traces_conform() {
     let mut controller = NetworkController::new();
     let (mut sim, chain, entry) = chain_with_rules(&mut controller);
-    sim.run_until(time::millis(10));
+    sim.run(RunLimit::Until(time::millis(10)));
 
     let policy = PathPolicy {
         expected_path: vec![1, 2, 3],
@@ -70,7 +71,7 @@ fn stale_rule_version_mismatch_detected_and_localized() {
     // Controller re-stamps the middle switch's rule; dataplane misses it.
     let mid_id = sim.switch(chain.switches[1]).switch_id();
     controller.intend_version_only(mid_id, entry);
-    sim.run_until(time::millis(10));
+    sim.run(RunLimit::Until(time::millis(10)));
 
     let policy = PathPolicy {
         expected_path: vec![1, 2, 3],
@@ -121,7 +122,7 @@ fn misroute_shows_up_as_wrong_path() {
         },
         FlowAction::Forward(2), // spine 0x21 instead of 0x20
     );
-    sim.run_until(time::millis(10));
+    sim.run(RunLimit::Until(time::millis(10)));
 
     let policy = PathPolicy {
         expected_path: vec![0x10, 0x20, 0x11],
@@ -159,7 +160,7 @@ fn black_hole_named_by_missing_ids() {
         },
         FlowAction::Drop,
     );
-    sim.run_until(time::millis(10));
+    sim.run(RunLimit::Until(time::millis(10)));
 
     let sent = &sim.host_app::<NdbProbeSender>(chain.left).sent_ids;
     let traces = &sim.host_app::<TraceCollector>(chain.right).traces;

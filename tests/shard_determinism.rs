@@ -1,0 +1,263 @@
+//! Shard-count invariance: the tentpole guarantee of the sharded
+//! scheduler.
+//!
+//! A seeded simulation must produce *bit-identical* results at any shard
+//! count, threaded or sequential — the canonical event-key order and the
+//! per-link RNG streams make the partition unobservable. These tests
+//! take whole-run fingerprints (trace CSV rows, fault counters, the
+//! metrics registry's JSON dump, ring-series points, events processed,
+//! host-app state) and compare them across `N ∈ {1, 2, 4}` shards, with
+//! the 4-shard configuration run both threaded and sequential.
+//!
+//! The property-based half drives a chaotic leaf-spine under randomized
+//! seeds, loss rates and fault windows; the fixed half checks RCP\*
+//! convergence records (the fig2 ingredient) survive sharding exactly.
+
+use proptest::prelude::*;
+use tpp::apps::rcpstar::{init_rate_registers, RcpStarConfig, RcpStarSender};
+use tpp::host::EchoReceiver;
+use tpp::netsim::{
+    dumbbell_with, leaf_spine_with, time, DumbbellParams, Endpoint, FaultPlan, HostApp, HostCtx,
+    LeafSpineParams, RunLimit, SimConfig, Simulator,
+};
+use tpp::wire::ethernet::{build_frame, EtherType};
+use tpp::wire::EthernetAddress;
+
+/// One switch's ring series, flattened: `(switch, metric, points)`.
+type SeriesPoints = (u32, &'static str, Vec<(u64, u64)>);
+
+/// Everything observable about a finished run. Two runs are "the same"
+/// iff their fingerprints are equal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Fingerprint {
+    now_ns: u64,
+    events_processed: u64,
+    trace_rows: Vec<String>,
+    fault_counters: String,
+    metrics_json: String,
+    series_points: Vec<SeriesPoints>,
+    host_state: Vec<(usize, u64)>,
+}
+
+/// A host that sprays fixed-size data frames at a target on a timer.
+struct Sprayer {
+    target: EthernetAddress,
+    period_ns: u64,
+    stop_ns: u64,
+    payload_len: usize,
+    sent: u64,
+}
+
+impl HostApp for Sprayer {
+    fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
+        ctx.set_timer(self.period_ns, 0);
+    }
+    fn on_timer(&mut self, _token: u64, ctx: &mut HostCtx<'_>) {
+        if ctx.now() >= self.stop_ns {
+            return;
+        }
+        let frame = build_frame(
+            self.target,
+            ctx.mac(),
+            EtherType(0x0800),
+            &vec![0u8; self.payload_len],
+        );
+        ctx.send(frame);
+        self.sent += 1;
+        ctx.set_timer(self.period_ns, 0);
+    }
+}
+
+/// A host that counts what it receives.
+#[derive(Default)]
+struct CountingSink {
+    got: u64,
+}
+
+impl HostApp for CountingSink {
+    fn on_frame(&mut self, frame: Vec<u8>, ctx: &mut HostCtx<'_>) {
+        self.got += 1;
+        ctx.recycle_frame(frame);
+    }
+}
+
+fn fingerprint(
+    mut sim: Simulator,
+    sink: &tpp::telemetry::SharedSink,
+    host_state: Vec<(usize, u64)>,
+) -> Fingerprint {
+    let mut series_points = Vec::new();
+    if let Some(set) = sim.series() {
+        for sw in &set.switches {
+            for (metric, series) in sw.iter() {
+                series_points.push((sw.switch_id, metric, series.points().to_vec()));
+            }
+        }
+    }
+    Fingerprint {
+        now_ns: sim.now(),
+        events_processed: sim.events_processed(),
+        trace_rows: sink.events().iter().map(|e| e.to_csv_row()).collect(),
+        fault_counters: format!("{:?}", sim.fault_counters()),
+        metrics_json: sim.metrics().to_json(),
+        series_points,
+        host_state,
+    }
+}
+
+/// One chaotic leaf-spine run under `cfg`: two sprayers incast a victim
+/// across the fabric while a seeded plan flaps a fabric link, reboots a
+/// spine, and opens duplicate/reorder/corrupt windows; one access link
+/// also carries persistent random loss.
+fn chaotic_leaf_spine(cfg: SimConfig, plan_seed: u64, loss_permille: u16) -> Fingerprint {
+    let params = LeafSpineParams {
+        n_leaves: 4,
+        n_spines: 2,
+        hosts_per_leaf: 2,
+        // A generous propagation delay keeps the conservative lookahead
+        // (and so the windows) large enough that the threaded driver is
+        // exercised across many windows without crawling on small hosts.
+        delay_ns: time::micros(20),
+        ..LeafSpineParams::default()
+    };
+    let victim_mac = EthernetAddress::from_host_id(2);
+    let mk_sprayer = |offset: u64| -> Box<dyn HostApp> {
+        Box::new(Sprayer {
+            target: victim_mac,
+            period_ns: 9_000 + offset,
+            stop_ns: time::millis(15),
+            payload_len: 900,
+            sent: 0,
+        })
+    };
+    let apps: Vec<Box<dyn HostApp>> = vec![
+        mk_sprayer(0),                     // host 0, leaf 0
+        Box::new(CountingSink::default()), // host 1
+        Box::new(CountingSink::default()), // host 2 (victim), leaf 1
+        mk_sprayer(1_700),                 // host 3
+        mk_sprayer(3_400),                 // host 4, leaf 2
+        Box::new(CountingSink::default()), // host 5
+        Box::new(CountingSink::default()), // host 6, leaf 3
+        Box::new(CountingSink::default()), // host 7
+    ];
+    let (mut sim, fabric) = leaf_spine_with(cfg, params, apps);
+    let sink = sim.observe().series(64).trace_all(1 << 18);
+
+    let h0 = Endpoint::host(fabric.hosts[0][0]);
+    sim.set_link_loss(h0, loss_permille);
+    let fabric_up = Endpoint::switch(fabric.leaves[0], 2); // leaf0 -> spine0
+    let mut plan = FaultPlan::new(plan_seed);
+    plan.duplicate_window(time::millis(1), time::millis(10), h0, 250)
+        .reorder_window(
+            time::millis(2),
+            time::millis(12),
+            fabric_up,
+            250,
+            time::micros(400),
+        )
+        .corrupt_window(time::millis(3), time::millis(9), fabric_up, 200)
+        .link_flap(time::millis(5), time::millis(6), fabric_up)
+        .switch_reboot(time::millis(8), fabric.spines[1]);
+    sim.install_faults(&plan);
+    sim.run(RunLimit::Until(time::millis(20)));
+
+    let mut host_state = Vec::new();
+    for (i, host) in fabric.all_hosts().enumerate() {
+        let value = match i {
+            0 | 3 | 4 => sim.host_app::<Sprayer>(host).sent,
+            _ => sim.host_app::<CountingSink>(host).got,
+        };
+        host_state.push((i, value));
+    }
+    fingerprint(sim, &sink, host_state)
+}
+
+/// The shard configurations every scenario must agree across: one shard
+/// (the classic loop), two and four threaded, four sequential (same
+/// windows as threaded four, no worker threads).
+fn shard_configs(seed: u64) -> Vec<(&'static str, SimConfig)> {
+    vec![
+        ("1 shard", SimConfig::new().seed(seed).shards(1)),
+        ("2 shards", SimConfig::new().seed(seed).shards(2)),
+        ("4 shards", SimConfig::new().seed(seed).shards(4)),
+        (
+            "4 shards sequential",
+            SimConfig::new().seed(seed).shards(4).sequential(),
+        ),
+    ]
+}
+
+proptest! {
+    // Each case runs the scenario four times (once per shard config).
+    #![proptest_config(ProptestConfig { cases: 4 })]
+
+    /// Chaotic leaf-spine runs fingerprint identically at every shard
+    /// count, for arbitrary plan seeds, loss rates and sim seeds.
+    #[test]
+    fn chaotic_leaf_spine_is_shard_count_invariant(
+        sim_seed in any::<u64>(),
+        plan_seed in any::<u64>(),
+        loss_permille in 0u16..150,
+    ) {
+        let mut runs = shard_configs(sim_seed)
+            .into_iter()
+            .map(|(label, cfg)| (label, chaotic_leaf_spine(cfg, plan_seed, loss_permille)));
+        let (_, reference) = runs.next().expect("at least one config");
+        prop_assert!(!reference.trace_rows.is_empty(), "chaos must leave a trace");
+        for (label, fp) in runs {
+            prop_assert_eq!(&fp, &reference, "{} diverged from 1 shard", label);
+        }
+    }
+}
+
+/// RCP\* convergence records — the ingredient of the fig2 golden — are
+/// bit-identical across shard counts: every `(t_ns, rate)` sample of
+/// every sender, plus the whole-run fingerprint.
+#[test]
+fn rcp_convergence_records_are_shard_count_invariant() {
+    let run = |cfg: SimConfig| -> (Vec<Vec<(u64, u64)>>, Fingerprint) {
+        let n = 3;
+        let apps: Vec<(Box<dyn HostApp>, Box<dyn HostApp>)> = (0..n)
+            .map(|i| {
+                let dst = EthernetAddress::from_host_id((2 * i + 1) as u32);
+                (
+                    Box::new(RcpStarSender::new(dst, RcpStarConfig::default())) as Box<dyn HostApp>,
+                    Box::new(EchoReceiver::default()) as Box<dyn HostApp>,
+                )
+            })
+            .collect();
+        let (mut sim, bell) = dumbbell_with(
+            cfg,
+            DumbbellParams {
+                n_pairs: n,
+                ..DumbbellParams::default()
+            },
+            apps,
+        );
+        for sw in [bell.left, bell.right] {
+            init_rate_registers(sim.switch_mut(sw));
+        }
+        let sink = sim.observe().trace_all(1 << 16);
+        sim.run(RunLimit::Until(time::secs(2)));
+        let traces: Vec<Vec<(u64, u64)>> = bell
+            .senders
+            .iter()
+            .map(|&s| sim.host_app::<RcpStarSender>(s).rate_trace.clone())
+            .collect();
+        let fp = fingerprint(sim, &sink, Vec::new());
+        (traces, fp)
+    };
+
+    let mut runs = shard_configs(0x7199_7199)
+        .into_iter()
+        .map(|(label, cfg)| (label, run(cfg)));
+    let (_, (ref_traces, ref_fp)) = runs.next().expect("at least one config");
+    assert!(
+        ref_traces.iter().all(|t| t.len() > 10),
+        "senders recorded convergence samples"
+    );
+    for (label, (traces, fp)) in runs {
+        assert_eq!(traces, ref_traces, "{label}: rate traces diverged");
+        assert_eq!(fp, ref_fp, "{label}: run fingerprint diverged");
+    }
+}

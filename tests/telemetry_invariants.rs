@@ -97,8 +97,8 @@ fn trace_counts_reconcile_with_registers_and_metrics() {
         Box::new(BurstProber { n: 20 }),
         Box::new(EchoReceiver::default()),
     );
-    let sink = sim.trace_all(65_536);
-    sim.run_until(time::millis(5));
+    let sink = sim.observe().trace_all(65_536);
+    sim.run(RunLimit::Until(time::millis(5)));
 
     let events = sink.events();
     assert_eq!(sink.shed(), 0, "ring buffer overflowed; grow the capacity");

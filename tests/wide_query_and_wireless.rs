@@ -7,6 +7,7 @@
 use tpp::apps::wireless::{classify_loss, DiagnosisConfig, LinkHealthMonitor, LossCause};
 use tpp::host::{EchoReceiver, SegmentedCollector, SegmentedQuery};
 use tpp::isa::SymbolTable;
+use tpp::netsim::RunLimit;
 use tpp::netsim::{linear_chain, time, Endpoint, HostApp, HostCtx, LinearChainParams};
 use tpp::wire::EthernetAddress;
 
@@ -57,7 +58,7 @@ fn segmented_query_reassembles_wide_rows_over_live_network() {
         }),
         Box::new(EchoReceiver::default()),
     );
-    sim.run_until(time::millis(5));
+    sim.run(RunLimit::Until(time::millis(5)));
 
     let app = sim.host_app::<WideQuerier>(chain.left);
     assert_eq!(app.collector.pending(), 0);
@@ -94,12 +95,12 @@ fn snr_register_travels_with_probes_and_losses_classify() {
     let ap = chain.switches[0];
     // Phase A (0-200 ms): 30 dB, lossless. Phase B: 8 dB, 40% loss.
     sim.switch_mut(ap).set_port_snr(1, 300);
-    sim.run_until(time::millis(200));
+    sim.run(RunLimit::Until(time::millis(200)));
     sim.switch_mut(ap).set_port_snr(1, 80);
     sim.set_link_loss(Endpoint::switch(ap, 1), 400);
-    sim.run_until(time::millis(400));
+    sim.run(RunLimit::Until(time::millis(400)));
     sim.set_link_loss(Endpoint::switch(ap, 1), 0);
-    sim.run_until(time::millis(450));
+    sim.run(RunLimit::Until(time::millis(450)));
 
     let monitor = sim.host_app::<LinkHealthMonitor>(chain.left);
     let samples = monitor.series_for(1);
@@ -146,7 +147,7 @@ fn lossless_links_unchanged_by_loss_feature() {
             )),
             Box::new(EchoReceiver::default()),
         );
-        sim.run_until(time::millis(120));
+        sim.run(RunLimit::Until(time::millis(120)));
         let m = sim.host_app::<LinkHealthMonitor>(chain.left);
         assert_eq!(m.probes_sent, m.echoes_received);
         m.echoes_received
