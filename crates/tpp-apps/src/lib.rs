@@ -12,6 +12,7 @@
 //! | [`ndb`] | §2.3 | 4 PUSHes of forwarding metadata | trace reassembly + policy verification |
 //! | [`cstore`] | §3.2.3 | CEXEC+PUSH / CEXEC+CSTORE | linearizable read-modify-write with retry |
 //! | [`wireless`] | §2.3 | PUSH SNR + queue size | per-loss fade-vs-congestion attribution |
+//! | [`bonding`] | §2.3 | 4 PUSHes (id, epoch, queue, util) | multi-NIC bonding: weighting, hysteresis, failover |
 //!
 //! Everything here talks to the network *exclusively* through TPPs — no
 //! module reads simulator ground truth. The experiments in `tpp-bench`
@@ -21,12 +22,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bonding;
 pub mod cstore;
 pub mod microburst;
 pub mod ndb;
 pub mod rcpstar;
 pub mod wireless;
 
+pub use bonding::{BondReceiver, BondSender, BondSenderConfig};
 pub use cstore::{CounterTask, CounterWriteMode};
 pub use microburst::{detect_bursts, Burst, MicroburstMonitor, QueueSample};
 pub use ndb::{NdbHop, NdbProbeSender, PathPolicy, PathTrace, TraceCollector, Violation};

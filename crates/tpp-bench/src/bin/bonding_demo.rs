@@ -1,0 +1,122 @@
+//! Multi-NIC bonding failover, end to end.
+//!
+//! Runs the seeded bonding scenario — a two-path bonded diamond whose
+//! path 0 suffers a cellular-style degradation ramp, a hard fabric
+//! flap, and a switch reboot — and prints what the sender's scheduler
+//! saw and did, using TPP probe telemetry as its only link-quality
+//! signal. Writes `BENCH_bonding.json` for CI to byte-diff.
+//!
+//! With `--trace <path>`, also captures the fleet-wide pipeline trace
+//! of the run as JSON lines.
+
+use tpp_bench::bonding_scenario::{
+    build, run_bonding_scenario, BondingRun, DATA_STOP_NS, FLAP_DOWN_NS, PROBE_INTERVAL_NS,
+    SCENARIO_END_NS,
+};
+use tpp_bench::{print_table, trace_arg, write_trace};
+use tpp_netsim::{RunLimit, SimConfig};
+
+fn write_file(path: &str, contents: &str) {
+    std::fs::write(path, contents).unwrap_or_else(|e| {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(2);
+    });
+    println!("\nwrote {path}");
+}
+
+fn main() {
+    println!("bonding_demo — probe-driven multi-NIC failover");
+    println!("===============================================\n");
+
+    // With --trace we re-run the same scenario with a trace sink
+    // attached; without it, the plain run keeps its golden byte
+    // behavior.
+    let trace_to = trace_arg();
+    let run: BondingRun = run_bonding_scenario(SimConfig::default());
+    if let Some(path) = &trace_to {
+        let (mut sim, _diamond) = build(SimConfig::default());
+        let sink = sim.observe().trace_all(65_536);
+        sim.run(RunLimit::Quiescent {
+            limit_ns: SCENARIO_END_NS,
+        });
+        write_trace(path, &sink.events());
+    }
+
+    println!("per-path probe accounting:");
+    let rows: Vec<Vec<String>> = run
+        .path_probes
+        .iter()
+        .enumerate()
+        .map(|(i, &(sent, echoes, lost))| {
+            vec![
+                format!("path {i}"),
+                sent.to_string(),
+                echoes.to_string(),
+                lost.to_string(),
+                run.path_data_sent[i].to_string(),
+                run.path_tx_frames[i].to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "path",
+            "probes",
+            "echoes",
+            "lost",
+            "data sched",
+            "wire frames",
+        ],
+        &rows,
+    );
+
+    println!("\nhealth timeline (scheduler view):");
+    let ev_rows: Vec<Vec<String>> = run
+        .health_events
+        .iter()
+        .map(|e| {
+            vec![
+                format!("{:.3} ms", e.t_ns as f64 / 1e6),
+                format!("path {}", e.path),
+                format!("{:?}", e.from),
+                format!("{:?}", e.to),
+            ]
+        })
+        .collect();
+    print_table(&["t", "path", "from", "to"], &ev_rows);
+
+    println!("\ndelivery:");
+    println!(
+        "  sequences sent      {:>8}   delivered {:>8}   duplicate deliveries {}",
+        run.sequences_sent, run.delivered, run.duplicate_deliveries
+    );
+    println!(
+        "  retransmits         {:>8}   proactive dups {:>5}   suppressed at rx {:>6}",
+        run.retransmits, run.duplicates_sent, run.duplicates_suppressed
+    );
+    println!(
+        "  ack latency (µs)    p50 {:>6}   p99 {:>6}   max {:>6}",
+        run.ack_latency_ns.0 / 1000,
+        run.ack_latency_ns.1 / 1000,
+        run.ack_latency_ns.2 / 1000
+    );
+    println!("  goodput             {:>8.2} Mbit/s", run.goodput_mbps);
+    match run.failover_detect_ns {
+        Some(ns) => println!(
+            "  flap@{} ms → Down in {:.0} µs ({:.1} probe intervals)",
+            FLAP_DOWN_NS / 1_000_000,
+            ns as f64 / 1e3,
+            ns as f64 / PROBE_INTERVAL_NS as f64
+        ),
+        None => println!("  no post-flap failover event (unexpected)"),
+    }
+    println!(
+        "  quiesced at {:.3} ms (data stop {} ms); epoch changes {}",
+        run.quiesced_at_ns as f64 / 1e6,
+        DATA_STOP_NS / 1_000_000,
+        run.epoch_changes
+    );
+    println!("  fingerprint {:#018x}", run.fingerprint());
+
+    write_file("BENCH_bonding.json", &run.to_json());
+}

@@ -18,6 +18,7 @@
 //! | `fixed_function_vs_tpp` | §4 — ECN/loss/TPP signal comparison |
 //! | `fct_comparison` | §1 — mice/elephant flow completion times |
 //! | `conformance` | differential conformance fuzz: `tpp-asic` vs `tpp-spec` |
+//! | `bonding_demo` | multi-NIC bonding: probe-driven failover under degradation, flap, reboot |
 //!
 //! Criterion benches (`cargo bench`) measure the *model's* performance:
 //! TCPU execution cost per instruction count, full-pipeline frame
@@ -26,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bonding_scenario;
 pub mod conformance;
 pub mod obs_scenario;
 pub mod testgen;

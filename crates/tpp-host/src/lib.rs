@@ -18,6 +18,10 @@
 //! * [`manager::ProbeManager`] — per-probe timeout, bounded retries
 //!   with deterministic backoff, nonce-based reply dedup, and switch
 //!   boot-epoch tracking (the end-host reliability layer);
+//! * [`bonding::BondScheduler`] — an adaptive multi-NIC load balancer
+//!   whose only link-quality signal is in-band TPP probe telemetry
+//!   (per-path queue depth and utilization), with hysteresis and
+//!   failover;
 //! * [`telemetry`] — decode fully-executed TPPs into per-hop records;
 //! * [`widequery`] — split a query too wide for one packet across a
 //!   probe train and reassemble the echoes (§3.2's multi-packet rule);
@@ -26,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bonding;
 pub mod manager;
 pub mod pacing;
 pub mod probe;
@@ -33,6 +38,7 @@ pub mod rtt;
 pub mod telemetry;
 pub mod widequery;
 
+pub use bonding::{BondConfig, BondScheduler, HealthEvent, PathHealth};
 pub use manager::{ProbeDelivery, ProbeManager, ProbeStats, RetryPolicy, PROBE_TIMER_TOKEN};
 pub use pacing::{PacedSender, TokenBucket};
 pub use probe::parse_echo;
@@ -64,7 +70,9 @@ impl HostApp for EchoReceiver {
     fn on_frame(&mut self, frame: Vec<u8>, ctx: &mut HostCtx<'_>) {
         if let Some(reply) = echo_reply(&frame, ctx.mac()) {
             self.tpps_echoed += 1;
-            ctx.send(reply);
+            // Reflect out of the NIC the probe arrived on, so on a
+            // multi-homed receiver the echo measures the same path.
+            ctx.send_on(ctx.rx_port(), reply);
             return;
         }
         if let Ok(parsed) = Frame::new_checked(&frame[..]) {

@@ -31,10 +31,19 @@ use crate::probe::parse_echo;
 /// Length of the nonce appended to tracked probe frames.
 pub const NONCE_LEN: usize = 8;
 
-/// Timer token the manager arms via [`HostCtx::set_timer`]. Apps route
-/// this token to [`ProbeManager::on_timer`]; it is deliberately large so
-/// it cannot collide with small app-defined tokens.
+/// Timer token a port-0 manager arms via [`HostCtx::set_timer`]. Apps
+/// route tokens matching [`ProbeManager::is_timer`] to
+/// [`ProbeManager::on_timer`]; it is deliberately large so it cannot
+/// collide with small app-defined tokens. A manager bound to NIC `p`
+/// (see [`ProbeManager::with_port`]) XORs `p` into bits 32..48 so that
+/// apps running one manager per path can route each wake-up to exactly
+/// one manager ([`ProbeManager::timer_port`]) — fanning a shared token
+/// out to every manager would let each re-arm per fire and multiply
+/// timer events.
 pub const PROBE_TIMER_TOKEN: u64 = 0x5052_4f42_4d47_0001; // "PROBMG"+1
+
+/// Bit span of [`PROBE_TIMER_TOKEN`] that carries the manager's port.
+const TIMER_PORT_MASK: u64 = 0xFFFF_u64 << 32;
 
 /// How many delivered nonces are remembered for duplicate detection.
 const COMPLETED_MEMORY: usize = 1024;
@@ -136,6 +145,13 @@ struct Outstanding {
 #[derive(Debug, Default)]
 pub struct ProbeManager {
     policy: RetryPolicy,
+    /// NIC all tracked probes (and retries) transmit on; 0 unless set
+    /// with [`ProbeManager::with_port`]. Bonding apps run one manager
+    /// per path.
+    port: u16,
+    /// Extra nonce-stream discriminator (see
+    /// [`ProbeManager::with_salt`]); 0 keeps the historical nonces.
+    salt: u64,
     nonce_counter: u64,
     outstanding: BTreeMap<u64, Outstanding>,
     expired: BTreeSet<u64>,
@@ -170,6 +186,27 @@ impl ProbeManager {
         self.trace = Some(sink);
     }
 
+    /// Send all tracked probes (and their retries) out of NIC `port` of
+    /// a multi-homed host instead of port 0.
+    pub fn with_port(mut self, port: u16) -> Self {
+        self.port = port;
+        self
+    }
+
+    /// Mix `salt` into the nonce stream. Two managers on the *same host*
+    /// (one per bonded path) must use distinct salts so their nonces
+    /// never collide; the default salt 0 preserves the single-manager
+    /// nonce sequence.
+    pub fn with_salt(mut self, salt: u64) -> Self {
+        self.salt = salt;
+        self
+    }
+
+    /// The NIC this manager transmits on.
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
     /// The retry policy.
     pub fn policy(&self) -> RetryPolicy {
         self.policy
@@ -185,9 +222,21 @@ impl ProbeManager {
         self.outstanding.len()
     }
 
-    /// True when `token` is the manager's service timer.
+    /// True when `token` is a manager service timer (any port).
     pub fn is_timer(token: u64) -> bool {
-        token == PROBE_TIMER_TOKEN
+        (token ^ PROBE_TIMER_TOKEN) & !TIMER_PORT_MASK == 0
+    }
+
+    /// The NIC port encoded in a service-timer token (meaningful only
+    /// when [`ProbeManager::is_timer`] holds). Multi-manager apps use it
+    /// to route the wake-up to the one manager that armed it.
+    pub fn timer_port(token: u64) -> u16 {
+        (((token ^ PROBE_TIMER_TOKEN) & TIMER_PORT_MASK) >> 32) as u16
+    }
+
+    /// This manager's own service-timer token.
+    fn timer_token(&self) -> u64 {
+        PROBE_TIMER_TOKEN ^ ((self.port as u64) << 32)
     }
 
     /// The nonce carried by a tracked frame (its trailing 8 bytes).
@@ -202,11 +251,15 @@ impl ProbeManager {
     /// Returns the nonce.
     pub fn track(&mut self, mut frame: Vec<u8>, ctx: &mut HostCtx<'_>) -> u64 {
         self.nonce_counter += 1;
-        // host_id+1 keeps host 0's nonces distinct from a raw counter.
-        let nonce = splitmix64(((ctx.host_id().0 as u64 + 1) << 40) ^ self.nonce_counter);
+        // host_id+1 keeps host 0's nonces distinct from a raw counter;
+        // the salt (shifted clear of the counter bits) separates
+        // same-host managers. Salt 0 reproduces the historical stream.
+        let nonce = splitmix64(
+            ((ctx.host_id().0 as u64 + 1) << 40) ^ (self.salt << 20) ^ self.nonce_counter,
+        );
         frame.extend_from_slice(&nonce.to_be_bytes());
         let deadline_ns = ctx.now() + self.backoff(nonce, 0);
-        ctx.send(frame.clone());
+        ctx.send_on(self.port, frame.clone());
         self.outstanding.insert(
             nonce,
             Outstanding {
@@ -278,7 +331,7 @@ impl ProbeManager {
                 let backoff = RetryPolicy::backoff_of(self.policy, nonce, attempt);
                 o.deadline_ns = now + backoff;
                 let frame = o.frame.clone();
-                ctx.send(frame);
+                ctx.send_on(self.port, frame);
                 self.stats.retries += 1;
                 self.emit(ctx.now(), 0, TraceEventKind::ProbeRetry { nonce, attempt });
             } else {
@@ -348,7 +401,7 @@ impl ProbeManager {
         }
         self.armed_until = Some(deadline_ns);
         let delay = deadline_ns.saturating_sub(ctx.now()).max(1);
-        ctx.set_timer(delay, PROBE_TIMER_TOKEN);
+        ctx.set_timer(delay, self.timer_token());
     }
 
     fn remember_completed(&mut self, nonce: u64) {

@@ -52,6 +52,24 @@ pub fn wireless_health() -> Program {
 /// Words per hop pushed by [`wireless_health`].
 pub const WIRELESS_WORDS_PER_HOP: usize = 3;
 
+/// §2.3 "other possibilities" — the per-path quality probe a bonded
+/// multi-NIC host sends down each path: switch identity and boot epoch
+/// (so a reboot anywhere on the path is visible), plus the two signals
+/// the bonding scheduler weighs — queue depth and link TX utilization.
+pub fn bonding_collect() -> Program {
+    Assembler::new()
+        .assemble(
+            "PUSH [Switch:SwitchID]\n\
+             PUSH [Switch:BootEpoch]\n\
+             PUSH [Queue:QueueSize]\n\
+             PUSH [Link:TX-Utilization]",
+        )
+        .expect("static program")
+}
+
+/// Words per hop pushed by [`bonding_collect`].
+pub const BONDING_WORDS_PER_HOP: usize = 4;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -63,6 +81,7 @@ mod tests {
             (microburst_collect(), MICROBURST_WORDS_PER_HOP, 7),
             (ndb_trace(), NDB_WORDS_PER_HOP, 7),
             (wireless_health(), WIRELESS_WORDS_PER_HOP, 7),
+            (bonding_collect(), BONDING_WORDS_PER_HOP, 7),
         ] {
             assert_eq!(program.words_per_hop(), words);
             assert_eq!(lint(&program, hops, words * hops), vec![]);

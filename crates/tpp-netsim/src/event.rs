@@ -43,7 +43,7 @@ pub(crate) const CLASS_FRAME: u8 = 3;
 pub(crate) fn node_port_key(node: NodeRef, port: PortId) -> u64 {
     match node {
         NodeRef::Switch(s) => ((s.0 as u64) << 16) | port as u64,
-        NodeRef::Host(h) => (1u64 << 63) | ((h.0 as u64) << 16),
+        NodeRef::Host(h) => (1u64 << 63) | ((h.0 as u64) << 16) | port as u64,
     }
 }
 
@@ -147,12 +147,12 @@ pub enum FaultApply {
 /// What happens.
 #[derive(Debug)]
 pub enum EventKind {
-    /// A frame finished arriving at `node` on `port` (hosts have a single
-    /// implicit port).
+    /// A frame finished arriving at `node` on `port` (for hosts, the NIC
+    /// index).
     FrameArrive {
         /// Receiving node.
         node: NodeRef,
-        /// Receiving port (0 for hosts).
+        /// Receiving port (NIC index for hosts).
         port: PortId,
         /// The frame bytes.
         frame: Vec<u8>,

@@ -69,6 +69,7 @@ pub mod fault;
 pub mod node;
 pub mod obs;
 pub mod pool;
+pub mod profile;
 pub mod series;
 mod shard;
 pub mod sim;
@@ -80,12 +81,14 @@ pub use fault::{ChannelProfile, FaultAction, FaultCounters, FaultPlan};
 pub use node::{AsAny, HostApp, HostCtx, HostId, SwitchId};
 pub use obs::ObsHandle;
 pub use pool::FramePool;
+pub use profile::{Interp, LinkProfile, LinkState};
 pub use series::{
     RingSeries, SeriesSet, SwitchSeries, FLEET_SERIES_METRICS, SWITCH_SERIES_METRICS,
 };
 pub use sim::{Endpoint, NetworkBuilder, Simulator, TapDir, TapRecord, Topology};
 pub use topology::{
-    dumbbell, dumbbell_with, fat_tree, fat_tree_with, leaf_spine, leaf_spine_with, linear_chain,
-    linear_chain_with, Dumbbell, DumbbellParams, FatTree, FatTreeParams, LeafSpine,
+    bonded_diamond, bonded_diamond_with, dumbbell, dumbbell_with, fat_tree, fat_tree_with,
+    leaf_spine, leaf_spine_with, linear_chain, linear_chain_with, BondedDiamond,
+    BondedDiamondParams, Dumbbell, DumbbellParams, FatTree, FatTreeParams, LeafSpine,
     LeafSpineParams, LinearChain, LinearChainParams,
 };

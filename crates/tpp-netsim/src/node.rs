@@ -62,7 +62,7 @@ pub trait HostApp: AsAny + Send + 'static {
 /// the simulator after the callback returns.
 #[derive(Debug)]
 pub(crate) enum HostAction {
-    Send(Vec<u8>),
+    Send { port: u16, frame: Vec<u8> },
     Timer { delay_ns: u64, token: u64 },
 }
 
@@ -72,6 +72,8 @@ pub struct HostCtx<'a> {
     pub(crate) now_ns: u64,
     pub(crate) host: HostId,
     pub(crate) mac: tpp_wire::EthernetAddress,
+    pub(crate) rx_port: u16,
+    pub(crate) ports: u16,
     pub(crate) actions: &'a mut Vec<HostAction>,
     pub(crate) pool: &'a mut crate::pool::FramePool,
 }
@@ -92,10 +94,38 @@ impl HostCtx<'_> {
         self.mac
     }
 
-    /// Transmit a frame out of the host's NIC. Frames queue at the NIC
-    /// and serialize at its configured rate, in order.
+    /// Transmit a frame out of the host's first NIC (port 0). Frames
+    /// queue at the NIC and serialize at its configured rate, in order.
+    /// Multi-homed hosts pick a NIC with [`send_on`](Self::send_on).
     pub fn send(&mut self, frame: Vec<u8>) {
-        self.actions.push(HostAction::Send(frame));
+        self.send_on(0, frame);
+    }
+
+    /// Transmit a frame out of a specific NIC of a multi-homed host.
+    /// Each NIC has its own queue and serializes independently, so
+    /// backlog on one port never blocks another.
+    pub fn send_on(&mut self, port: u16, frame: Vec<u8>) {
+        assert!(
+            port < self.ports,
+            "host {:?} has {} NIC(s), no port {}",
+            self.host,
+            self.ports,
+            port
+        );
+        self.actions.push(HostAction::Send { port, frame });
+    }
+
+    /// The NIC the frame being delivered arrived on (0 outside
+    /// [`HostApp::on_frame`]). Echo-style apps reply on this port so the
+    /// response retraces the arrival path.
+    pub fn rx_port(&self) -> u16 {
+        self.rx_port
+    }
+
+    /// How many NICs this host has (1 unless it was added with
+    /// [`crate::NetworkBuilder::add_host_multi`]).
+    pub fn ports(&self) -> u16 {
+        self.ports
     }
 
     /// An empty buffer with at least `capacity` bytes reserved, drawn

@@ -1,6 +1,6 @@
 //! Ring-buffer time series: the observability plane's per-tick layer.
 //!
-//! [`crate::Simulator::enable_series`] samples every switch on every
+//! [`crate::ObsHandle::series`] samples every switch on every
 //! stats tick into fixed-capacity [`RingSeries`] — queue depth, link
 //! utilization, drop and fault rates, cache hit rates. A full series
 //! never reallocates: it *downsamples* (keeps every other point and

@@ -89,7 +89,7 @@ pub(crate) struct ShardRun<'a> {
     pub(crate) switches: &'a mut [SwitchNode],
     pub(crate) hosts: &'a mut [HostNode],
     pub(crate) switch_links: &'a mut [Vec<Option<Link>>],
-    pub(crate) host_links: &'a mut [Option<Link>],
+    pub(crate) host_links: &'a mut [Vec<Option<Link>>],
     pub(crate) state: &'a mut ShardState,
     pub(crate) inboxes: &'a [Mutex<Vec<Event>>],
     pub(crate) l2_routes: &'a [Vec<(EthernetAddress, PortId)>],
@@ -135,9 +135,9 @@ impl ShardRun<'_> {
                 }
                 NodeRef::Host(h) => {
                     if !self.state.taps.is_empty() {
-                        self.tap(node, 0, TapDir::Rx, &frame);
+                        self.tap(node, port, TapDir::Rx, &frame);
                     }
-                    self.call_host(h, |app, ctx| app.on_frame(frame, ctx));
+                    self.call_host(h, port, |app, ctx| app.on_frame(frame, ctx));
                 }
             },
             EventKind::LinkFree { node, port } => match node {
@@ -146,12 +146,12 @@ impl ShardRun<'_> {
                     self.try_tx_switch(s, port);
                 }
                 NodeRef::Host(h) => {
-                    self.hosts[h.0 - self.host_base].nic_busy = false;
-                    self.try_tx_host(h);
+                    self.hosts[h.0 - self.host_base].nics[port as usize].busy = false;
+                    self.try_tx_host(h, port);
                 }
             },
             EventKind::Timer { host, token } => {
-                self.call_host(host, |app, ctx| app.on_timer(token, ctx));
+                self.call_host(host, 0, |app, ctx| app.on_timer(token, ctx));
             }
             EventKind::Fault { apply } => self.apply_fault(apply),
         }
@@ -270,7 +270,12 @@ impl ShardRun<'_> {
             return;
         };
         let rate = self.switches[local].asic.port_capacity_kbps(port);
-        let tx = tx_time_ns(frame.len(), rate);
+        let tx = self.profiled_tx_ns(
+            tx_time_ns(frame.len(), rate),
+            self.switch_links[local][port as usize]
+                .as_ref()
+                .expect("connected"),
+        );
         self.switches[local].tx_busy[port as usize] = true;
         let node = NodeRef::Switch(s);
         self.state.events.push(
@@ -280,30 +285,49 @@ impl ShardRun<'_> {
         self.transmit(node, port, tx, frame);
     }
 
-    /// Start transmitting the next queued frame from a host NIC.
-    fn try_tx_host(&mut self, h: HostId) {
+    /// Start transmitting the next queued frame from one host NIC.
+    fn try_tx_host(&mut self, h: HostId, port: PortId) {
         let local = h.0 - self.host_base;
-        if self.hosts[local].nic_busy {
+        if self.hosts[local].nics[port as usize].busy {
             return;
         }
-        if self.host_links[local].is_none() {
-            while let Some(frame) = self.hosts[local].nic_queue.pop_front() {
+        let connected = self.host_links[local]
+            .get(port as usize)
+            .map(Option::is_some)
+            .unwrap_or(false);
+        if !connected {
+            while let Some(frame) = self.hosts[local].nics[port as usize].queue.pop_front() {
                 self.state.pool.recycle(frame);
             }
             return;
         }
-        let Some(frame) = self.hosts[local].nic_queue.pop_front() else {
+        let Some(frame) = self.hosts[local].nics[port as usize].queue.pop_front() else {
             return;
         };
-        let rate = self.hosts[local].nic_rate_kbps;
-        let tx = tx_time_ns(frame.len(), rate);
-        self.hosts[local].nic_busy = true;
+        let rate = self.hosts[local].nics[port as usize].rate_kbps;
+        let tx = self.profiled_tx_ns(
+            tx_time_ns(frame.len(), rate),
+            self.host_links[local][port as usize]
+                .as_ref()
+                .expect("connected"),
+        );
+        self.hosts[local].nics[port as usize].busy = true;
         let node = NodeRef::Host(h);
         self.state.events.push(
-            EventKey::link_free(self.now_ns + tx, node, 0),
-            EventKind::LinkFree { node, port: 0 },
+            EventKey::link_free(self.now_ns + tx, node, port),
+            EventKind::LinkFree { node, port },
         );
-        self.transmit(node, 0, tx, frame);
+        self.transmit(node, port, tx, frame);
+    }
+
+    /// Serialization time through the link's time-varying profile, if
+    /// one is installed: a degraded rate stretches the wire time (and so
+    /// both the transmitter-busy interval and the arrival time).
+    fn profiled_tx_ns(&self, tx: u64, link: &Link) -> u64 {
+        match &link.profile {
+            Some(p) => crate::profile::scale_tx_ns(tx, p.sample(self.now_ns).rate_permille),
+            None => tx,
+        }
     }
 
     /// Put a frame on the wire: deliver after serialization +
@@ -325,7 +349,7 @@ impl ShardRun<'_> {
             NodeRef::Switch(s) => self.switch_links[s.0 - self.switch_base][port as usize]
                 .as_mut()
                 .expect("transmit on unconnected port"),
-            NodeRef::Host(h) => self.host_links[h.0 - self.host_base]
+            NodeRef::Host(h) => self.host_links[h.0 - self.host_base][port as usize]
                 .as_mut()
                 .expect("transmit on unconnected NIC"),
         };
@@ -335,10 +359,22 @@ impl ShardRun<'_> {
             self.state.pool.recycle(frame);
             return;
         }
-        if link.loss_permille > 0 {
+        // A time-varying profile composes with the static channel: its
+        // loss adds to the static probability (clamped), its extra delay
+        // adds to propagation (it can only *add*, so the conservative
+        // lookahead bound stays sound). Sampling is a pure function of
+        // `now`, identical on every shard.
+        let profile_now = link.profile.as_deref().map(|p| p.sample(now));
+        let effective_loss = (link.loss_permille as u32
+            + profile_now.map_or(0, |s| s.loss_permille as u32))
+        .min(1000);
+        if effective_loss > 0 {
             let lost = {
-                let rng = link.loss_rng.as_mut().expect("armed by set_link_loss");
-                rng.gen_range(0..1000u32) < link.loss_permille as u32
+                let rng = link
+                    .loss_rng
+                    .as_mut()
+                    .expect("armed by set_link_loss or set_link_profile");
+                rng.gen_range(0..1000u32) < effective_loss
             };
             if lost {
                 link.losses += 1;
@@ -347,7 +383,7 @@ impl ShardRun<'_> {
             }
         }
         let mut frame = frame;
-        let mut arrival = now + tx_ns + link.delay_ns;
+        let mut arrival = now + tx_ns + link.delay_ns + profile_now.map_or(0, |s| s.extra_delay_ns);
         let mut duplicate = false;
         let mut corrupt_emit = None;
         if !link.faults.is_clean() {
@@ -434,7 +470,9 @@ impl ShardRun<'_> {
     }
 
     /// Invoke a host-app callback and apply the actions it requested.
-    pub(crate) fn call_host<F>(&mut self, h: HostId, f: F)
+    /// `rx_port` is the NIC the triggering frame arrived on (0 for
+    /// timers and start-of-run).
+    pub(crate) fn call_host<F>(&mut self, h: HostId, rx_port: PortId, f: F)
     where
         F: FnOnce(&mut dyn HostApp, &mut HostCtx<'_>),
     {
@@ -449,6 +487,8 @@ impl ShardRun<'_> {
                 now_ns: self.now_ns,
                 host: h,
                 mac: host.mac,
+                rx_port,
+                ports: host.nics.len() as u16,
                 actions: &mut actions,
                 pool: &mut self.state.pool,
             };
@@ -456,9 +496,11 @@ impl ShardRun<'_> {
         }
         for action in actions.drain(..) {
             match action {
-                HostAction::Send(frame) => {
-                    self.hosts[h.0 - self.host_base].nic_queue.push_back(frame);
-                    self.try_tx_host(h);
+                HostAction::Send { port, frame } => {
+                    self.hosts[h.0 - self.host_base].nics[port as usize]
+                        .queue
+                        .push_back(frame);
+                    self.try_tx_host(h, port);
                 }
                 HostAction::Timer { delay_ns, token } => {
                     let host = &mut self.hosts[h.0 - self.host_base];
@@ -479,13 +521,9 @@ impl ShardRun<'_> {
             NodeRef::Switch(s) => self.switch_links[s.0 - self.switch_base]
                 .get_mut(port as usize)
                 .and_then(Option::as_mut),
-            NodeRef::Host(h) => {
-                if port == 0 {
-                    self.host_links[h.0 - self.host_base].as_mut()
-                } else {
-                    None
-                }
-            }
+            NodeRef::Host(h) => self.host_links[h.0 - self.host_base]
+                .get_mut(port as usize)
+                .and_then(Option::as_mut),
         }
     }
 

@@ -31,8 +31,12 @@ use tpp_wire::EthernetAddress;
 pub enum Endpoint {
     /// A numbered port of a switch.
     SwitchPort(SwitchId, PortId),
-    /// A host's NIC (hosts have exactly one port).
+    /// A host's first NIC (shorthand for `HostPort(h, 0)`; the common
+    /// single-homed case).
     Host(HostId),
+    /// A numbered NIC of a multi-homed host (see
+    /// [`NetworkBuilder::add_host_multi`]).
+    HostPort(HostId, PortId),
 }
 
 impl Endpoint {
@@ -41,21 +45,26 @@ impl Endpoint {
         Endpoint::SwitchPort(switch, port)
     }
 
-    /// A host endpoint.
+    /// A host endpoint (NIC 0).
     pub fn host(host: HostId) -> Self {
         Endpoint::Host(host)
+    }
+
+    /// A specific NIC of a multi-homed host.
+    pub fn host_port(host: HostId, port: PortId) -> Self {
+        Endpoint::HostPort(host, port)
     }
 
     fn node(self) -> NodeRef {
         match self {
             Endpoint::SwitchPort(s, _) => NodeRef::Switch(s),
-            Endpoint::Host(h) => NodeRef::Host(h),
+            Endpoint::Host(h) | Endpoint::HostPort(h, _) => NodeRef::Host(h),
         }
     }
 
     fn port(self) -> PortId {
         match self {
-            Endpoint::SwitchPort(_, p) => p,
+            Endpoint::SwitchPort(_, p) | Endpoint::HostPort(_, p) => p,
             Endpoint::Host(_) => 0,
         }
     }
@@ -65,7 +74,7 @@ impl Endpoint {
 /// [`NetworkBuilder::build`].
 pub struct NetworkBuilder {
     switches: Vec<AsicConfig>,
-    hosts: Vec<(Box<dyn HostApp>, u32)>,
+    hosts: Vec<(Box<dyn HostApp>, u32, u16)>,
     links: Vec<(Endpoint, Endpoint, u64)>,
     config: SimConfig,
 }
@@ -96,23 +105,33 @@ impl NetworkBuilder {
         }
     }
 
-    /// How often switch utilization EWMAs tick (default 1 ms).
-    #[deprecated(note = "set `SimConfig::tick_interval_ns` and use `NetworkBuilder::with_config`")]
-    pub fn tick_interval_ns(&mut self, ns: u64) -> &mut Self {
-        self.config.tick_interval_ns = ns;
-        self
-    }
-
     /// Add a switch; returns its id.
     pub fn add_switch(&mut self, config: AsicConfig) -> SwitchId {
         self.switches.push(config);
         SwitchId(self.switches.len() - 1)
     }
 
-    /// Add a host running `app`, with a NIC of `nic_rate_kbps`; returns
-    /// its id. The host's MAC is `EthernetAddress::from_host_id(id)`.
+    /// Add a host running `app`, with a single NIC of `nic_rate_kbps`;
+    /// returns its id. The host's MAC is
+    /// `EthernetAddress::from_host_id(id)`.
     pub fn add_host(&mut self, app: Box<dyn HostApp>, nic_rate_kbps: u32) -> HostId {
-        self.hosts.push((app, nic_rate_kbps));
+        self.add_host_multi(app, nic_rate_kbps, 1)
+    }
+
+    /// Add a multi-homed host with `ports` independent NICs, each of
+    /// `nic_rate_kbps`. NIC `p` is addressed as
+    /// [`Endpoint::host_port`]`(id, p)` when wiring links, and apps pick
+    /// a NIC per frame with [`crate::HostCtx::send_on`]. All NICs share
+    /// the host's single MAC: which paths lead where is a property of
+    /// the wiring, and bonding logic above decides how to spread load.
+    pub fn add_host_multi(
+        &mut self,
+        app: Box<dyn HostApp>,
+        nic_rate_kbps: u32,
+        ports: u16,
+    ) -> HostId {
+        assert!(ports > 0, "a host needs at least one NIC");
+        self.hosts.push((app, nic_rate_kbps, ports));
         HostId(self.hosts.len() - 1)
     }
 
@@ -154,12 +173,16 @@ impl NetworkBuilder {
             .hosts
             .into_iter()
             .enumerate()
-            .map(|(i, (app, rate))| HostNode {
+            .map(|(i, (app, rate, ports))| HostNode {
                 app,
                 mac: EthernetAddress::from_host_id(i as u32),
-                nic_rate_kbps: rate,
-                nic_queue: VecDeque::new(),
-                nic_busy: false,
+                nics: (0..ports)
+                    .map(|_| Nic {
+                        rate_kbps: rate,
+                        queue: VecDeque::new(),
+                        busy: false,
+                    })
+                    .collect(),
                 timer_seq: 0,
             })
             .collect();
@@ -175,18 +198,25 @@ impl NetworkBuilder {
                 v
             })
             .collect();
-        let mut host_links: Vec<Option<Link>> = Vec::new();
-        host_links.resize_with(hosts.len(), || None);
+        let mut host_links: Vec<Vec<Option<Link>>> = hosts
+            .iter()
+            .map(|h| {
+                let mut v = Vec::with_capacity(h.nics.len());
+                v.resize_with(h.nics.len(), || None);
+                v
+            })
+            .collect();
         for (a, b, delay) in &self.links {
             for ep in [a, b] {
-                if let Endpoint::SwitchPort(s, p) = ep {
-                    assert!(
+                match ep {
+                    Endpoint::SwitchPort(s, p) => assert!(
                         s.0 < switches.len() && (*p as usize) < switches[s.0].asic.num_ports(),
                         "link endpoint {ep:?} out of range"
-                    );
-                }
-                if let Endpoint::Host(h) = ep {
-                    assert!(h.0 < hosts.len(), "link endpoint {ep:?} out of range");
+                    ),
+                    Endpoint::Host(h) | Endpoint::HostPort(h, _) => assert!(
+                        h.0 < hosts.len() && (ep.port() as usize) < hosts[h.0].nics.len(),
+                        "link endpoint {ep:?} out of range"
+                    ),
                 }
             }
             for (ep, peer) in [(a, b), (b, a)] {
@@ -198,6 +228,7 @@ impl NetworkBuilder {
                     loss_permille: 0,
                     up: true,
                     faults: ChannelProfile::default(),
+                    profile: None,
                     key: node_port_key(ep.node(), ep.port()),
                     seq: 0,
                     losses: 0,
@@ -207,7 +238,9 @@ impl NetworkBuilder {
                 };
                 let slot = match ep {
                     Endpoint::SwitchPort(s, p) => &mut switch_links[s.0][*p as usize],
-                    Endpoint::Host(h) => &mut host_links[h.0],
+                    Endpoint::Host(h) | Endpoint::HostPort(h, _) => {
+                        &mut host_links[h.0][ep.port() as usize]
+                    }
                 };
                 assert!(
                     slot.is_none(),
@@ -246,8 +279,8 @@ impl NetworkBuilder {
                     visit(switch_shard[s], link);
                 }
             }
-            for (h, link) in host_links.iter().enumerate() {
-                if let Some(link) = link {
+            for (h, ports) in host_links.iter().enumerate() {
+                for link in ports.iter().flatten() {
                     visit(host_shard[h], link);
                 }
             }
@@ -272,7 +305,7 @@ impl NetworkBuilder {
                 };
             }
         }
-        for link in host_links.iter_mut().flatten() {
+        for link in host_links.iter_mut().flatten().flatten() {
             link.peer_shard = match link.peer {
                 NodeRef::Switch(p) => switch_shard[p.0],
                 NodeRef::Host(p) => host_shard[p.0],
@@ -335,7 +368,7 @@ fn expand_ranges(ranges: &[Range<usize>], n: usize) -> Vec<usize> {
 
 fn peek_link<'a>(
     switch_links: &'a [Vec<Option<Link>>],
-    host_links: &'a [Option<Link>],
+    host_links: &'a [Vec<Option<Link>>],
     node: NodeRef,
     port: PortId,
 ) -> Option<&'a Link> {
@@ -343,13 +376,7 @@ fn peek_link<'a>(
         NodeRef::Switch(s) => switch_links[s.0]
             .get(port as usize)
             .and_then(Option::as_ref),
-        NodeRef::Host(h) => {
-            if port == 0 {
-                host_links[h.0].as_ref()
-            } else {
-                None
-            }
-        }
+        NodeRef::Host(h) => host_links[h.0].get(port as usize).and_then(Option::as_ref),
     }
 }
 
@@ -362,7 +389,7 @@ fn compute_l2_routes(
     switches: &[SwitchNode],
     hosts: &[HostNode],
     switch_links: &[Vec<Option<Link>>],
-    host_links: &[Option<Link>],
+    host_links: &[Vec<Option<Link>>],
 ) -> Vec<Vec<(EthernetAddress, PortId)>> {
     let mut routes: Vec<Vec<(EthernetAddress, PortId)>> = vec![Vec::new(); switches.len()];
     for (h, host) in hosts.iter().enumerate() {
@@ -376,7 +403,7 @@ fn compute_l2_routes(
         frontier.push_back(start);
         while let Some(node) = frontier.pop_front() {
             let ports: Vec<PortId> = match node {
-                NodeRef::Host(_) => vec![0],
+                NodeRef::Host(h) => (0..hosts[h.0].nics.len() as PortId).collect(),
                 NodeRef::Switch(s) => (0..switches[s.0].asic.num_ports() as PortId).collect(),
             };
             for port in ports {
@@ -474,6 +501,11 @@ pub(crate) struct Link {
     /// Active channel fault profile (clean outside fault windows; the
     /// fault RNG is never consulted while clean).
     pub(crate) faults: ChannelProfile,
+    /// Time-varying link profile (see [`crate::profile::LinkProfile`]):
+    /// sampled as a pure function of time, so the extra loss/latency and
+    /// the rate scale are identical on every shard. Boxed: unprofiled
+    /// links (the common case) pay one pointer.
+    pub(crate) profile: Option<Box<crate::profile::LinkProfile>>,
     /// Canonical key of this (transmitting) direction; seeds the
     /// per-direction RNG streams.
     pub(crate) key: u64,
@@ -499,12 +531,18 @@ pub(crate) struct SwitchNode {
     pub(crate) tx_busy: Vec<bool>,
 }
 
+/// One NIC of a host: its own rate, queue and transmitter state, so a
+/// multi-homed host's ports serialize independently.
+pub(crate) struct Nic {
+    pub(crate) rate_kbps: u32,
+    pub(crate) queue: VecDeque<Vec<u8>>,
+    pub(crate) busy: bool,
+}
+
 pub(crate) struct HostNode {
     pub(crate) app: Box<dyn HostApp>,
     pub(crate) mac: EthernetAddress,
-    pub(crate) nic_rate_kbps: u32,
-    pub(crate) nic_queue: VecDeque<Vec<u8>>,
-    pub(crate) nic_busy: bool,
+    pub(crate) nics: Vec<Nic>,
     /// Per-host timer counter: the `minor` order of this host's timer
     /// events at equal times.
     pub(crate) timer_seq: u64,
@@ -529,12 +567,12 @@ pub struct Simulator {
     switches: Vec<SwitchNode>,
     hosts: Vec<HostNode>,
     /// Dense adjacency: `switch_links[s][p]` is the link transmitted
-    /// from switch `s` port `p`; `host_links[h]` from host `h`'s NIC.
-    /// Indexed arrays instead of a `HashMap<(NodeRef, PortId), Link>`
-    /// because `transmit`/`try_tx_*` consult the topology once per
-    /// frame.
+    /// from switch `s` port `p`; `host_links[h][p]` from host `h`'s NIC
+    /// `p`. Indexed arrays instead of a `HashMap<(NodeRef, PortId),
+    /// Link>` because `transmit`/`try_tx_*` consult the topology once
+    /// per frame.
     switch_links: Vec<Vec<Option<Link>>>,
-    host_links: Vec<Option<Link>>,
+    host_links: Vec<Vec<Option<Link>>>,
     /// Contiguous index blocks per shard (switches and hosts partition
     /// independently); the slices handed to [`ShardRun`]s split here.
     switch_ranges: Vec<Range<usize>>,
@@ -603,13 +641,9 @@ impl Simulator {
             NodeRef::Switch(s) => self.switch_links[s.0]
                 .get_mut(port as usize)
                 .and_then(Option::as_mut),
-            NodeRef::Host(h) => {
-                if port == 0 {
-                    self.host_links[h.0].as_mut()
-                } else {
-                    None
-                }
-            }
+            NodeRef::Host(h) => self.host_links[h.0]
+                .get_mut(port as usize)
+                .and_then(Option::as_mut),
         }
     }
 
@@ -671,9 +705,28 @@ impl Simulator {
             .expect("host app type mismatch")
     }
 
-    /// Bytes currently backlogged in a host's NIC queue.
+    /// Bytes currently backlogged across all of a host's NIC queues.
     pub fn host_nic_backlog(&self, id: HostId) -> usize {
-        self.hosts[id.0].nic_queue.iter().map(Vec::len).sum()
+        self.hosts[id.0]
+            .nics
+            .iter()
+            .flat_map(|nic| nic.queue.iter())
+            .map(Vec::len)
+            .sum()
+    }
+
+    /// Bytes currently backlogged in one NIC queue of a host.
+    pub fn host_nic_backlog_on(&self, id: HostId, port: PortId) -> usize {
+        self.hosts[id.0].nics[port as usize]
+            .queue
+            .iter()
+            .map(Vec::len)
+            .sum()
+    }
+
+    /// How many NICs a host has.
+    pub fn host_ports(&self, id: HostId) -> u16 {
+        self.hosts[id.0].nics.len() as u16
     }
 
     /// Set the in-flight loss probability (per-mille) of the link
@@ -683,24 +736,71 @@ impl Simulator {
     /// direction's canonical key, so outcomes are independent of shard
     /// layout.
     ///
-    /// Probabilities are capped at 1000 ‰ (certain loss); the returned
-    /// value is the one actually installed, so callers passing a larger
-    /// number can see the clamp instead of silently getting 100% loss
-    /// labeled with their original figure.
+    /// The total effective loss is capped at 1000 ‰ (certain loss); the
+    /// returned value is the effective probability at the current
+    /// simulation time — the clamped static value *plus* whatever an
+    /// installed [`LinkProfile`](crate::profile::LinkProfile) is
+    /// currently contributing — so callers see what the wire will
+    /// actually do rather than only the static half.
     ///
     /// # Panics
     /// Panics if `from` is not connected.
     pub fn set_link_loss(&mut self, from: Endpoint, loss_permille: u16) -> u16 {
         let seed = self.seed;
+        let now = self.now_ns;
         let link = self
             .link_mut(from.node(), from.port())
             .unwrap_or_else(|| panic!("{from:?} is not connected"));
-        let effective = loss_permille.min(1000);
-        link.loss_permille = effective;
-        if effective > 0 && link.loss_rng.is_none() {
+        let stat = loss_permille.min(1000);
+        link.loss_permille = stat;
+        let profile_max = link.profile.as_ref().map_or(0, |p| p.max_loss_permille());
+        if (stat > 0 || profile_max > 0) && link.loss_rng.is_none() {
             link.loss_rng = Some(Box::new(StdRng::seed_from_u64(mix64(seed, link.key))));
         }
-        effective
+        let profile_now = link
+            .profile
+            .as_ref()
+            .map_or(0, |p| p.sample(now).loss_permille);
+        (stat as u32 + profile_now as u32).min(1000) as u16
+    }
+
+    /// Install (or replace, with `Some`/`None`) the time-varying profile
+    /// of the link direction transmitted from `from`. The profile's
+    /// extra loss adds to the static [`set_link_loss`](Self::set_link_loss)
+    /// value, its extra delay adds to the propagation delay, and its
+    /// rate scale stretches serialization time — all sampled as a pure
+    /// function of simulation time, so profiled runs stay bit-identical
+    /// at every shard count. If the profile can ever contribute loss,
+    /// the direction's seeded loss stream is armed here (the same stream
+    /// `set_link_loss` arms, so static and profiled loss compose on one
+    /// deterministic sequence of dice).
+    ///
+    /// # Panics
+    /// Panics if `from` is not connected.
+    pub fn set_link_profile(
+        &mut self,
+        from: Endpoint,
+        profile: Option<crate::profile::LinkProfile>,
+    ) {
+        let seed = self.seed;
+        let link = self
+            .link_mut(from.node(), from.port())
+            .unwrap_or_else(|| panic!("{from:?} is not connected"));
+        let arm =
+            profile.as_ref().is_some_and(|p| p.max_loss_permille() > 0) || link.loss_permille > 0;
+        link.profile = profile.map(Box::new);
+        if arm && link.loss_rng.is_none() {
+            link.loss_rng = Some(Box::new(StdRng::seed_from_u64(mix64(seed, link.key))));
+        }
+    }
+
+    /// Frames actually placed on the wire so far by the link direction
+    /// transmitted from `from` (losses and link-down drops excluded).
+    /// Per-direction ground truth for bonding tests and fingerprints.
+    pub fn link_tx_frames(&self, from: Endpoint) -> u64 {
+        self.link(from.node(), from.port())
+            .map(|l| l.seq)
+            .unwrap_or(0)
     }
 
     /// Install a seeded [`FaultPlan`]: expands every entry into
@@ -876,7 +976,13 @@ impl Simulator {
             .flatten()
             .map(|l| l.losses)
             .sum();
-        let host: u64 = self.host_links.iter().flatten().map(|l| l.losses).sum();
+        let host: u64 = self
+            .host_links
+            .iter()
+            .flatten()
+            .flatten()
+            .map(|l| l.losses)
+            .sum();
         switch + host
     }
 
@@ -1074,7 +1180,7 @@ impl Simulator {
         let mut runs = self.shard_runs();
         for run in runs.iter_mut() {
             for h in run.host_base..run.host_base + run.hosts.len() {
-                run.call_host(HostId(h), |app, ctx| app.on_start(ctx));
+                run.call_host(HostId(h), 0, |app, ctx| app.on_start(ctx));
             }
         }
     }
@@ -1127,55 +1233,5 @@ impl Simulator {
                 }
             },
         }
-    }
-
-    /// Run the event loop until simulation time `t_end_ns`.
-    #[deprecated(note = "use `sim.run(RunLimit::Until(t_end_ns))`")]
-    pub fn run_until(&mut self, t_end_ns: u64) {
-        self.run(RunLimit::Until(t_end_ns));
-    }
-
-    /// Run until all traffic has drained, or `t_limit_ns` is reached.
-    #[deprecated(note = "use `sim.run(RunLimit::Quiescent { limit_ns })`")]
-    pub fn run_until_quiescent(&mut self, t_limit_ns: u64) {
-        self.run(RunLimit::Quiescent {
-            limit_ns: t_limit_ns,
-        });
-    }
-
-    /// Override the stats-tick interval.
-    #[deprecated(note = "use `sim.observe().tick_interval_ns(ns)`")]
-    pub fn set_tick_interval_ns(&mut self, ns: u64) {
-        self.set_tick_interval_impl(ns);
-    }
-
-    /// Enable the per-tick time-series layer.
-    #[deprecated(note = "use `sim.observe().series(capacity)` (or `SimConfig::series_capacity`)")]
-    pub fn enable_series(&mut self, capacity: usize) {
-        self.enable_series_impl(capacity);
-    }
-
-    /// Start capturing frame summaries at an endpoint (both directions).
-    #[deprecated(note = "use `sim.observe().tap(at)`")]
-    pub fn enable_tap(&mut self, at: Endpoint) {
-        self.enable_tap_impl(at);
-    }
-
-    /// Attach one shared trace sink to every switch.
-    #[deprecated(note = "use `sim.observe().trace_all(capacity)`")]
-    pub fn trace_all(&mut self, capacity: usize) -> SharedSink {
-        self.trace_all_impl(capacity)
-    }
-
-    /// Attach a shared trace sink to one switch only.
-    #[deprecated(note = "use `sim.observe().trace_switch(id, capacity)`")]
-    pub fn trace_switch(&mut self, id: SwitchId, capacity: usize) -> SharedSink {
-        self.trace_switch_impl(id, capacity)
-    }
-
-    /// Detach every switch's trace sink.
-    #[deprecated(note = "use `sim.observe().trace_off()`")]
-    pub fn trace_off(&mut self) {
-        self.trace_off_impl();
     }
 }

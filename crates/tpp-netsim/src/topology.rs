@@ -7,7 +7,10 @@
 //! * [`dumbbell`] — the Figure 2 setting: N sender/receiver pairs sharing
 //!   one bottleneck link (the classic congestion-control topology);
 //! * [`leaf_spine`] — the §2.1 setting: a two-tier datacenter fabric
-//!   where incast across leaves creates micro-bursts.
+//!   where incast across leaves creates micro-bursts;
+//! * [`fat_tree`] — the 3-tier k-ary datacenter at realistic structure;
+//! * [`bonded_diamond`] — two multi-homed hosts joined by disjoint
+//!   paths, the multipath bonding setting.
 //!
 //! Every builder assigns each switch a distinct `Switch:SwitchID`
 //! (chain/dumbbell: `1 + index`; leaf-spine: leaves `0x10 + l`, spines
@@ -507,6 +510,147 @@ pub fn leaf_spine_with(
             leaves,
             spines,
             hosts,
+        },
+    )
+}
+
+/// Parameters for [`bonded_diamond`].
+#[derive(Debug, Clone)]
+pub struct BondedDiamondParams {
+    /// Number of disjoint paths between the two hosts (= NICs per host).
+    pub n_paths: usize,
+    /// Switches on each path.
+    pub switches_per_path: usize,
+    /// Capacity of every link, kbps.
+    pub link_kbps: u32,
+    /// Egress queue limit, bytes.
+    pub queue_limit_bytes: u32,
+    /// Propagation delay of every link, ns.
+    pub delay_ns: u64,
+    /// Host NIC rate, kbps.
+    pub host_nic_kbps: u32,
+}
+
+impl Default for BondedDiamondParams {
+    fn default() -> Self {
+        BondedDiamondParams {
+            n_paths: 2,
+            switches_per_path: 2,
+            link_kbps: 1_000_000, // 1 Gb/s
+            queue_limit_bytes: 128 * 1024,
+            delay_ns: crate::time::micros(20),
+            host_nic_kbps: 1_000_000,
+        }
+    }
+}
+
+/// Handles into a bonded diamond.
+#[derive(Debug)]
+pub struct BondedDiamond {
+    /// `paths[p]` — the switches of path `p`, sender side first.
+    pub paths: Vec<Vec<SwitchId>>,
+    /// The multi-homed sender (NIC `p` faces path `p`).
+    pub sender: HostId,
+    /// The multi-homed receiver (NIC `p` faces path `p`).
+    pub receiver: HostId,
+}
+
+impl BondedDiamond {
+    /// The sender's NIC endpoint on path `p` (where degradation profiles
+    /// and loss usually go in bonding experiments).
+    pub fn sender_nic(&self, p: usize) -> Endpoint {
+        Endpoint::host_port(self.sender, p as PortId)
+    }
+
+    /// The receiver's NIC endpoint on path `p`.
+    pub fn receiver_nic(&self, p: usize) -> Endpoint {
+        Endpoint::host_port(self.receiver, p as PortId)
+    }
+}
+
+/// Build the multipath bonding topology: two multi-homed hosts joined by
+/// `n_paths` fully disjoint switch chains —
+///
+/// ```text
+///          ┌─ a0 ─ a1 ─┐
+/// sender ──┤           ├── receiver
+///          └─ b0 ─ b1 ─┘
+/// ```
+///
+/// Sender NIC `p` connects to path `p`'s first switch (port 0); each
+/// chain runs port 1 → port 0; the last switch's port 1 connects to
+/// receiver NIC `p`. Switch IDs are `0x40 + p*16 + i` for switch `i` of
+/// path `p`. Both hosts share one MAC-per-host, so L2 routes on each
+/// path lead to the local NIC — which NIC a frame leaves on (and so
+/// which path it takes) is entirely the sender's choice via
+/// [`crate::HostCtx::send_on`].
+pub fn bonded_diamond(
+    params: BondedDiamondParams,
+    sender_app: Box<dyn HostApp>,
+    receiver_app: Box<dyn HostApp>,
+) -> (Simulator, BondedDiamond) {
+    bonded_diamond_with(SimConfig::default(), params, sender_app, receiver_app)
+}
+
+/// [`bonded_diamond`] under an explicit [`SimConfig`].
+pub fn bonded_diamond_with(
+    config: SimConfig,
+    params: BondedDiamondParams,
+    sender_app: Box<dyn HostApp>,
+    receiver_app: Box<dyn HostApp>,
+) -> (Simulator, BondedDiamond) {
+    assert!(params.n_paths >= 1, "bond needs at least one path");
+    assert!(
+        params.n_paths <= 16,
+        "switch-ID scheme supports at most 16 paths"
+    );
+    assert!(
+        params.switches_per_path >= 1 && params.switches_per_path <= 16,
+        "switch-ID scheme supports 1..=16 switches per path"
+    );
+    let mut net = NetworkBuilder::with_config(config);
+    let paths: Vec<Vec<SwitchId>> = (0..params.n_paths)
+        .map(|p| {
+            (0..params.switches_per_path)
+                .map(|i| {
+                    net.add_switch(
+                        AsicConfig::with_ports(0x40 + (p * 16 + i) as u32, 2)
+                            .capacity_kbps(params.link_kbps)
+                            .queue_limit_bytes(params.queue_limit_bytes),
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    let sender = net.add_host_multi(sender_app, params.host_nic_kbps, params.n_paths as u16);
+    let receiver = net.add_host_multi(receiver_app, params.host_nic_kbps, params.n_paths as u16);
+    for (p, path) in paths.iter().enumerate() {
+        net.connect(
+            Endpoint::host_port(sender, p as PortId),
+            Endpoint::switch(path[0], 0),
+            params.delay_ns,
+        );
+        for w in path.windows(2) {
+            net.connect(
+                Endpoint::switch(w[0], 1),
+                Endpoint::switch(w[1], 0),
+                params.delay_ns,
+            );
+        }
+        net.connect(
+            Endpoint::switch(*path.last().unwrap(), 1),
+            Endpoint::host_port(receiver, p as PortId),
+            params.delay_ns,
+        );
+    }
+    let mut sim = net.build();
+    sim.populate_l2();
+    (
+        sim,
+        BondedDiamond {
+            paths,
+            sender,
+            receiver,
         },
     )
 }

@@ -11,7 +11,9 @@
 
 use std::collections::BTreeMap;
 
+use tpp_apps::bonding::BondSender;
 use tpp_apps::microburst::MicroburstMonitor;
+use tpp_host::bonding::PathHealth;
 use tpp_netsim::{Simulator, SwitchId};
 use tpp_telemetry::{Histogram, MetricsRegistry};
 
@@ -68,15 +70,38 @@ impl DivergenceReport {
     }
 }
 
+/// What a bonded sender saw on one of its paths, aggregated after a
+/// run: probe accounting, the telemetry distributions its scheduler
+/// weighed, and every health transition on the failover timeline.
+#[derive(Debug, Clone)]
+pub struct PathView {
+    /// Probes sent down this path.
+    pub probes_sent: u64,
+    /// Echoes that made it back and decoded.
+    pub echoes_received: u64,
+    /// Probe timeouts charged to the path.
+    pub probes_lost: u64,
+    /// Distribution of the path's queue-depth EWMA samples, bytes.
+    pub queue_hist: Histogram,
+    /// Distribution of the path's TX-utilization EWMA samples, permille.
+    pub util_hist: Histogram,
+    /// Health transitions `(t_ns, from, to)`, in event order.
+    pub transitions: Vec<(u64, PathHealth, PathHealth)>,
+    /// Health at ingest time.
+    pub final_health: PathHealth,
+}
+
 /// Aggregates TPP measurement results from probe-echo decoding.
 ///
-/// Feed it a [`MicroburstMonitor`] after a run (or individual samples
-/// as they arrive), then export percentiles to a [`MetricsRegistry`]
-/// or cross-check with [`Collector::divergence_vs_sim`].
+/// Feed it a [`MicroburstMonitor`] or a [`BondSender`] after a run (or
+/// individual samples as they arrive), then export percentiles to a
+/// [`MetricsRegistry`] or cross-check with
+/// [`Collector::divergence_vs_sim`].
 #[derive(Debug, Clone, Default)]
 pub struct Collector {
     queues: BTreeMap<(u32, u32), QueueView>,
     rtt: Histogram,
+    paths: BTreeMap<usize, PathView>,
     /// Probes the monitored hosts sent.
     pub probes_sent: u64,
     /// Echoes received and decoded.
@@ -116,6 +141,49 @@ impl Collector {
         }
         self.probes_sent += monitor.probes_sent;
         self.echoes_received += monitor.echoes_received;
+    }
+
+    /// Ingest everything a [`BondSender`] accumulated: per-path probe
+    /// accounting, the scheduler's telemetry series, its health-event
+    /// log, and ack latencies (as the RTT distribution). Call once,
+    /// after the run.
+    pub fn ingest_bond(&mut self, sender: &BondSender) {
+        for path in 0..sender.bond.num_paths() {
+            let mut view = PathView {
+                probes_sent: sender.probes_sent[path],
+                echoes_received: sender.echoes_received[path],
+                probes_lost: sender.bond.losses(path),
+                queue_hist: Histogram::default(),
+                util_hist: Histogram::default(),
+                transitions: Vec::new(),
+                final_health: sender.bond.health(path),
+            };
+            for &(_t, v) in sender.bond.queue_series(path).points() {
+                view.queue_hist.observe(v);
+            }
+            for &(_t, v) in sender.bond.util_series(path).points() {
+                view.util_hist.observe(v);
+            }
+            for ev in sender.bond.events().iter().filter(|e| e.path == path) {
+                view.transitions.push((ev.t_ns, ev.from, ev.to));
+            }
+            self.probes_sent += view.probes_sent;
+            self.echoes_received += view.echoes_received;
+            self.paths.insert(path, view);
+        }
+        for &(_sent, latency) in &sender.ack_latencies {
+            self.ingest_rtt(latency);
+        }
+    }
+
+    /// The aggregated view of one bonded path.
+    pub fn path(&self, path: usize) -> Option<&PathView> {
+        self.paths.get(&path)
+    }
+
+    /// Iterate `(path, view)` in path order.
+    pub fn paths(&self) -> impl Iterator<Item = (usize, &PathView)> {
+        self.paths.iter().map(|(&p, v)| (p, v))
     }
 
     /// The aggregated view of one `(switch, queue)`.
@@ -185,6 +253,17 @@ impl Collector {
             all.merge(&view.hist);
         }
         registry.merge_histogram("collector.queue_bytes", &all);
+        for (path, view) in &self.paths {
+            registry.set(&format!("bond.path{path}.probes_sent"), view.probes_sent);
+            registry.set(&format!("bond.path{path}.echoes"), view.echoes_received);
+            registry.set(&format!("bond.path{path}.probes_lost"), view.probes_lost);
+            registry.set(
+                &format!("bond.path{path}.transitions"),
+                view.transitions.len() as u64,
+            );
+            registry.merge_histogram(&format!("bond.path{path}.queue_bytes"), &view.queue_hist);
+            registry.merge_histogram(&format!("bond.path{path}.util_permille"), &view.util_hist);
+        }
     }
 }
 
@@ -224,6 +303,50 @@ mod tests {
         }
         assert!(c.rtt().p50() >= 100);
         assert!(c.rtt().max() == 1000);
+    }
+
+    #[test]
+    fn ingest_bond_builds_path_views_and_metrics() {
+        use tpp_apps::bonding::{BondReceiver, BondSender, BondSenderConfig};
+        use tpp_host::BondConfig;
+        use tpp_netsim::{bonded_diamond, time, BondedDiamondParams, RunLimit};
+        use tpp_wire::EthernetAddress;
+
+        let cfg = BondSenderConfig {
+            dst: EthernetAddress::from_host_id(1),
+            expected_hops: 4,
+            probe_interval_ns: time::micros(50),
+            probe_timeout_ns: time::micros(300),
+            probe_stop_ns: time::millis(3),
+            data_interval_ns: time::micros(40),
+            data_start_ns: time::micros(500),
+            data_stop_ns: time::millis(2),
+            payload_bytes: 256,
+            rto_ns: time::micros(400),
+            bond: BondConfig::default(),
+        };
+        let (mut sim, d) = bonded_diamond(
+            BondedDiamondParams::default(),
+            Box::new(BondSender::new(cfg)),
+            Box::new(BondReceiver::default()),
+        );
+        sim.run(RunLimit::Quiescent {
+            limit_ns: time::millis(10),
+        });
+        let mut c = Collector::new();
+        c.ingest_bond(sim.host_app::<BondSender>(d.sender));
+        assert_eq!(c.paths().count(), 2);
+        for (_, view) in c.paths() {
+            assert!(view.probes_sent > 0);
+            assert!(view.echoes_received > 0);
+            assert_eq!(view.final_health, PathHealth::Good);
+            assert!(view.queue_hist.count() > 0, "series fed the histogram");
+        }
+        let mut reg = MetricsRegistry::new();
+        c.export_metrics(&mut reg);
+        assert!(reg.counter("bond.path0.probes_sent") > 0);
+        assert!(reg.counter("bond.path1.echoes") > 0);
+        assert!(reg.histogram("bond.path0.queue_bytes").is_some());
     }
 
     #[test]

@@ -34,6 +34,6 @@ pub mod collector;
 pub mod export;
 pub mod top;
 
-pub use collector::{Collector, DivergenceReport, QueueView, SwitchDivergence};
+pub use collector::{Collector, DivergenceReport, PathView, QueueView, SwitchDivergence};
 pub use export::{prometheus_snapshot, sanitize_metric_name, series_jsonl};
 pub use top::render_top;

@@ -14,11 +14,13 @@
 //! convergence records (the fig2 ingredient) survive sharding exactly.
 
 use proptest::prelude::*;
+use tpp::apps::bonding::{BondReceiver, BondSender, BondSenderConfig};
 use tpp::apps::rcpstar::{init_rate_registers, RcpStarConfig, RcpStarSender};
-use tpp::host::EchoReceiver;
+use tpp::host::{BondConfig, EchoReceiver};
 use tpp::netsim::{
-    dumbbell_with, leaf_spine_with, time, DumbbellParams, Endpoint, FaultPlan, HostApp, HostCtx,
-    LeafSpineParams, RunLimit, SimConfig, Simulator,
+    bonded_diamond_with, dumbbell_with, leaf_spine_with, time, BondedDiamondParams, DumbbellParams,
+    Endpoint, FaultPlan, HostApp, HostCtx, LeafSpineParams, LinkProfile, LinkState, RunLimit,
+    SimConfig, Simulator,
 };
 use tpp::wire::ethernet::{build_frame, EtherType};
 use tpp::wire::EthernetAddress;
@@ -37,6 +39,9 @@ struct Fingerprint {
     metrics_json: String,
     series_points: Vec<SeriesPoints>,
     host_state: Vec<(usize, u64)>,
+    /// Per-path counters of multi-homed scenarios (wire frames, probe
+    /// accounting, scheduler events…); empty for single-NIC scenarios.
+    path_counters: Vec<u64>,
 }
 
 /// A host that sprays fixed-size data frames at a target on a timer.
@@ -85,6 +90,7 @@ fn fingerprint(
     mut sim: Simulator,
     sink: &tpp::telemetry::SharedSink,
     host_state: Vec<(usize, u64)>,
+    path_counters: Vec<u64>,
 ) -> Fingerprint {
     let mut series_points = Vec::new();
     if let Some(set) = sim.series() {
@@ -102,6 +108,7 @@ fn fingerprint(
         metrics_json: sim.metrics().to_json(),
         series_points,
         host_state,
+        path_counters,
     }
 }
 
@@ -169,7 +176,96 @@ fn chaotic_leaf_spine(cfg: SimConfig, plan_seed: u64, loss_permille: u16) -> Fin
         };
         host_state.push((i, value));
     }
-    fingerprint(sim, &sink, host_state)
+    fingerprint(sim, &sink, host_state, Vec::new())
+}
+
+/// A bonded-diamond run where a seeded [`LinkProfile`] (time-varying
+/// loss, latency and rate on the path-0 NIC link) composes with a
+/// [`FaultPlan`] fabric flap, while the probe-driven bond scheduler
+/// reacts. The fingerprint carries per-path counters: wire frames per
+/// NIC in both directions, probe accounting, and the folded
+/// health-event log.
+fn bonded_profile_flap(
+    cfg: SimConfig,
+    plan_seed: u64,
+    worst_loss: u16,
+    extra_delay_us: u64,
+) -> Fingerprint {
+    let sender_cfg = BondSenderConfig {
+        dst: EthernetAddress::from_host_id(1),
+        expected_hops: 4,
+        probe_interval_ns: time::micros(50),
+        probe_timeout_ns: time::micros(300),
+        probe_stop_ns: time::millis(12),
+        data_interval_ns: time::micros(20),
+        data_start_ns: time::micros(500),
+        data_stop_ns: time::millis(10),
+        payload_bytes: 600,
+        rto_ns: time::micros(800),
+        bond: BondConfig::default(),
+    };
+    let (mut sim, diamond) = bonded_diamond_with(
+        cfg,
+        BondedDiamondParams::default(),
+        Box::new(BondSender::new(sender_cfg)),
+        Box::new(BondReceiver::default()),
+    );
+    let sink = sim.observe().series(64).trace_all(1 << 18);
+    sim.set_link_profile(
+        diamond.sender_nic(0),
+        Some(LinkProfile::cellular_degradation(
+            time::millis(2),
+            time::millis(1),
+            time::millis(2),
+            LinkState {
+                loss_permille: worst_loss,
+                extra_delay_ns: time::micros(extra_delay_us),
+                rate_permille: 500,
+            },
+        )),
+    );
+    let mut plan = FaultPlan::new(plan_seed);
+    plan.link_flap(
+        time::millis(6),
+        time::millis(7),
+        Endpoint::switch(diamond.paths[0][0], 1),
+    );
+    sim.install_faults(&plan);
+    sim.run(RunLimit::Quiescent {
+        limit_ns: time::millis(20),
+    });
+
+    let mut path_counters = Vec::new();
+    for p in 0..2 {
+        path_counters.push(sim.link_tx_frames(diamond.sender_nic(p)));
+        path_counters.push(sim.link_tx_frames(diamond.receiver_nic(p)));
+    }
+    let tx = sim.host_app::<BondSender>(diamond.sender);
+    for p in 0..2 {
+        path_counters.extend([
+            tx.probes_sent[p],
+            tx.echoes_received[p],
+            tx.bond.losses(p),
+            tx.data_sent[p],
+        ]);
+    }
+    for ev in tx.bond.events() {
+        path_counters.extend([ev.t_ns, ev.path as u64]);
+    }
+    path_counters.extend([tx.sequences_sent(), tx.retransmits, tx.duplicates_sent]);
+    let rx = sim.host_app::<BondReceiver>(diamond.receiver);
+    let host_state = vec![
+        (0, rx.delivered.len() as u64),
+        (1, rx.duplicates_suppressed),
+        (2, rx.acks_sent),
+    ];
+    // Fold the exact delivery order in too: same frames, same order.
+    let mut order_hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &seq in &rx.delivered {
+        order_hash = (order_hash ^ seq).wrapping_mul(0x100_0000_01b3);
+    }
+    path_counters.push(order_hash);
+    fingerprint(sim, &sink, host_state, path_counters)
 }
 
 /// The shard configurations every scenario must agree across: one shard
@@ -204,6 +300,33 @@ proptest! {
             .map(|(label, cfg)| (label, chaotic_leaf_spine(cfg, plan_seed, loss_permille)));
         let (_, reference) = runs.next().expect("at least one config");
         prop_assert!(!reference.trace_rows.is_empty(), "chaos must leave a trace");
+        for (label, fp) in runs {
+            prop_assert_eq!(&fp, &reference, "{} diverged from 1 shard", label);
+        }
+    }
+
+    /// A seeded link profile (time-varying loss/latency/rate) composed
+    /// with a [`FaultPlan`] flap drives the bonding scheduler — and the
+    /// whole thing, down to per-path wire counters and the exact
+    /// delivery order, fingerprints identically at every shard count.
+    #[test]
+    fn bonded_profile_and_flap_are_shard_count_invariant(
+        sim_seed in any::<u64>(),
+        plan_seed in any::<u64>(),
+        worst_loss in 0u16..400,
+        extra_delay_us in 0u64..250,
+    ) {
+        let mut runs = shard_configs(sim_seed)
+            .into_iter()
+            .map(|(label, cfg)| {
+                (label, bonded_profile_flap(cfg, plan_seed, worst_loss, extra_delay_us))
+            });
+        let (_, reference) = runs.next().expect("at least one config");
+        prop_assert!(
+            reference.host_state[0].1 > 0,
+            "the bonded flow must deliver something"
+        );
+        prop_assert!(!reference.path_counters.is_empty());
         for (label, fp) in runs {
             prop_assert_eq!(&fp, &reference, "{} diverged from 1 shard", label);
         }
@@ -244,7 +367,7 @@ fn rcp_convergence_records_are_shard_count_invariant() {
             .iter()
             .map(|&s| sim.host_app::<RcpStarSender>(s).rate_trace.clone())
             .collect();
-        let fp = fingerprint(sim, &sink, Vec::new());
+        let fp = fingerprint(sim, &sink, Vec::new(), Vec::new());
         (traces, fp)
     };
 
