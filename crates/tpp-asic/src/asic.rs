@@ -11,6 +11,7 @@
 //! `now_ns` it is handed, which keeps the whole system deterministic.
 
 use crate::config::{AsicConfig, PortConfig, StripAction};
+use crate::decode_cache::ProgramInterner;
 use crate::memmap::Mmu;
 pub use crate::memmap::PacketMeta;
 use crate::profile::{
@@ -137,12 +138,54 @@ impl Outcome {
     }
 }
 
+/// Largest SRAM region (in words) served lazily from the shared zero
+/// slab. Regions configured larger than this are allocated eagerly so
+/// read-only views never have to invent zeros beyond the slab.
+const LAZY_SRAM_MAX_WORDS: usize = 16384;
+
+/// One fleet-shared page of zeros backing read views of SRAM regions no
+/// TPP has touched yet (64 KiB of immutable static, vs. 36 KiB of heap
+/// per switch eagerly zero-filled before this existed).
+static ZERO_SRAM: [u32; LAZY_SRAM_MAX_WORDS] = [0; LAZY_SRAM_MAX_WORDS];
+
+/// The lazy initial state for a region of `words` words: empty (backed by
+/// [`ZERO_SRAM`] for reads, materialized on first write) unless the
+/// region is too large for the zero slab.
+fn lazy_sram(words: usize) -> Vec<u32> {
+    if words > LAZY_SRAM_MAX_WORDS {
+        vec![0; words]
+    } else {
+        Vec::new()
+    }
+}
+
+/// Materialize a lazy SRAM region before handing out mutable access.
+fn ensure_sram(region: &mut Vec<u32>, words: usize) {
+    if region.is_empty() && words > 0 {
+        region.resize(words, 0);
+    }
+}
+
+/// A read view of a possibly-unmaterialized region: zeros of the
+/// configured length until the first write, the real words after.
+fn sram_view(region: &[u32], words: usize) -> SramView<'_> {
+    if region.is_empty() && words > 0 {
+        SramView::new(&ZERO_SRAM[..words.min(LAZY_SRAM_MAX_WORDS)])
+    } else {
+        SramView::new(region)
+    }
+}
+
 /// One physical port: configuration, statistics, queues, link SRAM.
 #[derive(Debug)]
 struct Port {
     config: PortConfig,
     stats: PortStats,
     queues: Vec<DropTailQueue>,
+    /// Lazily materialized: empty until the first TCPU execution or
+    /// control-plane write through this port, then `link_sram_words`
+    /// long. A fat-tree core switch that never carries a TPP pays
+    /// nothing for scratch SRAM it never reads.
     link_sram: Vec<u32>,
 }
 
@@ -154,9 +197,20 @@ impl Port {
         Port {
             stats: PortStats::default(),
             queues,
-            link_sram: vec![0; link_sram_words],
+            link_sram: lazy_sram(link_sram_words),
             config,
         }
+    }
+
+    /// Approximate resident heap bytes of this port.
+    fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.link_sram.capacity() * 4
+            + self
+                .queues
+                .iter()
+                .map(DropTailQueue::approx_bytes)
+                .sum::<usize>()
     }
 }
 
@@ -209,6 +263,10 @@ pub struct Asic {
     /// (the default) keeps every stage's attribution down to one
     /// branch, like the trace sink.
     profile: Option<Box<PipelineProfile>>,
+    /// Fleet-wide program interner handle, kept so `reset` can re-install
+    /// it into the rebuilt TCPU (a reboot wipes the decode cache, not the
+    /// fleet's shared decodes).
+    interner: Option<ProgramInterner>,
 }
 
 impl Asic {
@@ -225,8 +283,10 @@ impl Asic {
             l2: L2Table::new(),
             l3: LpmTable::new(),
             tcam: Tcam::new(),
-            global_sram: vec![0; config.global_sram_words],
-            tcpu: Tcpu::new(config.tcpu_cycle_budget).with_decode_cache(config.decode_cache_slots),
+            global_sram: lazy_sram(config.global_sram_words),
+            tcpu: Tcpu::new(config.tcpu_cycle_budget)
+                .with_decode_cache(config.decode_cache_slots)
+                .with_batched_dispatch(config.batched_dispatch),
             flow_cache: HashMap::new(),
             flow_cache_gen: 0,
             table_gen: 0,
@@ -234,8 +294,34 @@ impl Asic {
             flow_cache_misses: 0,
             trace: None,
             profile: None,
+            interner: None,
             config,
         }
+    }
+
+    /// Share a fleet-wide program interner with this switch: decode-cache
+    /// misses consult it before decoding, so one distinct TPP program is
+    /// decoded (and resident) once per simulation instead of once per
+    /// switch. Survives [`reset`](Asic::reset). No-op when the decode
+    /// cache is disabled.
+    pub fn set_program_interner(&mut self, interner: ProgramInterner) {
+        self.tcpu.set_interner(interner.clone());
+        self.interner = Some(interner);
+    }
+
+    /// Approximate resident heap bytes of this switch's state: SRAM
+    /// slabs, tables, queues (including buffered frames), flow cache, and
+    /// decode-cache slot array. Interned program bodies are fleet-shared
+    /// and excluded (see [`ProgramInterner::approx_bytes`]).
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.global_sram.capacity() * 4
+            + self.ports.iter().map(Port::approx_bytes).sum::<usize>()
+            + self.l2.approx_bytes()
+            + self.l3.approx_bytes()
+            + self.tcam.approx_bytes()
+            + self.flow_cache.capacity() * std::mem::size_of::<(FlowKey, u64, CachedLookup)>()
+            + self.tcpu.approx_bytes()
     }
 
     /// Attach (or with `None`, detach) a structured trace sink. While a
@@ -467,20 +553,21 @@ impl Asic {
     /// Checked read-only view of the global SRAM (control-plane / test
     /// access).
     pub fn global_sram(&self) -> SramView<'_> {
-        SramView::new(&self.global_sram)
+        sram_view(&self.global_sram, self.config.global_sram_words)
     }
 
     /// Checked mutable view of the global SRAM (control-plane
     /// initialization, e.g. "a control plane program initializes each
     /// link's fair share rate", §2.2 footnote).
     pub fn global_sram_mut(&mut self) -> SramViewMut<'_> {
+        ensure_sram(&mut self.global_sram, self.config.global_sram_words);
         SramViewMut::new(&mut self.global_sram)
     }
 
     /// Checked read-only view of a port's link SRAM.
     pub fn link_sram(&self, port: PortId) -> Result<SramView<'_>, SramError> {
         match self.ports.get(port as usize) {
-            Some(p) => Ok(SramView::new(&p.link_sram)),
+            Some(p) => Ok(sram_view(&p.link_sram, self.config.link_sram_words)),
             None => Err(SramError::NoSuchPort {
                 port,
                 num_ports: self.ports.len(),
@@ -491,8 +578,12 @@ impl Asic {
     /// Checked mutable view of a port's link SRAM.
     pub fn link_sram_mut(&mut self, port: PortId) -> Result<SramViewMut<'_>, SramError> {
         let num_ports = self.ports.len();
+        let words = self.config.link_sram_words;
         match self.ports.get_mut(port as usize) {
-            Some(p) => Ok(SramViewMut::new(&mut p.link_sram)),
+            Some(p) => {
+                ensure_sram(&mut p.link_sram, words);
+                Ok(SramViewMut::new(&mut p.link_sram))
+            }
             None => Err(SramError::NoSuchPort { port, num_ports }),
         }
     }
@@ -503,15 +594,25 @@ impl Asic {
     /// configuration, and the hot-path caches are deliberately excluded
     /// (see the [`state`](crate::state) module docs).
     pub fn snapshot(&self) -> AsicState {
+        // Unmaterialized SRAM regions snapshot as their full-length zero
+        // contents, so snapshots are invariant to when (or whether) the
+        // lazy slabs were materialized.
+        let full = |region: &Vec<u32>, words: usize| {
+            if region.is_empty() && words > 0 {
+                vec![0; words]
+            } else {
+                region.clone()
+            }
+        };
         AsicState {
             regs: self.regs.clone(),
-            global_sram: self.global_sram.clone(),
+            global_sram: full(&self.global_sram, self.config.global_sram_words),
             ports: self
                 .ports
                 .iter()
                 .map(|port| PortState {
                     stats: port.stats.clone(),
-                    link_sram: port.link_sram.clone(),
+                    link_sram: full(&port.link_sram, self.config.link_sram_words),
                     queues: port
                         .queues
                         .iter()
@@ -589,8 +690,15 @@ impl Asic {
         self.flow_cache_hits = 0;
         self.flow_cache_misses = 0;
         self.tcpu = Tcpu::new(self.config.tcpu_cycle_budget)
-            .with_decode_cache(self.config.decode_cache_slots);
-        self.global_sram.fill(0);
+            .with_decode_cache(self.config.decode_cache_slots)
+            .with_batched_dispatch(self.config.batched_dispatch);
+        if let Some(interner) = &self.interner {
+            self.tcpu.set_interner(interner.clone());
+        }
+        // Drop the SRAM slab back to lazy: a rebooted switch reads zeros
+        // either way, and releasing the allocation is what "sized on
+        // demand" means across a reboot.
+        self.global_sram = lazy_sram(self.config.global_sram_words);
         let link_sram_words = self.config.link_sram_words;
         for port in &mut self.ports {
             // Port::new rebuilds stats, queues, and link SRAM from the
@@ -1005,6 +1113,12 @@ impl Asic {
                 Ok(mut tpp) => {
                     debug_assert!(frame_len >= ETHERNET_HEADER_LEN);
                     let port = &mut self.ports[out_port as usize];
+                    // First TPP through this switch/port materializes the
+                    // lazy scratch slabs the MMU addresses (done before
+                    // building the MMU — unconditionally, so state
+                    // snapshots do not depend on what the program did).
+                    ensure_sram(&mut self.global_sram, self.config.global_sram_words);
+                    ensure_sram(&mut port.link_sram, self.config.link_sram_words);
                     let queue = &port.queues[queue_id as usize];
                     let mut mmu = Mmu {
                         switch: &self.regs,

@@ -80,6 +80,14 @@ pub struct AsicConfig {
     /// tables). Cached results are invalidated by a generation counter
     /// bumped on any table mutation or `reset()`.
     pub flow_cache_entries: usize,
+    /// Batched TCPU dispatch: when a switch drains an event window, a run
+    /// of packets carrying the same program is detected by one byte
+    /// compare per packet and executed against a single pinned decode
+    /// (decode once, run N) through a straight-line fast loop. Cycles,
+    /// counters, traces, and profiler spans are charged identically to
+    /// the per-frame path — bit-identical on or off, like the hot-path
+    /// caches. Requires `decode_cache_slots > 0` to have any effect.
+    pub batched_dispatch: bool,
 }
 
 impl AsicConfig {
@@ -95,6 +103,7 @@ impl AsicConfig {
             utilization_ewma_alpha: 0.5,
             decode_cache_slots: 64,
             flow_cache_entries: 1024,
+            batched_dispatch: true,
         }
     }
 
@@ -103,6 +112,14 @@ impl AsicConfig {
     pub fn without_hot_path_caches(mut self) -> Self {
         self.decode_cache_slots = 0;
         self.flow_cache_entries = 0;
+        self
+    }
+
+    /// Enable or disable batched TCPU dispatch (on by default; see
+    /// [`AsicConfig::batched_dispatch`]). The differential tests run with
+    /// it off to prove the batched path changes nothing observable.
+    pub fn batched_dispatch(mut self, on: bool) -> Self {
+        self.batched_dispatch = on;
         self
     }
 

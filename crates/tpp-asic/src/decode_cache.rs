@@ -15,6 +15,9 @@
 //! that replaces the slot, so execution semantics are bit-identical with
 //! the cache on or off.
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
 use tpp_isa::{decode_program, Instruction};
 
 /// FNV-1a offset basis. Public (with [`FNV_PRIME`] and
@@ -68,6 +71,116 @@ pub struct DecodedProgram {
     pub bad_at: Option<usize>,
 }
 
+impl DecodedProgram {
+    /// Decode `bytes` (big-endian instruction words) into a program. Pure
+    /// function of the bytes, so two decodes of the same bytes — on any
+    /// switch — are interchangeable; that is what lets the interner share
+    /// one `Arc`'d copy fleet-wide.
+    fn decode(hash: u64, bytes: &[u8]) -> Self {
+        let words = bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_be_bytes([c[0], c[1], c[2], c[3]]));
+        let (insns, bad_at) = decode_program(words);
+        DecodedProgram {
+            hash,
+            bytes: bytes.to_vec(),
+            insns,
+            bad_at,
+        }
+    }
+
+    /// The raw instruction bytes this program was decoded from.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Approximate resident bytes of this decoded program.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.bytes.capacity()
+            + self.insns.capacity() * std::mem::size_of::<Instruction>()
+    }
+}
+
+/// A fleet-wide pool of decoded TPP programs, shared by every switch's
+/// [`DecodeCache`] in a simulation. The paper's applications stamp the
+/// identical program on every packet of a flow; without the interner each
+/// switch decodes (and stores) its own copy, so a program crossing a
+/// k=8 fat tree is decoded up to 80 times and resident 80 times. The
+/// interner keeps exactly one `Arc`'d [`DecodedProgram`] per distinct
+/// byte string: a cache miss on one switch is served by the decode
+/// another switch already did.
+///
+/// Sharing is semantically invisible: decoding is a pure function of the
+/// program bytes, verified here by the same hash + exact-byte-compare
+/// discipline the per-switch cache uses. The interner is `Clone`
+/// (a handle to shared state) and thread-safe, so the sharded simulator
+/// can hand one handle to switches on different worker threads.
+#[derive(Debug, Clone, Default)]
+pub struct ProgramInterner {
+    inner: Arc<Mutex<InternerInner>>,
+}
+
+#[derive(Debug, Default)]
+struct InternerInner {
+    by_hash: HashMap<u64, Vec<Arc<DecodedProgram>>>,
+    shared: u64,
+    decoded: u64,
+}
+
+impl ProgramInterner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The one shared decode of `bytes`: returns the existing `Arc` when
+    /// any cache already interned these exact bytes, otherwise decodes
+    /// once and registers the result.
+    pub(crate) fn intern(&self, hash: u64, bytes: &[u8]) -> Arc<DecodedProgram> {
+        let mut inner = self.inner.lock().expect("interner lock");
+        if let Some(hit) = inner
+            .by_hash
+            .get(&hash)
+            .and_then(|bucket| bucket.iter().find(|p| p.bytes == bytes))
+            .cloned()
+        {
+            inner.shared += 1;
+            return hit;
+        }
+        let program = Arc::new(DecodedProgram::decode(hash, bytes));
+        inner.by_hash.entry(hash).or_default().push(program.clone());
+        inner.decoded += 1;
+        program
+    }
+
+    /// `(shared, decoded)`: misses served by an existing fleet-wide decode
+    /// vs. programs that genuinely had to be decoded.
+    pub fn stats(&self) -> (u64, u64) {
+        let inner = self.inner.lock().expect("interner lock");
+        (inner.shared, inner.decoded)
+    }
+
+    /// Distinct programs currently interned.
+    pub fn distinct_programs(&self) -> usize {
+        let inner = self.inner.lock().expect("interner lock");
+        inner.by_hash.values().map(Vec::len).sum()
+    }
+
+    /// Approximate resident bytes of the interned program bodies (the
+    /// fleet-shared state that per-switch accounting must not double
+    /// count).
+    pub fn approx_bytes(&self) -> usize {
+        let inner = self.inner.lock().expect("interner lock");
+        inner
+            .by_hash
+            .values()
+            .flat_map(|bucket| bucket.iter())
+            .map(|p| p.approx_bytes())
+            .sum()
+    }
+}
+
 /// A small direct-mapped cache of decoded TPP programs, with a last-hit
 /// memo in front: a burst of packets carrying the identical program (the
 /// common case once the netsim batches same-instant arrivals per switch)
@@ -75,12 +188,15 @@ pub struct DecodedProgram {
 /// skipping even the hash.
 #[derive(Debug, Clone)]
 pub struct DecodeCache {
-    slots: Vec<Option<DecodedProgram>>,
+    slots: Vec<Option<Arc<DecodedProgram>>>,
     mask: usize,
     /// Slot that served the previous lookup.
     last: usize,
     hits: u64,
     misses: u64,
+    /// Fleet-wide program pool consulted on local miss; `None` keeps the
+    /// cache self-contained (standalone ASICs, unit tests).
+    interner: Option<ProgramInterner>,
 }
 
 impl DecodeCache {
@@ -94,13 +210,23 @@ impl DecodeCache {
             last: 0,
             hits: 0,
             misses: 0,
+            interner: None,
         }
+    }
+
+    /// Route this cache's misses through a fleet-wide interner: a program
+    /// any other switch already decoded is shared instead of re-decoded.
+    /// Local hit/miss accounting is unchanged (an interner-served fill is
+    /// still a local miss); the sharing shows up in the interner's own
+    /// [`ProgramInterner::stats`].
+    pub fn set_interner(&mut self, interner: ProgramInterner) {
+        self.interner = Some(interner);
     }
 
     /// Look up the program encoded by `bytes`, decoding and inserting it on
     /// miss or collision. Always returns a program whose execution is
     /// bit-identical to decoding `bytes` fresh.
-    pub fn lookup(&mut self, bytes: &[u8]) -> &DecodedProgram {
+    pub fn lookup(&mut self, bytes: &[u8]) -> &Arc<DecodedProgram> {
         if matches!(&self.slots[self.last], Some(p) if p.bytes == bytes) {
             self.hits += 1;
             return self.slots[self.last].as_ref().expect("matched above");
@@ -113,18 +239,22 @@ impl DecodeCache {
             self.hits += 1;
         } else {
             self.misses += 1;
-            let words = bytes
-                .chunks_exact(4)
-                .map(|c| u32::from_be_bytes([c[0], c[1], c[2], c[3]]));
-            let (insns, bad_at) = decode_program(words);
-            self.slots[idx] = Some(DecodedProgram {
-                hash,
-                bytes: bytes.to_vec(),
-                insns,
-                bad_at,
-            });
+            let program = match &self.interner {
+                Some(interner) => interner.intern(hash, bytes),
+                None => Arc::new(DecodedProgram::decode(hash, bytes)),
+            };
+            self.slots[idx] = Some(program);
         }
         self.slots[idx].as_ref().expect("slot filled above")
+    }
+
+    /// Record a hit served by the TCPU's batched-dispatch window (the
+    /// pinned program of the current same-program run). The window only
+    /// ever serves exactly when the last-hit memo would have — same
+    /// byte-compare against the previously served program — so charging it
+    /// here keeps hit/miss counters identical with batching on or off.
+    pub(crate) fn note_window_hit(&mut self) {
+        self.hits += 1;
     }
 
     /// Programs served from the cache.
@@ -135,6 +265,15 @@ impl DecodeCache {
     /// Programs that had to be decoded (cold slot or collision).
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Approximate resident bytes of this cache's slot array. Program
+    /// bodies are *not* counted here: with an interner attached they are
+    /// fleet-shared state, accounted once via
+    /// [`ProgramInterner::approx_bytes`].
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.slots.capacity() * std::mem::size_of::<Option<Arc<DecodedProgram>>>()
     }
 }
 
@@ -233,6 +372,37 @@ mod tests {
         // And a re-lookup of A after eviction is a genuine miss again.
         assert_eq!(cache.lookup(&a).bytes, a);
         assert_eq!((cache.hits(), cache.misses()), (2, 3));
+    }
+
+    #[test]
+    fn interner_shares_one_decode_across_caches() {
+        let interner = ProgramInterner::new();
+        let mut cache_a = DecodeCache::new(8);
+        let mut cache_b = DecodeCache::new(8);
+        cache_a.set_interner(interner.clone());
+        cache_b.set_interner(interner.clone());
+        let bytes = words_to_bytes(&[0x0000_0000, 0x6000_0007]); // NOP, PUSHI 7
+        let pa = cache_a.lookup(&bytes).clone();
+        let pb = cache_b.lookup(&bytes).clone();
+        assert!(Arc::ptr_eq(&pa, &pb), "both caches share one decode");
+        assert_eq!(interner.stats(), (1, 1), "one decode, one shared fill");
+        assert_eq!(interner.distinct_programs(), 1);
+        // Local accounting is unchanged: each cache saw a cold miss.
+        assert_eq!((cache_a.hits(), cache_a.misses()), (0, 1));
+        assert_eq!((cache_b.hits(), cache_b.misses()), (0, 1));
+        assert!(interner.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn interner_keeps_colliding_programs_distinct() {
+        let (a, b) = colliding_programs();
+        let interner = ProgramInterner::new();
+        let mut cache = DecodeCache::new(64);
+        cache.set_interner(interner.clone());
+        assert_eq!(cache.lookup(&a).bytes, a);
+        assert_eq!(cache.lookup(&b).bytes, b, "collision still byte-verified");
+        assert_eq!(interner.distinct_programs(), 2);
+        assert_eq!(interner.stats(), (0, 2), "both were genuine decodes");
     }
 
     #[test]

@@ -50,7 +50,7 @@ pub mod tcpu;
 
 pub use asic::{Asic, DropReason, Outcome, PacketMeta, PortId, QueueId};
 pub use config::{AsicConfig, PortConfig, StripAction};
-pub use decode_cache::{DecodeCache, DecodedProgram};
+pub use decode_cache::{DecodeCache, DecodedProgram, ProgramInterner};
 pub use memmap::{Mmu, MmuFault};
 pub use profile::{PipelineProfile, ProfStage, ProfileConfig, Reservoir, Span, StageStat};
 pub use queue::DropTailQueue;

@@ -78,6 +78,14 @@ impl DropTailQueue {
         &self.stats
     }
 
+    /// Approximate resident heap bytes: the frame ring plus the buffered
+    /// frame bytes themselves.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.frames.capacity() * std::mem::size_of::<Vec<u8>>()
+            + self.frames.iter().map(Vec::capacity).sum::<usize>()
+    }
+
     /// Clone the queued frames head-first (snapshot support).
     pub(crate) fn frames_snapshot(&self) -> Vec<Vec<u8>> {
         self.frames.iter().cloned().collect()

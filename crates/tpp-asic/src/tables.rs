@@ -135,6 +135,11 @@ impl Tcam {
         self.entries.is_empty()
     }
 
+    /// Approximate resident heap bytes of this TCAM.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.entries.capacity() * std::mem::size_of::<FlowEntry>()
+    }
+
     /// Iterate over installed entries in priority order.
     pub fn iter(&self) -> impl Iterator<Item = &FlowEntry> {
         self.entries.iter()
@@ -171,6 +176,13 @@ impl L2Table {
     /// True when the table is empty.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// Approximate resident heap bytes of this table.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.entries.capacity()
+                * (std::mem::size_of::<(EthernetAddress, PortId)>() + std::mem::size_of::<u64>())
     }
 }
 
@@ -237,6 +249,19 @@ impl LpmTable {
     /// True when no prefixes are installed.
     pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// Approximate resident heap bytes of the trie.
+    pub fn approx_bytes(&self) -> usize {
+        fn nodes(node: &Node) -> usize {
+            1 + node
+                .children
+                .iter()
+                .flatten()
+                .map(|child| nodes(child))
+                .sum::<usize>()
+        }
+        std::mem::size_of::<Self>() + (nodes(&self.root) - 1) * std::mem::size_of::<Node>()
     }
 }
 

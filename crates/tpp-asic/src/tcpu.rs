@@ -16,7 +16,9 @@
 //! let a buggy program disturb the traffic carrying it. The fault is
 //! reported in the [`ExecReport`] so end-hosts (and tests) can see it.
 
-use crate::decode_cache::DecodeCache;
+use std::sync::Arc;
+
+use crate::decode_cache::{DecodeCache, DecodedProgram, ProgramInterner};
 use crate::memmap::{Mmu, MmuFault};
 use tpp_isa::{Instruction, PacketOperand};
 use tpp_wire::tpp::{TppPacket, FLAG_EXECUTED, WORD_SIZE};
@@ -102,6 +104,14 @@ impl ExecReport {
 pub struct Tcpu {
     cycle_budget: u32,
     cache: Option<DecodeCache>,
+    /// Batched-dispatch run detection: when enabled, the program that
+    /// served the previous packet stays pinned (an `Arc`, immune to slot
+    /// eviction) and a run of same-program packets — the shape a switch
+    /// sees when it drains an event window — executes against the one
+    /// decode with a single byte-compare per packet and a fast
+    /// straight-line loop. Semantically invisible; see [`Tcpu::execute`].
+    batched: bool,
+    window: Option<Arc<DecodedProgram>>,
 }
 
 impl Tcpu {
@@ -111,6 +121,8 @@ impl Tcpu {
         Tcpu {
             cycle_budget,
             cache: None,
+            batched: false,
+            window: None,
         }
     }
 
@@ -121,9 +133,33 @@ impl Tcpu {
         self
     }
 
+    /// Enable (or disable) batched dispatch. Requires the decode cache;
+    /// with the cache off this is a no-op. Execution, counters, and
+    /// profiler charging are bit-identical either way — proven by the
+    /// batched-vs-unbatched proptests.
+    pub fn with_batched_dispatch(mut self, on: bool) -> Self {
+        self.batched = on;
+        self
+    }
+
+    /// Route decode-cache misses through a fleet-wide program interner
+    /// (no-op when the cache is off).
+    pub fn set_interner(&mut self, interner: ProgramInterner) {
+        if let Some(cache) = self.cache.as_mut() {
+            cache.set_interner(interner);
+        }
+    }
+
     /// The configured budget.
     pub fn cycle_budget(&self) -> u32 {
         self.cycle_budget
+    }
+
+    /// Approximate resident bytes of the TCPU's per-switch state (the
+    /// decode-cache slot array; interned program bodies are fleet-shared
+    /// and accounted at the interner).
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.cache.as_ref().map_or(0, DecodeCache::approx_bytes)
     }
 
     /// Decode-cache `(hits, misses)`; `(0, 0)` when the cache is off.
@@ -152,7 +188,23 @@ impl Tcpu {
         };
 
         if let Some(cache) = self.cache.as_mut() {
-            let program = cache.lookup(tpp.instruction_bytes());
+            let program: &Arc<DecodedProgram> = if self.batched {
+                // Batched dispatch: a run of packets carrying the program
+                // that served the previous packet is detected by one byte
+                // compare and executes against the pinned Arc — decode
+                // once, run N. The pin serves exactly when the cache's
+                // last-hit memo would (same compare against the same
+                // program), so hit/miss counters stay identical.
+                if matches!(&self.window, Some(p) if p.bytes() == tpp.instruction_bytes()) {
+                    cache.note_window_hit();
+                    self.window.as_ref().expect("matched above")
+                } else {
+                    let fresh = cache.lookup(tpp.instruction_bytes()).clone();
+                    &*self.window.insert(fresh)
+                }
+            } else {
+                cache.lookup(tpp.instruction_bytes())
+            };
             // The uncached loop visits word positions 0..n, stopping at the
             // first undecodable word; replay exactly those positions, with
             // the budget check first at each pc, so halt interleaving is
@@ -161,17 +213,35 @@ impl Tcpu {
                 Some(bad) => bad + 1,
                 None => program.insns.len(),
             };
-            for pc in 0..n {
-                if report.cycles + 1 > budget {
-                    report.halt = Some(HaltReason::BudgetExceeded { pc });
-                    break;
+            if self.batched
+                && program.bad_at.is_none()
+                && PIPELINE_LATENCY_CYCLES + n as u32 <= budget
+            {
+                // Straight-line fast path: every word decoded cleanly and
+                // the whole program fits the budget, so the per-pc budget
+                // check (`4 + pc + 1 > budget` is impossible while
+                // `4 + n <= budget`) and the bad_at compare can never
+                // fire — eliding them is branch-for-branch equivalent.
+                // Faulting instructions still halt inside `run_insn`
+                // exactly as in the exact-replay loop.
+                for (pc, insn) in program.insns.iter().enumerate() {
+                    if !Self::run_insn(*insn, pc, tpp, mmu, &mut report) {
+                        break;
+                    }
                 }
-                if program.bad_at == Some(pc) {
-                    report.halt = Some(HaltReason::BadInstruction { pc });
-                    break;
-                }
-                if !Self::run_insn(program.insns[pc], pc, tpp, mmu, &mut report) {
-                    break;
+            } else {
+                for pc in 0..n {
+                    if report.cycles + 1 > budget {
+                        report.halt = Some(HaltReason::BudgetExceeded { pc });
+                        break;
+                    }
+                    if program.bad_at == Some(pc) {
+                        report.halt = Some(HaltReason::BadInstruction { pc });
+                        break;
+                    }
+                    if !Self::run_insn(program.insns[pc], pc, tpp, mmu, &mut report) {
+                        break;
+                    }
                 }
             }
         } else {

@@ -281,8 +281,13 @@ struct NetsimRow {
 /// hosts stream TPP probes across the fabric at odd hosts. Every config
 /// must report identical `sent`/`delivered`/`tpps` (shard-count
 /// invariance); only the wall clock may differ.
-fn run_netsim_row(name: &'static str, shards: usize, threaded: bool, cfg: SimConfig) -> NetsimRow {
-    const SIM_MS: u64 = 50;
+fn run_netsim_row(
+    name: &'static str,
+    shards: usize,
+    threaded: bool,
+    cfg: SimConfig,
+    sim_ms: u64,
+) -> NetsimRow {
     const PROBE_PERIOD_NS: u64 = 5_000; // 200k probes/sec per host
 
     let params = LeafSpineParams::default(); // 4 leaves x 2 spines, 16 hosts
@@ -300,7 +305,7 @@ fn run_netsim_row(name: &'static str, shards: usize, threaded: bool, cfg: SimCon
                     ),
                     template: template.clone(),
                     period_ns: PROBE_PERIOD_NS,
-                    until_ns: time::millis(SIM_MS),
+                    until_ns: time::millis(sim_ms),
                     sent: 0,
                 })
             } else {
@@ -311,7 +316,7 @@ fn run_netsim_row(name: &'static str, shards: usize, threaded: bool, cfg: SimCon
     let (mut sim, fabric) = leaf_spine_with(cfg, params, apps);
 
     let m = measure(|| {
-        sim.run(RunLimit::Until(time::millis(SIM_MS)));
+        sim.run(RunLimit::Until(time::millis(sim_ms)));
     });
 
     let mut sent = 0u64;
@@ -373,14 +378,21 @@ fn run_netsim_workload() -> String {
     // — barrier churn with nothing to run in parallel — which is why
     // every row carries the `cores` context field.
     let rows = [
-        run_netsim_row("1_shard", 1, true, SimConfig::new().shards(1)),
+        run_netsim_row("1_shard", 1, true, SimConfig::new().shards(1), SIM_MS),
         run_netsim_row(
             "4_shards_seq",
             4,
             false,
             SimConfig::new().shards(4).sequential(),
+            SIM_MS,
         ),
-        run_netsim_row("4_shards_threaded", 4, true, SimConfig::new().shards(4)),
+        run_netsim_row(
+            "4_shards_threaded",
+            4,
+            true,
+            SimConfig::new().shards(4),
+            SIM_MS,
+        ),
     ];
 
     let base = &rows[0];
@@ -414,8 +426,23 @@ fn run_netsim_workload() -> String {
     )
 }
 
+/// Extract `"field": <number>` from the machine-written row line that
+/// contains `matcher` (the committed JSONs are one row per line, so no
+/// JSON dependency is needed).
+fn committed_row_field(doc: &str, matcher: &str, field: &str) -> Option<f64> {
+    let line = doc.lines().find(|l| l.contains(matcher))?;
+    let idx = line.find(&format!("\"{field}\":"))?;
+    let rest = &line[idx + field.len() + 3..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
 fn main() {
-    const FRAMES: u64 = 200_000;
+    // `--quick`: a sanity-check pass at 1/10th the frame count and a
+    // single netsim row that prints a one-line delta against the
+    // committed baselines instead of rewriting them.
+    let quick = std::env::args().skip(1).any(|a| a == "--quick");
+    let frames: u64 = if quick { 20_000 } else { 200_000 };
 
     // Probe-sized frames: TPP monitoring traffic is small (§3.3 puts a
     // 5-instruction TPP at well under 100 bytes), and small frames keep
@@ -429,7 +456,7 @@ fn main() {
             "off",
             AsicConfig::with_ports(1, 4).without_hot_path_caches(),
             &tpp,
-            FRAMES,
+            frames,
             true,
         ),
         run_pipeline_workload(
@@ -437,7 +464,7 @@ fn main() {
             "on",
             AsicConfig::with_ports(1, 4),
             &tpp,
-            FRAMES,
+            frames,
             true,
         ),
         run_pipeline_workload(
@@ -445,7 +472,7 @@ fn main() {
             "off",
             AsicConfig::with_ports(1, 4).without_hot_path_caches(),
             &plain,
-            FRAMES,
+            frames,
             false,
         ),
         run_pipeline_workload(
@@ -453,7 +480,7 @@ fn main() {
             "on",
             AsicConfig::with_ports(1, 4),
             &plain,
-            FRAMES,
+            frames,
             false,
         ),
         // Observability overhead: identical TPP workload, caches on,
@@ -465,7 +492,7 @@ fn main() {
             "on",
             AsicConfig::with_ports(1, 4),
             &tpp,
-            FRAMES,
+            frames,
             true,
             false,
         ),
@@ -474,7 +501,7 @@ fn main() {
             "on",
             AsicConfig::with_ports(1, 4),
             &tpp,
-            FRAMES,
+            frames,
             true,
             true,
         ),
@@ -512,6 +539,56 @@ fn main() {
         "speedup: tcpu_repeated_program {tcpu_speedup:.2}x, pipeline_plain {plain_speedup:.2}x"
     );
     println!("obs sampling on/off throughput ratio: {obs_on_vs_off:.2}");
+
+    if quick {
+        // One short netsim row, then a single delta line against the
+        // committed baselines — nothing is rewritten.
+        let netsim = run_netsim_row("1_shard", 1, true, SimConfig::new().shards(1), 10);
+        let ratio = |measured: f64, committed: Option<f64>| match committed {
+            Some(c) if c > 0.0 => format!("{:.2}x", measured / c),
+            _ => "n/a".to_string(),
+        };
+        let row_pps_on = |name: &str| -> f64 {
+            rows.iter()
+                .find(|r| r.name == name && r.caches == "on")
+                .expect("caches-on row")
+                .packets_per_sec
+        };
+        let pipeline_doc = std::fs::read_to_string("BENCH_pipeline.json").unwrap_or_default();
+        let netsim_doc = std::fs::read_to_string("BENCH_netsim.json").unwrap_or_default();
+        println!(
+            "quick delta vs committed: tcpu_on {}, plain_on {}, obs_ratio {}, \
+             netsim_1shard {} (tpps/wall-s), netsim allocs {} vs {}",
+            ratio(
+                row_pps_on("tcpu_repeated_program"),
+                committed_row_field(
+                    &pipeline_doc,
+                    "\"name\": \"tcpu_repeated_program\", \"caches\": \"on\"",
+                    "packets_per_sec",
+                ),
+            ),
+            ratio(
+                row_pps_on("pipeline_plain"),
+                committed_row_field(
+                    &pipeline_doc,
+                    "\"name\": \"pipeline_plain\", \"caches\": \"on\"",
+                    "packets_per_sec",
+                ),
+            ),
+            ratio(
+                obs_on_vs_off,
+                committed_row_field(&pipeline_doc, "\"speedup\"", "obs_sampling_on_vs_off"),
+            ),
+            ratio(
+                netsim.tpps as f64 / netsim.elapsed_s,
+                committed_row_field(&netsim_doc, "\"name\": \"1_shard\"", "tpps_per_wall_sec"),
+            ),
+            netsim.allocs,
+            committed_row_field(&netsim_doc, "\"name\": \"1_shard\"", "allocations")
+                .map_or("n/a".to_string(), |v| format!("{v:.0} committed")),
+        );
+        return;
+    }
 
     let pipeline_json = format!(
         "{{\n  \"bench\": \"perf_baseline/pipeline\",\n  \"workloads\": [\n{}\n  ],\n  \

@@ -19,6 +19,7 @@
 //! | `fct_comparison` | §1 — mice/elephant flow completion times |
 //! | `conformance` | differential conformance fuzz: `tpp-asic` vs `tpp-spec` |
 //! | `bonding_demo` | multi-NIC bonding: probe-driven failover under degradation, flap, reboot |
+//! | `fct_bench` | §4 datacenters at scale — million-flow fat-tree FCT + memory benchmark |
 //!
 //! Criterion benches (`cargo bench`) measure the *model's* performance:
 //! TCPU execution cost per instruction count, full-pipeline frame
@@ -31,6 +32,7 @@ pub mod bonding_scenario;
 pub mod conformance;
 pub mod obs_scenario;
 pub mod testgen;
+pub mod traffic;
 
 /// Render a simple fixed-width table to stdout.
 pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {

@@ -1,0 +1,445 @@
+//! Seeded traffic-matrix engine for the datacenter FCT benchmark.
+//!
+//! Flow sizes are drawn from the two empirical datacenter distributions
+//! every congestion-control paper since has benchmarked against:
+//!
+//! * **web-search** — the production cluster of the DCTCP paper
+//!   (Alizadeh et al., SIGCOMM'10): a mixed mice/elephant CDF whose
+//!   byte count is dominated by a heavy >1 MB tail;
+//! * **data-mining** — the VL2 paper (Greenberg et al., SIGCOMM'09):
+//!   over 80 % of flows under ~4 KB, with a very long sparse tail.
+//!
+//! Both are encoded as inverse-CDF breakpoint tables and sampled by
+//! linear interpolation, so a uniform `u ∈ [0,1)` maps to a flow size
+//! in bytes. The [`FlowGenApp`] host app plays a pre-generated schedule
+//! of such flows (open-loop, paced by the NIC) and records
+//! flow-completion times at the receiving side; everything is seeded
+//! through a splitmix64 stream, so a `(seed, host)` pair always yields
+//! the same schedule regardless of shard count or threading.
+
+use tpp_netsim::{HostApp, HostCtx};
+use tpp_wire::ethernet::{EtherType, Frame, ETHERNET_HEADER_LEN};
+use tpp_wire::EthernetAddress;
+
+/// Ethertype of benchmark data frames (plain, non-TPP traffic).
+pub const FCT_ETHERTYPE: EtherType = EtherType(0x0802);
+
+/// Payload bytes per full-size frame (1500 B on the wire with the
+/// Ethernet header and the flow metadata header).
+pub const FRAME_PAYLOAD: usize = 1486 - META_LEN;
+
+/// Bytes of flow metadata at the start of every benchmark frame.
+pub const META_LEN: usize = 24;
+
+const META_MAGIC: u16 = 0xF1C7;
+const FLAG_LAST: u8 = 1 << 0;
+const FLAG_MINING: u8 = 1 << 1;
+
+/// splitmix64 — the tiny, seedable, statistically solid mixer used for
+/// every random draw in the engine (no external RNG dependency).
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A splitmix64-sequence RNG: `state` advances by the golden-ratio
+/// increment, each output is one mix of it.
+#[derive(Debug, Clone)]
+pub struct Rng64 {
+    state: u64,
+}
+
+impl Rng64 {
+    /// Seeded stream; distinct seeds give independent streams.
+    pub fn new(seed: u64) -> Self {
+        Rng64 {
+            state: splitmix64(seed),
+        }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        splitmix64(self.state)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in `[0, n)`.
+    pub fn next_below(&mut self, n: u64) -> u64 {
+        // Multiply-shift; bias is negligible for benchmark-sized n.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+}
+
+/// Which empirical flow-size CDF a flow draws from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowSizeDist {
+    /// DCTCP web-search workload.
+    WebSearch,
+    /// VL2 data-mining workload.
+    DataMining,
+}
+
+/// `(cdf, bytes)` breakpoints; the widely used approximations of the
+/// published curves (as shipped with public DCTCP/VL2 simulators).
+const WEB_SEARCH_CDF: &[(f64, f64)] = &[
+    (0.0, 1_000.0),
+    (0.05, 2_000.0),
+    (0.10, 3_000.0),
+    (0.20, 5_000.0),
+    (0.30, 7_000.0),
+    (0.40, 10_000.0),
+    (0.53, 20_000.0),
+    (0.60, 30_000.0),
+    (0.70, 50_000.0),
+    (0.80, 80_000.0),
+    (0.90, 200_000.0),
+    (0.97, 1_000_000.0),
+    (0.99, 2_000_000.0),
+    (1.0, 10_000_000.0),
+];
+
+const DATA_MINING_CDF: &[(f64, f64)] = &[
+    (0.0, 100.0),
+    (0.10, 180.0),
+    (0.20, 250.0),
+    (0.40, 560.0),
+    (0.50, 900.0),
+    (0.60, 1_100.0),
+    (0.70, 1_870.0),
+    (0.80, 3_160.0),
+    (0.90, 10_000.0),
+    (0.95, 400_000.0),
+    (0.98, 3_160_000.0),
+    (1.0, 100_000_000.0),
+];
+
+impl FlowSizeDist {
+    fn table(self) -> &'static [(f64, f64)] {
+        match self {
+            FlowSizeDist::WebSearch => WEB_SEARCH_CDF,
+            FlowSizeDist::DataMining => DATA_MINING_CDF,
+        }
+    }
+
+    /// Inverse-CDF sample: map uniform `u ∈ [0,1)` to bytes by linear
+    /// interpolation between breakpoints.
+    pub fn sample_bytes(self, u: f64) -> u64 {
+        let t = self.table();
+        let u = u.clamp(0.0, 1.0);
+        for w in t.windows(2) {
+            let (c0, b0) = w[0];
+            let (c1, b1) = w[1];
+            if u <= c1 {
+                let frac = if c1 > c0 { (u - c0) / (c1 - c0) } else { 0.0 };
+                return (b0 + frac * (b1 - b0)) as u64;
+            }
+        }
+        t.last().expect("non-empty table").1 as u64
+    }
+}
+
+/// One scheduled flow of a [`FlowGenApp`].
+#[derive(Debug, Clone, Copy)]
+pub struct Flow {
+    /// Absolute start time, ns.
+    pub start_ns: u64,
+    /// Destination host MAC.
+    pub dst: EthernetAddress,
+    /// Flow size, bytes (post scale/cap).
+    pub bytes: u32,
+    /// Fleet-unique flow key: `src_index << 32 | flow_ordinal`.
+    pub key: u64,
+    /// Drawn from the data-mining CDF (else web-search).
+    pub mining: bool,
+}
+
+/// Knobs of the schedule generator.
+#[derive(Debug, Clone)]
+pub struct TrafficConfig {
+    /// Master seed; each `(seed, src_index)` pair is an independent
+    /// stream.
+    pub seed: u64,
+    /// Flows generated per source host.
+    pub flows_per_host: usize,
+    /// Mean inter-arrival gap per host, ns (exponential).
+    pub mean_gap_ns: u64,
+    /// Sampled sizes are divided by this (tractability knob for the
+    /// simulated-byte volume; 1 = the published curves verbatim).
+    pub size_scale_div: u64,
+    /// Sizes are clamped to `[min_bytes, cap_bytes]` after scaling.
+    pub cap_bytes: u64,
+    /// Lower clamp, bytes.
+    pub min_bytes: u64,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> Self {
+        TrafficConfig {
+            seed: 0xFC7_BEEF,
+            flows_per_host: 1000,
+            mean_gap_ns: 90_000,
+            size_scale_div: 16,
+            cap_bytes: 64 * 1024,
+            min_bytes: 512,
+        }
+    }
+}
+
+/// Generate the seeded flow schedule of one source host. `src_index`
+/// indexes `dst_macs` (the flow-generating hosts, including the source
+/// itself — self-flows are skipped by drawing from the other entries).
+pub fn generate_schedule(
+    cfg: &TrafficConfig,
+    src_index: u32,
+    dst_macs: &[EthernetAddress],
+    dist: FlowSizeDist,
+) -> Vec<Flow> {
+    assert!(
+        dst_macs.len() >= 2,
+        "need at least one non-self destination"
+    );
+    let mut rng = Rng64::new(splitmix64(cfg.seed ^ ((src_index as u64) << 1 | 1)));
+    let mut t = 0u64;
+    let mut out = Vec::with_capacity(cfg.flows_per_host);
+    for i in 0..cfg.flows_per_host {
+        let gap = -(1.0 - rng.next_f64()).ln() * cfg.mean_gap_ns as f64;
+        t += gap as u64;
+        let mut j = rng.next_below(dst_macs.len() as u64 - 1) as usize;
+        if j >= src_index as usize {
+            j += 1;
+        }
+        let raw = dist.sample_bytes(rng.next_f64());
+        let bytes = (raw / cfg.size_scale_div).clamp(cfg.min_bytes, cfg.cap_bytes) as u32;
+        out.push(Flow {
+            start_ns: t,
+            dst: dst_macs[j],
+            bytes,
+            key: ((src_index as u64) << 32) | i as u64,
+            mining: dist == FlowSizeDist::DataMining,
+        });
+    }
+    out
+}
+
+/// A completed flow, recorded at the *receiving* host.
+#[derive(Debug, Clone, Copy)]
+pub struct Completion {
+    /// The flow key from the sender's schedule.
+    pub key: u64,
+    /// Flow size, bytes.
+    pub bytes: u32,
+    /// Drawn from the data-mining CDF.
+    pub mining: bool,
+    /// Flow-completion time: last-byte arrival minus scheduled start.
+    pub fct_ns: u64,
+}
+
+/// Open-loop traffic source + FCT-recording sink, one per benchmark
+/// host. Sending is paced by the host NIC (frames of a flow are
+/// enqueued back-to-back and serialize at line rate, in order; the
+/// single-path L2 fabric preserves ordering), so the final frame's
+/// arrival *is* flow completion — the receiver needs no reassembly
+/// state, every frame carries its flow metadata.
+#[derive(Debug, Default)]
+pub struct FlowGenApp {
+    schedule: Vec<Flow>,
+    next: usize,
+    /// Flows whose frames have been handed to the NIC.
+    pub flows_started: u64,
+    /// Data frames sent.
+    pub frames_sent: u64,
+    /// Flows that completed *at this host* (i.e. it was the receiver).
+    pub completions: Vec<Completion>,
+}
+
+impl FlowGenApp {
+    /// An app that plays `schedule` (must be sorted by start time).
+    pub fn new(schedule: Vec<Flow>) -> Self {
+        debug_assert!(schedule.windows(2).all(|w| w[0].start_ns <= w[1].start_ns));
+        FlowGenApp {
+            schedule,
+            ..Default::default()
+        }
+    }
+
+    fn send_flow(&mut self, flow: Flow, ctx: &mut HostCtx<'_>) {
+        let total = flow.bytes as usize;
+        let n_frames = total.div_ceil(FRAME_PAYLOAD).max(1);
+        let mut remaining = total;
+        for i in 0..n_frames {
+            let last = i + 1 == n_frames;
+            let body = remaining.min(FRAME_PAYLOAD);
+            remaining -= body;
+            let len = ETHERNET_HEADER_LEN + META_LEN + body;
+            let mut buf = ctx.alloc_frame(len);
+            buf.resize(len, 0);
+            let mut eth = Frame::new_unchecked(&mut buf[..]);
+            eth.set_dst_addr(flow.dst);
+            eth.set_src_addr(ctx.mac());
+            eth.set_ethertype(FCT_ETHERTYPE);
+            let p = eth.payload_mut();
+            p[0..2].copy_from_slice(&META_MAGIC.to_be_bytes());
+            p[2] = if last { FLAG_LAST } else { 0 } | if flow.mining { FLAG_MINING } else { 0 };
+            p[3] = 0;
+            p[4..8].copy_from_slice(&flow.bytes.to_be_bytes());
+            p[8..16].copy_from_slice(&flow.start_ns.to_be_bytes());
+            p[16..24].copy_from_slice(&flow.key.to_be_bytes());
+            ctx.send(buf);
+            self.frames_sent += 1;
+        }
+        self.flows_started += 1;
+    }
+
+    fn arm(&mut self, ctx: &mut HostCtx<'_>) {
+        if let Some(flow) = self.schedule.get(self.next) {
+            let delay = flow.start_ns.saturating_sub(ctx.now()).max(1);
+            ctx.set_timer(delay, 0);
+        }
+    }
+}
+
+impl HostApp for FlowGenApp {
+    fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
+        self.arm(ctx);
+    }
+
+    fn on_timer(&mut self, _token: u64, ctx: &mut HostCtx<'_>) {
+        while self
+            .schedule
+            .get(self.next)
+            .is_some_and(|f| f.start_ns <= ctx.now())
+        {
+            let flow = self.schedule[self.next];
+            self.next += 1;
+            self.send_flow(flow, ctx);
+        }
+        self.arm(ctx);
+    }
+
+    fn on_frame(&mut self, frame: Vec<u8>, ctx: &mut HostCtx<'_>) {
+        if frame.len() >= ETHERNET_HEADER_LEN + META_LEN {
+            let eth = Frame::new_unchecked(&frame[..]);
+            if eth.ethertype() == FCT_ETHERTYPE {
+                let p = eth.payload();
+                if u16::from_be_bytes([p[0], p[1]]) == META_MAGIC && p[2] & FLAG_LAST != 0 {
+                    let bytes = u32::from_be_bytes([p[4], p[5], p[6], p[7]]);
+                    let start_ns = u64::from_be_bytes(p[8..16].try_into().expect("8 bytes"));
+                    let key = u64::from_be_bytes(p[16..24].try_into().expect("8 bytes"));
+                    self.completions.push(Completion {
+                        key,
+                        bytes,
+                        mining: p[2] & FLAG_MINING != 0,
+                        fct_ns: ctx.now().saturating_sub(start_ns),
+                    });
+                }
+            }
+        }
+        ctx.recycle_frame(frame);
+    }
+}
+
+/// Order-independent fingerprint of a set of completions: commutative
+/// accumulation of a mix of each `(key, fct_ns)` pair, so the value is
+/// identical for any shard count, thread interleaving, or host
+/// iteration order that delivers the same flows at the same times.
+pub fn completions_fingerprint(completions: impl Iterator<Item = Completion>) -> u64 {
+    let mut acc = 0u64;
+    for c in completions {
+        acc = acc.wrapping_add(splitmix64(c.key ^ c.fct_ns.rotate_left(17)));
+    }
+    acc
+}
+
+/// `p`-th percentile (0..=1) of an ascending-sorted slice; NaN if empty.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    sorted[((sorted.len() - 1) as f64 * p).round() as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_tables_are_monotone() {
+        for t in [WEB_SEARCH_CDF, DATA_MINING_CDF] {
+            assert!(t.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 < w[1].1));
+            assert_eq!(t[0].0, 0.0);
+            assert_eq!(t.last().unwrap().0, 1.0);
+        }
+    }
+
+    #[test]
+    fn sampling_interpolates_and_is_bounded() {
+        for dist in [FlowSizeDist::WebSearch, FlowSizeDist::DataMining] {
+            let lo = dist.table()[0].1 as u64;
+            let hi = dist.table().last().unwrap().1 as u64;
+            let mut rng = Rng64::new(7);
+            let mut prev = 0;
+            for _ in 0..1000 {
+                let b = dist.sample_bytes(rng.next_f64());
+                assert!((lo..=hi).contains(&b), "{b} outside [{lo}, {hi}]");
+                prev = prev.max(b);
+            }
+            assert!(prev > lo, "tail never sampled");
+        }
+        // Median of web-search sits in the 10–20 KB breakpoint span.
+        let med = FlowSizeDist::WebSearch.sample_bytes(0.5);
+        assert!((10_000..20_000).contains(&med), "median {med}");
+    }
+
+    #[test]
+    fn schedules_are_seed_deterministic_and_skip_self() {
+        let macs: Vec<EthernetAddress> = (0..8).map(EthernetAddress::from_host_id).collect();
+        let cfg = TrafficConfig {
+            flows_per_host: 200,
+            ..Default::default()
+        };
+        let a = generate_schedule(&cfg, 3, &macs, FlowSizeDist::WebSearch);
+        let b = generate_schedule(&cfg, 3, &macs, FlowSizeDist::WebSearch);
+        assert_eq!(a.len(), 200);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(
+                (x.start_ns, x.dst, x.bytes, x.key),
+                (y.start_ns, y.dst, y.bytes, y.key)
+            );
+        }
+        assert!(a.iter().all(|f| f.dst != macs[3]), "self-flow generated");
+        assert!(a.windows(2).all(|w| w[0].start_ns <= w[1].start_ns));
+        let c = generate_schedule(&cfg, 4, &macs, FlowSizeDist::WebSearch);
+        assert!(a.iter().zip(&c).any(|(x, y)| x.bytes != y.bytes));
+    }
+
+    #[test]
+    fn fingerprint_is_order_independent() {
+        let mk = |key, fct_ns| Completion {
+            key,
+            bytes: 1,
+            mining: false,
+            fct_ns,
+        };
+        let fwd = completions_fingerprint([mk(1, 10), mk(2, 20), mk(3, 30)].into_iter());
+        let rev = completions_fingerprint([mk(3, 30), mk(1, 10), mk(2, 20)].into_iter());
+        assert_eq!(fwd, rev);
+        let other = completions_fingerprint([mk(3, 31), mk(1, 10), mk(2, 20)].into_iter());
+        assert_ne!(fwd, other);
+    }
+
+    #[test]
+    fn percentile_basics() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 0.5), 3.0);
+        assert_eq!(percentile(&v, 1.0), 5.0);
+        assert!(percentile(&[], 0.5).is_nan());
+    }
+}

@@ -24,13 +24,38 @@ use crate::fault::ChannelProfile;
 use crate::node::{HostId, SwitchId};
 use tpp_asic::PortId;
 
-/// Where an event is delivered.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum NodeRef {
-    /// A switch.
-    Switch(SwitchId),
-    /// A host.
-    Host(HostId),
+/// Where an event is delivered: a dense `u32` node id. Switches are
+/// their index, hosts set the top bit. Half the size of the old
+/// two-word `NodeRef` enum, which matters because every frame arrival
+/// and link-free event in every shard queue carries one; the ordering
+/// (switches below hosts, then index) matches the canonical key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(u32);
+
+const HOST_BIT: u32 = 1 << 31;
+
+impl NodeId {
+    /// The id of a switch.
+    pub fn switch(s: SwitchId) -> Self {
+        debug_assert!((s.0 as u32) < HOST_BIT);
+        NodeId(s.0 as u32)
+    }
+
+    /// The id of a host.
+    pub fn host(h: HostId) -> Self {
+        debug_assert!((h.0 as u32) < HOST_BIT);
+        NodeId(h.0 as u32 | HOST_BIT)
+    }
+
+    /// Whether this id names a host (else a switch).
+    pub fn is_host(self) -> bool {
+        self.0 & HOST_BIT != 0
+    }
+
+    /// The dense switch or host index.
+    pub fn index(self) -> usize {
+        (self.0 & !HOST_BIT) as usize
+    }
 }
 
 pub(crate) const CLASS_FAULT: u8 = 0;
@@ -39,12 +64,11 @@ pub(crate) const CLASS_LINK_FREE: u8 = 2;
 pub(crate) const CLASS_FRAME: u8 = 3;
 
 /// A canonical `(node, port)` ordering key: switches below hosts, then
-/// node index, then port.
-pub(crate) fn node_port_key(node: NodeRef, port: PortId) -> u64 {
-    match node {
-        NodeRef::Switch(s) => ((s.0 as u64) << 16) | port as u64,
-        NodeRef::Host(h) => (1u64 << 63) | ((h.0 as u64) << 16) | port as u64,
-    }
+/// node index, then port. Bit-compatible with the pre-`NodeId` key, so
+/// fingerprints and RNG streams keyed on it are unchanged.
+pub(crate) fn node_port_key(node: NodeId, port: PortId) -> u64 {
+    let host_bit = ((node.0 >> 31) as u64) << 63;
+    host_bit | ((node.index() as u64) << 16) | port as u64
 }
 
 /// The canonical total order on simulation events.
@@ -85,7 +109,7 @@ impl EventKey {
     }
 
     /// Key of a transmitter becoming free at `(node, port)`.
-    pub(crate) fn link_free(time: u64, node: NodeRef, port: PortId) -> Self {
+    pub(crate) fn link_free(time: u64, node: NodeId, port: PortId) -> Self {
         EventKey {
             time,
             class: CLASS_LINK_FREE,
@@ -97,7 +121,7 @@ impl EventKey {
     /// Key of a frame arrival at `(node, port)`; `seq` is the
     /// transmitting link direction's frame counter (duplicated copies
     /// take the lower sequence, so they deliver before the original).
-    pub(crate) fn frame(time: u64, node: NodeRef, port: PortId, seq: u64) -> Self {
+    pub(crate) fn frame(time: u64, node: NodeId, port: PortId, seq: u64) -> Self {
         EventKey {
             time,
             class: CLASS_FRAME,
@@ -119,7 +143,7 @@ pub enum FaultApply {
     /// `(node, port)`.
     SetLinkUp {
         /// Transmitting node.
-        node: NodeRef,
+        node: NodeId,
         /// Transmitting port.
         port: PortId,
         /// New state: `true` restores the direction, `false` black-holes
@@ -136,7 +160,7 @@ pub enum FaultApply {
     /// transmitted from `(node, port)`.
     SetChannel {
         /// Transmitting node.
-        node: NodeRef,
+        node: NodeId,
         /// Transmitting port.
         port: PortId,
         /// The new profile.
@@ -151,7 +175,7 @@ pub enum EventKind {
     /// index).
     FrameArrive {
         /// Receiving node.
-        node: NodeRef,
+        node: NodeId,
         /// Receiving port (NIC index for hosts).
         port: PortId,
         /// The frame bytes.
@@ -161,7 +185,7 @@ pub enum EventKind {
     /// may start the next one.
     LinkFree {
         /// Transmitting node.
-        node: NodeRef,
+        node: NodeId,
         /// Transmitting port.
         port: PortId,
     },
@@ -285,9 +309,26 @@ mod tests {
     }
 
     #[test]
+    fn node_id_roundtrips_and_orders() {
+        let s = NodeId::switch(SwitchId(3));
+        let h = NodeId::host(HostId(3));
+        assert!(!s.is_host());
+        assert!(h.is_host());
+        assert_eq!(s.index(), 3);
+        assert_eq!(h.index(), 3);
+        assert!(s < h, "switches order below hosts");
+        assert_eq!(
+            node_port_key(s, 2),
+            (3u64 << 16) | 2,
+            "bit-compatible with the pre-NodeId key"
+        );
+        assert_eq!(node_port_key(h, 2), (1u64 << 63) | (3u64 << 16) | 2);
+    }
+
+    #[test]
     fn ties_break_by_class_then_target() {
         let mut q = EventQueue::new();
-        let node = NodeRef::Switch(SwitchId(1));
+        let node = NodeId::switch(SwitchId(1));
         // Push in scrambled order; pops must follow the canonical class
         // order: fault, timer, link-free, frame.
         q.push(
@@ -339,7 +380,7 @@ mod tests {
     fn insertion_order_is_irrelevant() {
         // The property the sharded scheduler rests on: any insertion
         // order of the same event set pops identically.
-        let node = NodeRef::Host(HostId(2));
+        let node = NodeId::host(HostId(2));
         let keys = [
             EventKey::frame(7, node, 0, 4),
             EventKey::frame(7, node, 0, 1),

@@ -26,7 +26,7 @@ use std::sync::{Barrier, Mutex};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::event::{Event, EventKey, EventKind, EventQueue, FaultApply, NodeRef};
+use crate::event::{Event, EventKey, EventKind, EventQueue, FaultApply, NodeId};
 use crate::fault::FaultCounters;
 use crate::node::{HostAction, HostApp, HostCtx, HostId, SwitchId};
 use crate::pool::FramePool;
@@ -58,7 +58,11 @@ pub(crate) struct ShardState {
     pub(crate) pool: FramePool,
     pub(crate) counters: FaultCounters,
     pub(crate) actions: Vec<HostAction>,
-    pub(crate) taps: HashMap<(NodeRef, PortId), Vec<TapRecord>>,
+    /// Scratch buffer the mailbox contents are swapped into at each
+    /// drain, so the lock is held only for a pointer swap and both
+    /// buffers keep their capacity warm across windows.
+    pub(crate) inbox_scratch: Vec<Event>,
+    pub(crate) taps: HashMap<(NodeId, PortId), Vec<TapRecord>>,
     pub(crate) sink: Option<SharedSink>,
     pub(crate) processed: u64,
 }
@@ -70,6 +74,7 @@ impl ShardState {
             pool: FramePool::new(frame_pool_buffers),
             counters: FaultCounters::default(),
             actions: Vec::new(),
+            inbox_scratch: Vec::new(),
             taps: HashMap::new(),
             sink: None,
             processed: 0,
@@ -100,12 +105,20 @@ pub(crate) struct ShardRun<'a> {
 impl ShardRun<'_> {
     /// Move mailbox deliveries into the event queue. Items deposited by
     /// other shards during the previous window all lie at or beyond the
-    /// current barrier, so delivery is never late.
+    /// current barrier, so delivery is never late. The mailbox contents
+    /// are swapped into a per-shard scratch buffer: the lock is held
+    /// only for the swap, and the two buffers' capacities are reused
+    /// across windows instead of reallocating.
     pub(crate) fn drain_inbox(&mut self) {
-        let mut inbox = self.inboxes[self.idx].lock().expect("inbox lock");
-        for event in inbox.drain(..) {
+        let mut scratch = std::mem::take(&mut self.state.inbox_scratch);
+        {
+            let mut inbox = self.inboxes[self.idx].lock().expect("inbox lock");
+            std::mem::swap(&mut *inbox, &mut scratch);
+        }
+        for event in scratch.drain(..) {
             self.state.events.push_event(event);
         }
+        self.state.inbox_scratch = scratch;
     }
 
     /// Time of this shard's earliest pending event.
@@ -128,28 +141,29 @@ impl ShardRun<'_> {
 
     fn dispatch(&mut self, kind: EventKind) {
         match kind {
-            EventKind::FrameArrive { node, port, frame } => match node {
-                NodeRef::Switch(s) => {
-                    self.switch_arrival(s, port, frame);
-                    self.drain_arrival_burst(s);
-                }
-                NodeRef::Host(h) => {
+            EventKind::FrameArrive { node, port, frame } => {
+                if !node.is_host() {
+                    self.switch_arrival(SwitchId(node.index()), port, frame);
+                    self.drain_arrival_burst(node);
+                } else {
                     if !self.state.taps.is_empty() {
                         self.tap(node, port, TapDir::Rx, &frame);
                     }
+                    let h = HostId(node.index());
                     self.call_host(h, port, |app, ctx| app.on_frame(frame, ctx));
                 }
-            },
-            EventKind::LinkFree { node, port } => match node {
-                NodeRef::Switch(s) => {
+            }
+            EventKind::LinkFree { node, port } => {
+                if !node.is_host() {
+                    let s = SwitchId(node.index());
                     self.switches[s.0 - self.switch_base].tx_busy[port as usize] = false;
                     self.try_tx_switch(s, port);
-                }
-                NodeRef::Host(h) => {
+                } else {
+                    let h = HostId(node.index());
                     self.hosts[h.0 - self.host_base].nics[port as usize].busy = false;
                     self.try_tx_host(h, port);
                 }
-            },
+            }
             EventKind::Timer { host, token } => {
                 self.call_host(host, 0, |app, ctx| app.on_timer(token, ctx));
             }
@@ -160,7 +174,7 @@ impl ShardRun<'_> {
     /// Hand one frame to a switch ASIC and start transmitting its output.
     fn switch_arrival(&mut self, s: SwitchId, port: PortId, frame: Vec<u8>) {
         if !self.state.taps.is_empty() {
-            self.tap(NodeRef::Switch(s), port, TapDir::Rx, &frame);
+            self.tap(NodeId::switch(s), port, TapDir::Rx, &frame);
         }
         let now = self.now_ns;
         let outcome = self.switches[s.0 - self.switch_base]
@@ -176,17 +190,15 @@ impl ShardRun<'_> {
     /// class, same receiver-major), so run the whole burst back to back
     /// without re-entering the dispatcher. The ASIC's decode-cache memo
     /// then decodes a repeated program once for the burst.
-    fn drain_arrival_burst(&mut self, s: SwitchId) {
+    fn drain_arrival_burst(&mut self, node: NodeId) {
+        let s = SwitchId(node.index());
         loop {
             let same_burst = matches!(
                 self.state.events.peek(),
                 Some(Event {
                     key,
-                    kind: EventKind::FrameArrive {
-                        node: NodeRef::Switch(s2),
-                        ..
-                    },
-                }) if key.time == self.now_ns && *s2 == s
+                    kind: EventKind::FrameArrive { node: n2, .. },
+                }) if key.time == self.now_ns && *n2 == node
             );
             if !same_burst {
                 break;
@@ -277,7 +289,7 @@ impl ShardRun<'_> {
                 .expect("connected"),
         );
         self.switches[local].tx_busy[port as usize] = true;
-        let node = NodeRef::Switch(s);
+        let node = NodeId::switch(s);
         self.state.events.push(
             EventKey::link_free(self.now_ns + tx, node, port),
             EventKind::LinkFree { node, port },
@@ -312,7 +324,7 @@ impl ShardRun<'_> {
                 .expect("connected"),
         );
         self.hosts[local].nics[port as usize].busy = true;
-        let node = NodeRef::Host(h);
+        let node = NodeId::host(h);
         self.state.events.push(
             EventKey::link_free(self.now_ns + tx, node, port),
             EventKind::LinkFree { node, port },
@@ -337,7 +349,7 @@ impl ShardRun<'_> {
     /// shard's mailbox — propagation delay of inter-shard links is at
     /// least the lookahead, so the frame always arrives at or beyond
     /// the next window barrier.
-    fn transmit(&mut self, from: NodeRef, port: PortId, tx_ns: u64, frame: Vec<u8>) {
+    fn transmit(&mut self, from: NodeId, port: PortId, tx_ns: u64, frame: Vec<u8>) {
         if !self.state.taps.is_empty() {
             self.tap(from, port, TapDir::Tx, &frame);
         }
@@ -345,13 +357,14 @@ impl ShardRun<'_> {
         let now = self.now_ns;
         let fault_seed = self.fault_seed;
         let fault_epoch = self.fault_epoch;
-        let link = match from {
-            NodeRef::Switch(s) => self.switch_links[s.0 - self.switch_base][port as usize]
+        let link = if !from.is_host() {
+            self.switch_links[from.index() - self.switch_base][port as usize]
                 .as_mut()
-                .expect("transmit on unconnected port"),
-            NodeRef::Host(h) => self.host_links[h.0 - self.host_base][port as usize]
+                .expect("transmit on unconnected port")
+        } else {
+            self.host_links[from.index() - self.host_base][port as usize]
                 .as_mut()
-                .expect("transmit on unconnected NIC"),
+                .expect("transmit on unconnected NIC")
         };
         if !link.up {
             link.losses += 1;
@@ -516,23 +529,27 @@ impl ShardRun<'_> {
         self.state.actions = actions;
     }
 
-    fn link_mut(&mut self, node: NodeRef, port: PortId) -> Option<&mut Link> {
-        match node {
-            NodeRef::Switch(s) => self.switch_links[s.0 - self.switch_base]
+    fn link_mut(&mut self, node: NodeId, port: PortId) -> Option<&mut Link> {
+        if !node.is_host() {
+            self.switch_links[node.index() - self.switch_base]
                 .get_mut(port as usize)
-                .and_then(Option::as_mut),
-            NodeRef::Host(h) => self.host_links[h.0 - self.host_base]
+                .and_then(Option::as_mut)
+        } else {
+            self.host_links[node.index() - self.host_base]
                 .get_mut(port as usize)
-                .and_then(Option::as_mut),
+                .and_then(Option::as_mut)
         }
     }
 
     /// The dataplane switch id of a node (0 for hosts, which have no
     /// switch id).
-    fn node_switch_id(&self, node: NodeRef) -> u32 {
-        match node {
-            NodeRef::Switch(s) => self.switches[s.0 - self.switch_base].asic.switch_id(),
-            NodeRef::Host(_) => 0,
+    fn node_switch_id(&self, node: NodeId) -> u32 {
+        if !node.is_host() {
+            self.switches[node.index() - self.switch_base]
+                .asic
+                .switch_id()
+        } else {
+            0
         }
     }
 
@@ -551,7 +568,7 @@ impl ShardRun<'_> {
 
     #[cold]
     #[inline(never)]
-    fn tap(&mut self, node: NodeRef, port: PortId, dir: TapDir, frame: &[u8]) {
+    fn tap(&mut self, node: NodeId, port: PortId, dir: TapDir, frame: &[u8]) {
         let now = self.now_ns;
         if let Some(records) = self.state.taps.get_mut(&(node, port)) {
             if let Some(record) = TapRecord::capture(now, dir, frame) {
@@ -617,6 +634,84 @@ fn step_shards_sequential(runs: &mut [ShardRun<'_>], limit: u64, lookahead_ns: u
             run.step_until(end);
         }
     }
+}
+
+/// Drive the whole tick schedule of a `RunLimit::Until` run through one
+/// persistent worker per shard: window-step to each tick, tick the
+/// shard's own switches at the barrier, and continue to the next tick —
+/// instead of spawning fresh threads (and a fresh [`Barrier`]) for every
+/// tick interval, which cost ~14 heap allocations per tick and dominated
+/// the threaded allocation count in `perf_baseline`.
+///
+/// The window protocol is identical to [`step_shards_parallel`], so the
+/// event schedule — and therefore every simulation result — is
+/// bit-identical. A stats tick at `T` happens once every shard has
+/// agreed (via the shared minimum) that nothing is pending strictly
+/// below `T`, matching the coordinator-driven path; ticking touches only
+/// shard-owned switches, so no extra barrier is needed around it.
+///
+/// `Simulator::run` falls back to per-tick stepping when a series set is
+/// sampled (the sampler needs the whole fleet in one place) or when
+/// running tick-by-tick toward quiescence.
+pub(crate) fn run_windows_parallel(
+    runs: &mut [ShardRun<'_>],
+    first_tick_ns: u64,
+    tick_interval_ns: u64,
+    t_end_ns: u64,
+    lookahead_ns: u64,
+) {
+    let barrier = Barrier::new(runs.len());
+    let slots = [AtomicU64::new(u64::MAX), AtomicU64::new(u64::MAX)];
+    std::thread::scope(|scope| {
+        for (i, run) in runs.iter_mut().enumerate() {
+            let barrier = &barrier;
+            let slots = &slots;
+            scope.spawn(move || {
+                let leader = i == 0;
+                let mut round = 0usize;
+                let mut next_tick = first_tick_ns;
+                loop {
+                    // The same window limit the per-tick driver would
+                    // use: the next stats tick, or one past the end for
+                    // the final drain.
+                    let limit = if next_tick <= t_end_ns {
+                        next_tick
+                    } else {
+                        t_end_ns.saturating_add(1)
+                    };
+                    loop {
+                        run.drain_inbox();
+                        slots[round & 1].fetch_min(run.next_pending(), AtomicOrdering::AcqRel);
+                        barrier.wait();
+                        if leader {
+                            slots[(round + 1) & 1].store(u64::MAX, AtomicOrdering::Release);
+                        }
+                        barrier.wait();
+                        let min_pending = slots[round & 1].load(AtomicOrdering::Acquire);
+                        if min_pending >= limit {
+                            // Nobody steps this round (the minimum is
+                            // global), so nobody mails: the second
+                            // barrier is enough to move on, on every
+                            // thread alike.
+                            round += 1;
+                            break;
+                        }
+                        run.step_until(limit.min(min_pending.saturating_add(lookahead_ns)));
+                        barrier.wait();
+                        round += 1;
+                    }
+                    if next_tick > t_end_ns {
+                        return;
+                    }
+                    run.now_ns = next_tick;
+                    for sw in run.switches.iter_mut() {
+                        sw.asic.tick(next_tick);
+                    }
+                    next_tick += tick_interval_ns;
+                }
+            });
+        }
+    });
 }
 
 /// Threaded driver: one scoped worker per shard, synchronized per window

@@ -15,12 +15,12 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::config::{RunLimit, SimConfig};
-use crate::event::{node_port_key, Event, EventKey, EventKind, FaultApply, NodeRef};
+use crate::event::{node_port_key, Event, EventKey, EventKind, FaultApply, NodeId};
 use crate::fault::{ChannelProfile, FaultAction, FaultCounters, FaultPlan};
 use crate::node::{HostApp, HostId, SwitchId};
 use crate::series::{permille, SeriesSet};
-use crate::shard::{mix64, step_shards, ShardRun, ShardState};
-use tpp_asic::{Asic, AsicConfig, PortId};
+use crate::shard::{mix64, run_windows_parallel, step_shards, ShardRun, ShardState};
+use tpp_asic::{Asic, AsicConfig, PortId, ProgramInterner};
 use tpp_telemetry::{MetricsRegistry, SharedSink};
 use tpp_wire::ethernet::Frame;
 use tpp_wire::tpp::TppPacket;
@@ -55,10 +55,10 @@ impl Endpoint {
         Endpoint::HostPort(host, port)
     }
 
-    fn node(self) -> NodeRef {
+    fn node(self) -> NodeId {
         match self {
-            Endpoint::SwitchPort(s, _) => NodeRef::Switch(s),
-            Endpoint::Host(h) | Endpoint::HostPort(h, _) => NodeRef::Host(h),
+            Endpoint::SwitchPort(s, _) => NodeId::switch(s),
+            Endpoint::Host(h) | Endpoint::HostPort(h, _) => NodeId::host(h),
         }
     }
 
@@ -158,13 +158,19 @@ impl NetworkBuilder {
     /// errors, not runtime conditions.
     pub fn build(self) -> Simulator {
         let cfg = self.config;
+        // One fleet-wide program interner: every switch's decode cache
+        // fills from it, so a program appearing at N switches is decoded
+        // once and shares one allocation.
+        let interner = ProgramInterner::new();
         let switches: Vec<SwitchNode> = self
             .switches
             .into_iter()
             .map(|config| {
                 let ports = config.num_ports();
+                let mut asic = Asic::new(config);
+                asic.set_program_interner(interner.clone());
                 SwitchNode {
-                    asic: Asic::new(config),
+                    asic,
                     tx_busy: vec![false; ports],
                 }
             })
@@ -260,9 +266,12 @@ impl NetworkBuilder {
             let host_ranges = block_ranges(hosts.len(), num_shards);
             let switch_shard = expand_ranges(&switch_ranges, switches.len());
             let host_shard = expand_ranges(&host_ranges, hosts.len());
-            let shard_of = |node: NodeRef| match node {
-                NodeRef::Switch(s) => switch_shard[s.0],
-                NodeRef::Host(h) => host_shard[h.0],
+            let shard_of = |node: NodeId| {
+                if node.is_host() {
+                    host_shard[node.index()]
+                } else {
+                    switch_shard[node.index()]
+                }
             };
             let mut lookahead_ns = u64::MAX;
             let mut zero_delay_cross = false;
@@ -296,20 +305,18 @@ impl NetworkBuilder {
                 lookahead_ns,
             );
         };
-        for (s, ports) in switch_links.iter_mut().enumerate() {
-            let _ = s;
-            for link in ports.iter_mut().flatten() {
-                link.peer_shard = match link.peer {
-                    NodeRef::Switch(p) => switch_shard[p.0],
-                    NodeRef::Host(p) => host_shard[p.0],
-                };
+        let shard_of = |node: NodeId| {
+            if node.is_host() {
+                host_shard[node.index()]
+            } else {
+                switch_shard[node.index()]
             }
+        };
+        for link in switch_links.iter_mut().flatten().flatten() {
+            link.peer_shard = shard_of(link.peer);
         }
         for link in host_links.iter_mut().flatten().flatten() {
-            link.peer_shard = match link.peer {
-                NodeRef::Switch(p) => switch_shard[p.0],
-                NodeRef::Host(p) => host_shard[p.0],
-            };
+            link.peer_shard = shard_of(link.peer);
         }
 
         let l2_routes = compute_l2_routes(&switches, &hosts, &switch_links, &host_links);
@@ -346,6 +353,7 @@ impl NetworkBuilder {
             metrics: MetricsRegistry::new(),
             fleet_sink: None,
             series,
+            interner,
         }
     }
 }
@@ -369,14 +377,17 @@ fn expand_ranges(ranges: &[Range<usize>], n: usize) -> Vec<usize> {
 fn peek_link<'a>(
     switch_links: &'a [Vec<Option<Link>>],
     host_links: &'a [Vec<Option<Link>>],
-    node: NodeRef,
+    node: NodeId,
     port: PortId,
 ) -> Option<&'a Link> {
-    match node {
-        NodeRef::Switch(s) => switch_links[s.0]
+    if node.is_host() {
+        host_links[node.index()]
             .get(port as usize)
-            .and_then(Option::as_ref),
-        NodeRef::Host(h) => host_links[h.0].get(port as usize).and_then(Option::as_ref),
+            .and_then(Option::as_ref)
+    } else {
+        switch_links[node.index()]
+            .get(port as usize)
+            .and_then(Option::as_ref)
     }
 }
 
@@ -396,17 +407,18 @@ fn compute_l2_routes(
         let mac = host.mac;
         // BFS from the host; at each discovered switch, the way back
         // toward the host is the port the search arrived on.
-        let mut visited: HashMap<NodeRef, ()> = HashMap::new();
-        let mut frontier: VecDeque<NodeRef> = VecDeque::new();
-        let start = NodeRef::Host(HostId(h));
+        let mut visited: HashMap<NodeId, ()> = HashMap::new();
+        let mut frontier: VecDeque<NodeId> = VecDeque::new();
+        let start = NodeId::host(HostId(h));
         visited.insert(start, ());
         frontier.push_back(start);
         while let Some(node) = frontier.pop_front() {
-            let ports: Vec<PortId> = match node {
-                NodeRef::Host(h) => (0..hosts[h.0].nics.len() as PortId).collect(),
-                NodeRef::Switch(s) => (0..switches[s.0].asic.num_ports() as PortId).collect(),
+            let ports: u16 = if node.is_host() {
+                hosts[node.index()].nics.len() as u16
+            } else {
+                switches[node.index()].asic.num_ports() as u16
             };
-            for port in ports {
+            for port in 0..ports {
                 let Some(link) = peek_link(switch_links, host_links, node, port) else {
                     continue;
                 };
@@ -415,8 +427,8 @@ fn compute_l2_routes(
                     continue;
                 }
                 visited.insert(peer, ());
-                if let NodeRef::Switch(s) = peer {
-                    routes[s.0].push((mac, peer_port));
+                if !peer.is_host() {
+                    routes[peer.index()].push((mac, peer_port));
                     frontier.push_back(peer);
                 }
                 // Hosts terminate the search along this branch but are
@@ -484,7 +496,7 @@ impl TapRecord {
 /// lazily-armed per-direction RNG streams).
 #[derive(Debug)]
 pub(crate) struct Link {
-    pub(crate) peer: NodeRef,
+    pub(crate) peer: NodeId,
     pub(crate) peer_port: PortId,
     /// Shard owning the receiving node; transmissions to another shard
     /// go through its mailbox.
@@ -605,6 +617,9 @@ pub struct Simulator {
     /// (observability plane layer 2); `None` (the default) keeps the
     /// tick handler at one extra branch.
     series: Option<SeriesSet>,
+    /// Fleet-wide program interner shared by every switch's decode
+    /// cache (see [`ProgramInterner`]).
+    interner: ProgramInterner,
 }
 
 impl Simulator {
@@ -630,27 +645,52 @@ impl Simulator {
         self.shards.iter().map(|s| s.processed).sum()
     }
 
+    /// The fleet-wide program interner shared by every switch's decode
+    /// cache: `(shared, decoded)` counters and distinct-program count
+    /// are read through it.
+    pub fn program_interner(&self) -> &ProgramInterner {
+        &self.interner
+    }
+
+    /// Approximate resident heap bytes of one switch's state, averaged
+    /// over the fleet: per-switch slabs (SRAM, tables, queues, caches)
+    /// plus the shared interner amortized across switches. The FCT
+    /// benchmark reports this as `bytes_per_switch`.
+    pub fn approx_bytes_per_switch(&self) -> usize {
+        if self.switches.is_empty() {
+            return 0;
+        }
+        let per_switch: usize = self
+            .switches
+            .iter()
+            .map(|sw| sw.asic.approx_bytes())
+            .sum::<usize>();
+        (per_switch + self.interner.approx_bytes()) / self.switches.len()
+    }
+
     /// The link transmitted from `(node, port)`, if connected.
-    fn link(&self, node: NodeRef, port: PortId) -> Option<&Link> {
+    fn link(&self, node: NodeId, port: PortId) -> Option<&Link> {
         peek_link(&self.switch_links, &self.host_links, node, port)
     }
 
     /// Mutable view of the link transmitted from `(node, port)`.
-    fn link_mut(&mut self, node: NodeRef, port: PortId) -> Option<&mut Link> {
-        match node {
-            NodeRef::Switch(s) => self.switch_links[s.0]
+    fn link_mut(&mut self, node: NodeId, port: PortId) -> Option<&mut Link> {
+        if node.is_host() {
+            self.host_links[node.index()]
                 .get_mut(port as usize)
-                .and_then(Option::as_mut),
-            NodeRef::Host(h) => self.host_links[h.0]
+                .and_then(Option::as_mut)
+        } else {
+            self.switch_links[node.index()]
                 .get_mut(port as usize)
-                .and_then(Option::as_mut),
+                .and_then(Option::as_mut)
         }
     }
 
-    fn node_shard(&self, node: NodeRef) -> usize {
-        match node {
-            NodeRef::Switch(s) => self.switch_shard[s.0],
-            NodeRef::Host(h) => self.host_shard[h.0],
+    fn node_shard(&self, node: NodeId) -> usize {
+        if node.is_host() {
+            self.host_shard[node.index()]
+        } else {
+            self.switch_shard[node.index()]
         }
     }
 
@@ -1209,13 +1249,31 @@ impl Simulator {
         self.ensure_started();
         match limit {
             RunLimit::Until(t_end_ns) => {
-                while self.next_tick_ns <= t_end_ns {
-                    let t = self.next_tick_ns;
-                    self.step_events_below(t);
-                    self.do_tick(t);
-                    self.next_tick_ns = t + self.tick_interval_ns;
+                if self.parallel && self.num_shards > 1 && self.series.is_none() {
+                    // Fused threaded schedule: one thread per shard for
+                    // the whole run, ticking shard-owned switches at the
+                    // window barriers, instead of respawning threads per
+                    // tick. Bit-identical (same window schedule, same
+                    // tick times); see `run_windows_parallel`.
+                    let first_tick = self.next_tick_ns;
+                    let interval = self.tick_interval_ns;
+                    let lookahead = self.lookahead_ns;
+                    let mut runs = self.shard_runs();
+                    run_windows_parallel(&mut runs, first_tick, interval, t_end_ns, lookahead);
+                    drop(runs);
+                    if first_tick <= t_end_ns {
+                        let ticks = (t_end_ns - first_tick) / interval + 1;
+                        self.next_tick_ns = first_tick + ticks * interval;
+                    }
+                } else {
+                    while self.next_tick_ns <= t_end_ns {
+                        let t = self.next_tick_ns;
+                        self.step_events_below(t);
+                        self.do_tick(t);
+                        self.next_tick_ns = t + self.tick_interval_ns;
+                    }
+                    self.step_events_below(t_end_ns.saturating_add(1));
                 }
-                self.step_events_below(t_end_ns.saturating_add(1));
                 self.now_ns = self.now_ns.max(t_end_ns);
             }
             RunLimit::Quiescent { limit_ns } => loop {

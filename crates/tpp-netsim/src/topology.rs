@@ -22,6 +22,74 @@ use crate::node::{HostApp, HostId, SwitchId};
 use crate::sim::{Endpoint, NetworkBuilder, Simulator};
 use tpp_asic::{AsicConfig, PortId};
 
+/// A switch config with uniform per-port capacity and queue limit — the
+/// shape every canned topology starts from (some then override
+/// individual ports, e.g. the dumbbell bottleneck).
+fn uniform_cfg(id: u32, ports: usize, link_kbps: u32, queue_limit_bytes: u32) -> AsicConfig {
+    AsicConfig::with_ports(id, ports)
+        .capacity_kbps(link_kbps)
+        .queue_limit_bytes(queue_limit_bytes)
+}
+
+/// Attach `count` hosts (drawn from `apps`) to consecutive ports of
+/// `switch` starting at `first_port`, one link each. Returns the hosts
+/// in port order. Shared by the leaf-spine and fat-tree builders.
+fn attach_hosts(
+    net: &mut NetworkBuilder,
+    apps: &mut impl Iterator<Item = Box<dyn HostApp>>,
+    switch: SwitchId,
+    first_port: PortId,
+    count: usize,
+    nic_kbps: u32,
+    delay_ns: u64,
+) -> Vec<HostId> {
+    (0..count)
+        .map(|i| {
+            let host = net.add_host(apps.next().expect("app count checked by caller"), nic_kbps);
+            net.connect(
+                Endpoint::host(host),
+                Endpoint::switch(switch, first_port + i as PortId),
+                delay_ns,
+            );
+            host
+        })
+        .collect()
+}
+
+/// Wire a chain of two-port switches between two host-side endpoints:
+/// `left -- s0 -- s1 -- ... -- s(n-1) -- right`, each switch using port
+/// 0 toward the left and port 1 toward the right. Shared by the linear
+/// chain and each bonded-diamond path.
+fn wire_switch_chain(
+    net: &mut NetworkBuilder,
+    left: Endpoint,
+    path: &[SwitchId],
+    right: Endpoint,
+    delay_ns: u64,
+) {
+    net.connect(left, Endpoint::switch(path[0], 0), delay_ns);
+    for w in path.windows(2) {
+        net.connect(
+            Endpoint::switch(w[0], 1),
+            Endpoint::switch(w[1], 0),
+            delay_ns,
+        );
+    }
+    net.connect(
+        Endpoint::switch(*path.last().expect("non-empty chain"), 1),
+        right,
+        delay_ns,
+    );
+}
+
+/// Build the simulator and install the pre-converged L2 control plane —
+/// the common tail of every canned topology.
+fn finish(net: NetworkBuilder) -> Simulator {
+    let mut sim = net.build();
+    sim.populate_l2();
+    sim
+}
+
 /// Parameters for [`linear_chain`].
 #[derive(Debug, Clone)]
 pub struct LinearChainParams {
@@ -83,36 +151,25 @@ pub fn linear_chain_with(
     let mut net = NetworkBuilder::with_config(config);
     let switches: Vec<SwitchId> = (0..params.n_switches)
         .map(|i| {
-            net.add_switch(
-                AsicConfig::with_ports(1 + i as u32, 2)
-                    .capacity_kbps(params.link_kbps)
-                    .queue_limit_bytes(params.queue_limit_bytes),
-            )
+            net.add_switch(uniform_cfg(
+                1 + i as u32,
+                2,
+                params.link_kbps,
+                params.queue_limit_bytes,
+            ))
         })
         .collect();
     let left = net.add_host(left_app, params.host_nic_kbps);
     let right = net.add_host(right_app, params.host_nic_kbps);
-    net.connect(
+    wire_switch_chain(
+        &mut net,
         Endpoint::host(left),
-        Endpoint::switch(switches[0], 0),
-        params.delay_ns,
-    );
-    for w in switches.windows(2) {
-        net.connect(
-            Endpoint::switch(w[0], 1),
-            Endpoint::switch(w[1], 0),
-            params.delay_ns,
-        );
-    }
-    net.connect(
+        &switches,
         Endpoint::host(right),
-        Endpoint::switch(*switches.last().unwrap(), 1),
         params.delay_ns,
     );
-    let mut sim = net.build();
-    sim.populate_l2();
     (
-        sim,
+        finish(net),
         LinearChain {
             switches,
             left,
@@ -190,9 +247,7 @@ pub fn dumbbell_with(
     let mut net = NetworkBuilder::with_config(config);
     // Ports 0..n face hosts at edge rate; port n is the bottleneck.
     let mk_cfg = |id: u32| {
-        let mut cfg = AsicConfig::with_ports(id, n + 1)
-            .capacity_kbps(params.edge_kbps)
-            .queue_limit_bytes(params.queue_limit_bytes);
+        let mut cfg = uniform_cfg(id, n + 1, params.edge_kbps, params.queue_limit_bytes);
         cfg.ports[n].capacity_kbps = params.bottleneck_kbps;
         cfg
     };
@@ -221,10 +276,8 @@ pub fn dumbbell_with(
         Endpoint::switch(right, n as PortId),
         params.delay_ns,
     );
-    let mut sim = net.build();
-    sim.populate_l2();
     (
-        sim,
+        finish(net),
         Dumbbell {
             left,
             right,
@@ -294,8 +347,12 @@ impl LeafSpine {
 pub struct FatTreeParams {
     /// The fat-tree arity `k` (must be even): `k` pods, each with `k/2`
     /// edge and `k/2` aggregation switches; `(k/2)^2` core switches;
-    /// `k^3/4` hosts.
+    /// `k * (k/2) * hosts_per_edge` hosts.
     pub k: usize,
+    /// Hosts attached to each edge switch. `0` (the default) means the
+    /// textbook `k/2`; larger values oversubscribe the edge tier, the
+    /// way production fabrics pack more servers per rack than uplinks.
+    pub hosts_per_edge: usize,
     /// Capacity of every link, kbps (classic fat-trees are uniform).
     pub link_kbps: u32,
     /// Egress queue limit, bytes.
@@ -310,11 +367,33 @@ impl Default for FatTreeParams {
     fn default() -> Self {
         FatTreeParams {
             k: 4,
+            hosts_per_edge: 0,
             link_kbps: 10_000_000,
             queue_limit_bytes: 256 * 1024,
             delay_ns: crate::time::micros(1),
             host_nic_kbps: 10_000_000,
         }
+    }
+}
+
+impl FatTreeParams {
+    /// The effective hosts per edge switch (`k/2` unless overridden).
+    pub fn effective_hosts_per_edge(&self) -> usize {
+        if self.hosts_per_edge == 0 {
+            self.k / 2
+        } else {
+            self.hosts_per_edge
+        }
+    }
+
+    /// Total hosts this parameterization wires.
+    pub fn n_hosts(&self) -> usize {
+        self.k * (self.k / 2) * self.effective_hosts_per_edge()
+    }
+
+    /// Total switches (edge + aggregation + core).
+    pub fn n_switches(&self) -> usize {
+        self.k * self.k + (self.k / 2) * (self.k / 2)
     }
 }
 
@@ -358,23 +437,21 @@ pub fn fat_tree_with(
     let k = params.k;
     assert!(k >= 2 && k.is_multiple_of(2), "fat-tree arity must be even");
     let half = k / 2;
-    assert_eq!(apps.len(), k * half * half, "one app per host (k^3/4)");
+    let hpe = params.effective_hosts_per_edge();
+    assert_eq!(apps.len(), k * half * hpe, "one app per host");
     let mut net = NetworkBuilder::with_config(config);
 
-    // Edge switch ports: 0..half hosts, half..k up to aggs.
+    // Edge switch ports: 0..hpe hosts, hpe..hpe+half up to aggs.
     // Agg switch ports: 0..half down to edges, half..k up to cores.
     // Core switch ports: one per pod.
-    let mk_cfg = |id: u32, ports: usize| {
-        AsicConfig::with_ports(id, ports)
-            .capacity_kbps(params.link_kbps)
-            .queue_limit_bytes(params.queue_limit_bytes)
-    };
+    let mk_cfg =
+        |id: u32, ports: usize| uniform_cfg(id, ports, params.link_kbps, params.queue_limit_bytes);
     let mut edges = Vec::new();
     let mut aggs = Vec::new();
     for pod in 0..k {
         edges.push(
             (0..half)
-                .map(|e| net.add_switch(mk_cfg(0x100 + (pod * 16 + e) as u32, k)))
+                .map(|e| net.add_switch(mk_cfg(0x100 + (pod * 16 + e) as u32, hpe + half)))
                 .collect::<Vec<_>>(),
         );
         aggs.push(
@@ -392,22 +469,19 @@ pub fn fat_tree_with(
     for pod in 0..k {
         let mut pod_hosts = Vec::new();
         for (e, &edge) in edges[pod].clone().iter().enumerate() {
-            // Hosts.
-            let mut under = Vec::new();
-            for h in 0..half {
-                let host = net.add_host(apps.next().expect("counted"), params.host_nic_kbps);
-                net.connect(
-                    Endpoint::host(host),
-                    Endpoint::switch(edge, h as PortId),
-                    params.delay_ns,
-                );
-                under.push(host);
-            }
-            pod_hosts.push(under);
+            pod_hosts.push(attach_hosts(
+                &mut net,
+                &mut apps,
+                edge,
+                0,
+                hpe,
+                params.host_nic_kbps,
+                params.delay_ns,
+            ));
             // Edge -> every agg in the pod.
             for (a, agg) in aggs[pod].iter().enumerate() {
                 net.connect(
-                    Endpoint::switch(edge, (half + a) as PortId),
+                    Endpoint::switch(edge, (hpe + a) as PortId),
                     Endpoint::switch(*agg, e as PortId),
                     params.delay_ns,
                 );
@@ -426,10 +500,8 @@ pub fn fat_tree_with(
         }
         hosts.push(pod_hosts);
     }
-    let mut sim = net.build();
-    sim.populate_l2();
     (
-        sim,
+        finish(net),
         FatTree {
             edges,
             aggs,
@@ -461,10 +533,12 @@ pub fn leaf_spine_with(
     let mut net = NetworkBuilder::with_config(config);
     let leaves: Vec<SwitchId> = (0..params.n_leaves)
         .map(|l| {
-            let mut cfg =
-                AsicConfig::with_ports(0x10 + l as u32, params.hosts_per_leaf + params.n_spines)
-                    .capacity_kbps(params.host_link_kbps)
-                    .queue_limit_bytes(params.queue_limit_bytes);
+            let mut cfg = uniform_cfg(
+                0x10 + l as u32,
+                params.hosts_per_leaf + params.n_spines,
+                params.host_link_kbps,
+                params.queue_limit_bytes,
+            );
             for s in 0..params.n_spines {
                 cfg.ports[params.hosts_per_leaf + s].capacity_kbps = params.fabric_link_kbps;
             }
@@ -473,26 +547,26 @@ pub fn leaf_spine_with(
         .collect();
     let spines: Vec<SwitchId> = (0..params.n_spines)
         .map(|s| {
-            net.add_switch(
-                AsicConfig::with_ports(0x20 + s as u32, params.n_leaves)
-                    .capacity_kbps(params.fabric_link_kbps)
-                    .queue_limit_bytes(params.queue_limit_bytes),
-            )
+            net.add_switch(uniform_cfg(
+                0x20 + s as u32,
+                params.n_leaves,
+                params.fabric_link_kbps,
+                params.queue_limit_bytes,
+            ))
         })
         .collect();
     let mut apps = apps.into_iter();
     let mut hosts = Vec::new();
     for (l, leaf) in leaves.iter().enumerate() {
-        let mut under = Vec::new();
-        for i in 0..params.hosts_per_leaf {
-            let h = net.add_host(apps.next().expect("counted"), params.host_nic_kbps);
-            net.connect(
-                Endpoint::host(h),
-                Endpoint::switch(*leaf, i as PortId),
-                params.delay_ns,
-            );
-            under.push(h);
-        }
+        hosts.push(attach_hosts(
+            &mut net,
+            &mut apps,
+            *leaf,
+            0,
+            params.hosts_per_leaf,
+            params.host_nic_kbps,
+            params.delay_ns,
+        ));
         for (s, spine) in spines.iter().enumerate() {
             net.connect(
                 Endpoint::switch(*leaf, (params.hosts_per_leaf + s) as PortId),
@@ -500,12 +574,9 @@ pub fn leaf_spine_with(
                 params.delay_ns,
             );
         }
-        hosts.push(under);
     }
-    let mut sim = net.build();
-    sim.populate_l2();
     (
-        sim,
+        finish(net),
         LeafSpine {
             leaves,
             spines,
@@ -613,11 +684,12 @@ pub fn bonded_diamond_with(
         .map(|p| {
             (0..params.switches_per_path)
                 .map(|i| {
-                    net.add_switch(
-                        AsicConfig::with_ports(0x40 + (p * 16 + i) as u32, 2)
-                            .capacity_kbps(params.link_kbps)
-                            .queue_limit_bytes(params.queue_limit_bytes),
-                    )
+                    net.add_switch(uniform_cfg(
+                        0x40 + (p * 16 + i) as u32,
+                        2,
+                        params.link_kbps,
+                        params.queue_limit_bytes,
+                    ))
                 })
                 .collect()
         })
@@ -625,28 +697,16 @@ pub fn bonded_diamond_with(
     let sender = net.add_host_multi(sender_app, params.host_nic_kbps, params.n_paths as u16);
     let receiver = net.add_host_multi(receiver_app, params.host_nic_kbps, params.n_paths as u16);
     for (p, path) in paths.iter().enumerate() {
-        net.connect(
+        wire_switch_chain(
+            &mut net,
             Endpoint::host_port(sender, p as PortId),
-            Endpoint::switch(path[0], 0),
-            params.delay_ns,
-        );
-        for w in path.windows(2) {
-            net.connect(
-                Endpoint::switch(w[0], 1),
-                Endpoint::switch(w[1], 0),
-                params.delay_ns,
-            );
-        }
-        net.connect(
-            Endpoint::switch(*path.last().unwrap(), 1),
+            path,
             Endpoint::host_port(receiver, p as PortId),
             params.delay_ns,
         );
     }
-    let mut sim = net.build();
-    sim.populate_l2();
     (
-        sim,
+        finish(net),
         BondedDiamond {
             paths,
             sender,

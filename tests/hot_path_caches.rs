@@ -12,9 +12,27 @@
 //! reused by the robustness tests and the conformance fuzz loop.
 
 use proptest::prelude::*;
+use tpp_asic::{Asic, AsicConfig};
 use tpp_bench::testgen::{asic_pair, regs_match, step_both, tpp_frame};
 use tpp_wire::ethernet::{build_frame, EtherType};
 use tpp_wire::EthernetAddress;
+
+/// Two identically populated ASICs differing only in
+/// [`AsicConfig::batched_dispatch`]: the batched TCPU (decode once, run
+/// the window straight-line) vs the per-frame path.
+fn batch_pair() -> (Asic, Asic) {
+    let mk = |config: AsicConfig| {
+        let mut asic = Asic::new(config);
+        asic.l2_mut().insert(EthernetAddress::from_host_id(1), 1);
+        asic.l2_mut().insert(EthernetAddress::from_host_id(2), 2);
+        asic.l3_mut().insert(0x0a00_0000, 8, 3);
+        asic
+    };
+    (
+        mk(AsicConfig::with_ports(7, 4)),
+        mk(AsicConfig::with_ports(7, 4).batched_dispatch(false)),
+    )
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
@@ -70,5 +88,29 @@ proptest! {
         let (hits, misses) = cached.flow_cache_stats();
         prop_assert!(hits >= frames.len() as u64, "second pass should hit");
         prop_assert!(misses <= frames.len() as u64);
+    }
+
+    /// Batched TCPU dispatch is bit-identical to the per-frame path for
+    /// arbitrary programs (valid or not — cached `BadInstruction` halt
+    /// positions included) under arbitrary same-program run lengths:
+    /// same outcomes, same egress bytes, same TPP-visible registers.
+    #[test]
+    fn batched_dispatch_matches_per_frame(
+        words_a in proptest::collection::vec(any::<u32>(), 0..12),
+        words_b in proptest::collection::vec(any::<u32>(), 0..12),
+        mem in proptest::collection::vec(any::<u32>(), 0..16),
+        pattern in proptest::collection::vec(any::<bool>(), 4..24),
+    ) {
+        // Two programs interleaved by `pattern`: runs of the same
+        // program exercise the batch window (byte-compare fast path),
+        // switches between them exercise re-pinning.
+        let frame_a = tpp_frame(1, 9, &words_a, &mem);
+        let frame_b = tpp_frame(2, 9, &words_b, &mem);
+        let (mut batched, mut unbatched) = batch_pair();
+        for (i, pick_a) in pattern.iter().enumerate() {
+            let frame = if *pick_a { &frame_a } else { &frame_b };
+            step_both(&mut batched, &mut unbatched, frame, i as u64);
+        }
+        regs_match(&batched, &unbatched);
     }
 }

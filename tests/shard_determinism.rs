@@ -15,15 +15,19 @@
 
 use proptest::prelude::*;
 use tpp::apps::bonding::{BondReceiver, BondSender, BondSenderConfig};
+use tpp::apps::microburst::MicroburstMonitor;
 use tpp::apps::rcpstar::{init_rate_registers, RcpStarConfig, RcpStarSender};
 use tpp::host::{BondConfig, EchoReceiver};
 use tpp::netsim::{
-    bonded_diamond_with, dumbbell_with, leaf_spine_with, time, BondedDiamondParams, DumbbellParams,
-    Endpoint, FaultPlan, HostApp, HostCtx, LeafSpineParams, LinkProfile, LinkState, RunLimit,
-    SimConfig, Simulator,
+    bonded_diamond_with, dumbbell_with, fat_tree_with, leaf_spine_with, time, BondedDiamondParams,
+    DumbbellParams, Endpoint, FatTreeParams, FaultPlan, HostApp, HostCtx, HostId, LeafSpineParams,
+    LinkProfile, LinkState, RunLimit, SimConfig, Simulator,
 };
 use tpp::wire::ethernet::{build_frame, EtherType};
 use tpp::wire::EthernetAddress;
+use tpp_bench::traffic::{
+    completions_fingerprint, generate_schedule, FlowGenApp, FlowSizeDist, TrafficConfig,
+};
 
 /// One switch's ring series, flattened: `(switch, metric, points)`.
 type SeriesPoints = (u32, &'static str, Vec<(u64, u64)>);
@@ -268,6 +272,93 @@ fn bonded_profile_flap(
     fingerprint(sim, &sink, host_state, path_counters)
 }
 
+/// The `fct_bench` scenario in miniature: a textbook k=4 fat tree (20
+/// switches, 16 hosts) where fourteen hosts run seeded open-loop
+/// [`FlowGenApp`] traffic (web-search / data-mining CDF sizes) while a
+/// microburst monitor probes the fabric with TPPs — so the TCPU, the
+/// program interner and the frame pool are all on the hot path. The
+/// fingerprint folds in every host's flow/frame/completion counters and
+/// the order-independent completions fingerprint.
+fn fat_tree_traffic(cfg: SimConfig, traffic_seed: u64) -> Fingerprint {
+    let params = FatTreeParams {
+        k: 4,
+        // As in the leaf-spine scenario: a generous propagation delay
+        // keeps the conservative lookahead windows large enough for the
+        // threaded driver to be exercised meaningfully.
+        delay_ns: time::micros(20),
+        ..FatTreeParams::default()
+    };
+    let n_hosts = params.n_hosts();
+    let mac = |i: usize| EthernetAddress::from_host_id(i as u32);
+
+    // Hosts 1..n-1 generate flows among themselves; host 0 is the
+    // microburst monitor probing its mirror, the echo peer at n-1.
+    let fg_range = 1..n_hosts - 1;
+    let fg_macs: Vec<EthernetAddress> = fg_range.clone().map(mac).collect();
+    let traffic = TrafficConfig {
+        seed: traffic_seed,
+        flows_per_host: 120,
+        mean_gap_ns: 40_000,
+        ..TrafficConfig::default()
+    };
+    let mut schedules = Vec::with_capacity(fg_macs.len());
+    let mut last_start = 0u64;
+    for fg_idx in 0..fg_macs.len() {
+        let dist = if fg_idx % 2 == 0 {
+            FlowSizeDist::WebSearch
+        } else {
+            FlowSizeDist::DataMining
+        };
+        let sched = generate_schedule(&traffic, fg_idx as u32, &fg_macs, dist);
+        if let Some(f) = sched.last() {
+            last_start = last_start.max(f.start_ns);
+        }
+        schedules.push(sched);
+    }
+    let run_ns = last_start + time::millis(2);
+
+    let mut schedules = schedules.into_iter();
+    let apps: Vec<Box<dyn HostApp>> = (0..n_hosts)
+        .map(|i| -> Box<dyn HostApp> {
+            if i == 0 {
+                Box::new(MicroburstMonitor::new(
+                    mac(n_hosts - 1),
+                    6,
+                    25_000,
+                    0,
+                    run_ns,
+                ))
+            } else if i < n_hosts - 1 {
+                Box::new(FlowGenApp::new(schedules.next().expect("one per host")))
+            } else {
+                Box::new(EchoReceiver::default())
+            }
+        })
+        .collect();
+
+    let (mut sim, _tree) = fat_tree_with(cfg, params, apps);
+    let sink = sim.observe().series(64).trace_all(1 << 18);
+    sim.run(RunLimit::Until(run_ns));
+
+    let mut host_state = Vec::new();
+    let mut completions = Vec::new();
+    for i in fg_range {
+        let app = sim.host_app::<FlowGenApp>(HostId(i));
+        host_state.push((i, app.flows_started));
+        host_state.push((i + n_hosts, app.frames_sent));
+        host_state.push((i + 2 * n_hosts, app.completions.len() as u64));
+        completions.extend_from_slice(&app.completions);
+    }
+    let monitor = sim.host_app::<MicroburstMonitor>(HostId(0));
+    let path_counters = vec![
+        completions_fingerprint(completions.iter().copied()),
+        monitor.probes_sent,
+        monitor.echoes_received,
+        monitor.samples.len() as u64,
+    ];
+    fingerprint(sim, &sink, host_state, path_counters)
+}
+
 /// The shard configurations every scenario must agree across: one shard
 /// (the classic loop), two and four threaded, four sequential (same
 /// windows as threaded four, no worker threads).
@@ -327,6 +418,32 @@ proptest! {
             "the bonded flow must deliver something"
         );
         prop_assert!(!reference.path_counters.is_empty());
+        for (label, fp) in runs {
+            prop_assert_eq!(&fp, &reference, "{} diverged from 1 shard", label);
+        }
+    }
+
+    /// The fat-tree FCT workload — seeded CDF traffic plus a TPP
+    /// microburst monitor, the `fct_bench` ingredients — fingerprints
+    /// identically at every shard count, down to the completions
+    /// fingerprint `BENCH_fct.json` commits.
+    #[test]
+    fn fat_tree_traffic_is_shard_count_invariant(
+        sim_seed in any::<u64>(),
+        traffic_seed in any::<u64>(),
+    ) {
+        let mut runs = shard_configs(sim_seed)
+            .into_iter()
+            .map(|(label, cfg)| (label, fat_tree_traffic(cfg, traffic_seed)));
+        let (_, reference) = runs.next().expect("at least one config");
+        prop_assert!(
+            reference.path_counters[0] != 0,
+            "flows must complete for the fingerprint to mean anything"
+        );
+        prop_assert!(
+            reference.path_counters[3] > 0,
+            "the monitor must collect TPP samples"
+        );
         for (label, fp) in runs {
             prop_assert_eq!(&fp, &reference, "{} diverged from 1 shard", label);
         }
