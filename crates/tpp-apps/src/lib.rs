@@ -33,5 +33,8 @@ pub use bonding::{BondReceiver, BondSender, BondSenderConfig};
 pub use cstore::{CounterTask, CounterWriteMode};
 pub use microburst::{detect_bursts, Burst, MicroburstMonitor, QueueSample};
 pub use ndb::{NdbHop, NdbProbeSender, PathPolicy, PathTrace, TraceCollector, Violation};
-pub use rcpstar::{RcpStarConfig, RcpStarSender};
+pub use rcpstar::{
+    decode_rate_echo, rate_collect_probe, rate_probe_payload, RateEcho, RcpStarConfig,
+    RcpStarSender,
+};
 pub use wireless::{classify_loss, DiagnosisConfig, HealthSample, LinkHealthMonitor, LossCause};

@@ -75,6 +75,109 @@ pub fn rcp_symbols() -> SymbolTable {
     table
 }
 
+/// Assembly source of the Phase-1 collect TPP ([`COLLECT_WORDS_PER_HOP`]
+/// words per hop). `y_from_byte_counter` selects the offered-load
+/// source (see [`RcpStarConfig::y_from_byte_counter`]).
+fn collect_source(y_from_byte_counter: bool) -> String {
+    let load_source = if y_from_byte_counter {
+        "PUSH [Link:RX-Bytes]"
+    } else {
+        "PUSH [Link:RX-Utilization]"
+    };
+    format!(
+        "PUSH [Switch:SwitchID]\n\
+         PUSH [Link:QueueSize]\n\
+         {load_source}\n\
+         PUSH [Link:CapacityKbps]\n\
+         PUSH [Link:RCP-RateRegister]\n\
+         PUSH [Link:RCP-Timestamp]\n\
+         PUSH [Switch:BootEpoch]"
+    )
+}
+
+/// A ready-to-mint collect probe for the closed-loop transport: the
+/// same 7-word program RCP\* Phase 1 uses, sized for `expected_hops`.
+/// Send it with a [`rate_probe_payload`] so it rides its flow's ECMP
+/// path, and decode the echo with [`decode_rate_echo`].
+pub fn rate_collect_probe(expected_hops: usize) -> ProbeBuilder {
+    let asm = Assembler::with_symbols(rcp_symbols());
+    let collect = asm.assemble(&collect_source(true)).expect("static program");
+    ProbeBuilder::stack(&collect, expected_hops)
+}
+
+/// Inner payload of a transport rate probe. Follows the flow-label
+/// convention of `tpp-netsim::routing` (magic at bytes 0..2, flow key
+/// at 16..24) so ECMP hashes the probe onto the same path as the
+/// flow's data segments, and embeds the send timestamp at bytes 8..16
+/// for RTT sampling from the echo. Byte 2 is zero, so the payload can
+/// never be mistaken for a transport DATA/ACK segment.
+pub fn rate_probe_payload(key: u64, now_ns: u64) -> [u8; 24] {
+    let mut p = [0u8; 24];
+    p[0] = 0xF1;
+    p[1] = 0xC7;
+    p[8..16].copy_from_slice(&now_ns.to_be_bytes());
+    p[16..24].copy_from_slice(&key.to_be_bytes());
+    p
+}
+
+/// Decoded feedback of one echoed transport rate probe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RateEcho {
+    /// Path bottleneck rate, bits/s: the minimum over hops of the RCP
+    /// fair-share register (capacity where the register reads wiped).
+    pub rate_bps: u64,
+    /// The flow key stamped into the probe payload.
+    pub key: u64,
+    /// The probe's send timestamp (RTT = receive time − this).
+    pub sent_ns: u64,
+    /// `(switch id, boot epoch)` per hop — reboot detection for the
+    /// transport's path-epoch reset.
+    pub epochs: Vec<(u32, u32)>,
+}
+
+/// Decode an echoed [`rate_collect_probe`] frame addressed to `my_mac`.
+///
+/// Returns `None` for anything that is not a fully-executed, echoed
+/// collect probe carrying a [`rate_probe_payload`]. This is the
+/// native-mode Phase-1 read (the paper's in-band mechanism): the rate
+/// comes from the registers the TPP gathered, not from simulator
+/// ground truth.
+pub fn decode_rate_echo(frame: &[u8], my_mac: EthernetAddress) -> Option<RateEcho> {
+    let sample = decode_echo(frame, my_mac, COLLECT_WORDS_PER_HOP)?;
+    let tpp = tpp_host::parse_echo(frame, my_mac)?;
+    let inner = tpp.inner_payload();
+    if inner.len() < 24 || inner[0..2] != [0xF1, 0xC7] {
+        return None;
+    }
+    let sent_ns = u64::from_be_bytes(inner[8..16].try_into().expect("length checked"));
+    let key = u64::from_be_bytes(inner[16..24].try_into().expect("length checked"));
+    let mut rate_bps: Option<u64> = None;
+    let mut epochs = Vec::with_capacity(sample.hops.len());
+    for hop in &sample.hops {
+        let [sid, _q, _rx, cap_kbps, reg_kbps, _ts, epoch] = hop.words[..7] else {
+            continue;
+        };
+        epochs.push((sid, epoch));
+        let cap = cap_kbps as u64 * 1_000;
+        if cap == 0 {
+            continue;
+        }
+        // A wiped (rebooted) register reads 0: fall back to capacity.
+        let reg = if reg_kbps == 0 {
+            cap
+        } else {
+            reg_kbps as u64 * 1_000
+        };
+        rate_bps = Some(rate_bps.map_or(reg, |r| r.min(reg)));
+    }
+    Some(RateEcho {
+        rate_bps: rate_bps?,
+        key,
+        sent_ns,
+        epochs,
+    })
+}
+
 /// Configuration of one RCP\* flow.
 #[derive(Debug, Clone, Copy)]
 pub struct RcpStarConfig {
@@ -188,21 +291,8 @@ impl RcpStarSender {
     /// A flow towards `dst`.
     pub fn new(dst: EthernetAddress, config: RcpStarConfig) -> Self {
         let asm = Assembler::with_symbols(rcp_symbols());
-        let load_source = if config.y_from_byte_counter {
-            "PUSH [Link:RX-Bytes]"
-        } else {
-            "PUSH [Link:RX-Utilization]"
-        };
         let collect = asm
-            .assemble(&format!(
-                "PUSH [Switch:SwitchID]\n\
-                 PUSH [Link:QueueSize]\n\
-                 {load_source}\n\
-                 PUSH [Link:CapacityKbps]\n\
-                 PUSH [Link:RCP-RateRegister]\n\
-                 PUSH [Link:RCP-Timestamp]\n\
-                 PUSH [Switch:BootEpoch]"
-            ))
+            .assemble(&collect_source(config.y_from_byte_counter))
             .expect("static program");
         RcpStarSender {
             sender: PacedSender::new(

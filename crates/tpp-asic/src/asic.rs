@@ -256,6 +256,14 @@ pub struct Asic {
     table_gen: u64,
     flow_cache_hits: u64,
     flow_cache_misses: u64,
+    /// One-shot egress substitution for the frame currently in the
+    /// pipeline, set by [`Asic::handle_frame_routed`] and consumed by the
+    /// next lookup. Models an ECMP selector stage in front of the L2
+    /// table: the substitution applies only when the L2 stage wins the
+    /// walk (TCAM and L3 entries keep their precedence), and the flow
+    /// cache is bypassed for the frame because the cached resolution
+    /// would pin every flow of a `(src, dst)` pair to one member port.
+    route_override: Option<PortId>,
     /// Structured trace sink; `None` (the default) keeps every stage's
     /// emission down to one branch.
     trace: Option<Box<dyn TraceSink>>,
@@ -292,6 +300,7 @@ impl Asic {
             table_gen: 0,
             flow_cache_hits: 0,
             flow_cache_misses: 0,
+            route_override: None,
             trace: None,
             profile: None,
             interner: None,
@@ -864,6 +873,29 @@ impl Asic {
         }
     }
 
+    /// [`Asic::handle_frame`] with an optional ECMP egress substitution:
+    /// when `out_port` is `Some`, the frame's forwarding lookup resolves
+    /// to that port *if the L2 stage wins the table walk* (TCAM and L3
+    /// keep their precedence, and an unknown destination still misses).
+    /// The caller — the simulator's routing layer — picks the member
+    /// port from the switch's equal-cost set by flow hash, so the choice
+    /// lives outside the ASIC exactly like a real selector stage fed by
+    /// a hash of header fields the exact-match `FlowKey` does not carry.
+    pub fn handle_frame_routed(
+        &mut self,
+        frame: Vec<u8>,
+        in_port: PortId,
+        now_ns: u64,
+        out_port: Option<PortId>,
+    ) -> Outcome {
+        self.route_override = out_port;
+        let outcome = self.handle_frame(frame, in_port, now_ns);
+        // Frames that drop before their lookup (parse error, edge
+        // filter) must not leak the override into the next frame.
+        self.route_override = None;
+        outcome
+    }
+
     /// Forwarding lookup shared by both paths. Returns the egress port,
     /// egress queue, matched entry info, and route diversity.
     ///
@@ -872,8 +904,16 @@ impl Asic {
     /// trace events through [`Asic::commit_lookup`], so the cache is
     /// invisible to TPPs and telemetry alike.
     fn lookup(&mut self, key: &FlowKey) -> Result<(PortId, QueueId, u32, u32, u32), DropReason> {
-        let capacity = self.config.flow_cache_entries;
-        let resolved = if capacity > 0 {
+        let override_port = self.route_override.take();
+        // An overridden frame bypasses the cache entirely: its egress
+        // depends on entropy outside the FlowKey, so neither reading nor
+        // populating the exact-match cache would be sound.
+        let capacity = if override_port.is_some() {
+            0
+        } else {
+            self.config.flow_cache_entries
+        };
+        let mut resolved = if capacity > 0 {
             if self.flow_cache_gen != self.table_gen {
                 self.flow_cache.clear();
                 self.flow_cache_gen = self.table_gen;
@@ -898,6 +938,16 @@ impl Asic {
         } else {
             self.lookup_tables(key)
         };
+        if let Some(out) = override_port {
+            if let CachedLookup::Forward {
+                table: LookupKind::L2,
+                port,
+                ..
+            } = &mut resolved
+            {
+                *port = out;
+            }
+        }
         if self.profile.is_some() {
             // Which tables the (cached or fresh) walk consulted is a
             // pure function of the winning table and the key, so the

@@ -27,12 +27,15 @@ use std::time::Instant;
 use tpp_apps::microburst::MicroburstMonitor;
 use tpp_apps::ndb::{NdbProbeSender, TraceCollector};
 use tpp_apps::rcpstar::{init_rate_registers, RcpStarConfig, RcpStarSender};
+use tpp_asic::PortId;
 use tpp_bench::traffic::{
-    completions_fingerprint, generate_schedule, percentile, Completion, FlowGenApp, FlowSizeDist,
-    TrafficConfig,
+    completions_fingerprint, generate_schedule, percentile, splitmix64, ClosedFlowGenApp,
+    ClosedLoopConfig, Completion, FlowGenApp, FlowSizeDist, TrafficConfig,
 };
-use tpp_host::EchoReceiver;
-use tpp_netsim::{fat_tree_with, time, FatTreeParams, HostApp, HostId, RunLimit, SimConfig};
+use tpp_host::{EchoReceiver, TransportStats};
+use tpp_netsim::{
+    fat_tree_with, time, Endpoint, FatTreeParams, HostApp, HostId, RunLimit, SimConfig,
+};
 use tpp_wire::EthernetAddress;
 
 struct CountingAllocator;
@@ -360,6 +363,372 @@ fn smoke_scenario() -> Scenario {
     }
 }
 
+/// The lossy closed-loop scenario: every host runs the loss-recovering
+/// transport ([`ClosedFlowGenApp`]) over the ECMP-routed fat-tree, with
+/// seeded random loss on every switch-to-switch link direction.
+struct ClosedScenario {
+    k: usize,
+    hosts_per_edge: usize,
+    traffic: TrafficConfig,
+    /// Per-frame loss on every inter-switch link direction, permille.
+    loss_permille: u16,
+    drain_ns: u64,
+    link_kbps: u32,
+    host_nic_kbps: u32,
+    queue_limit_bytes: u32,
+}
+
+fn closed_scenario() -> ClosedScenario {
+    ClosedScenario {
+        k: 8,
+        hosts_per_edge: 0, // textbook k/2 = 4 -> 128 hosts, 80 switches
+        traffic: TrafficConfig {
+            flows_per_host: 60,
+            mean_gap_ns: 250_000,
+            ..Default::default()
+        },
+        loss_permille: 5,
+        drain_ns: time::millis(60),
+        link_kbps: 40_000_000,
+        host_nic_kbps: 10_000_000,
+        queue_limit_bytes: 4 * 1024 * 1024,
+    }
+}
+
+struct ClosedOut {
+    switches: usize,
+    hosts: usize,
+    flows_total: usize,
+    completed: usize,
+    unfinished: usize,
+    stats: TransportStats,
+    fingerprint: u64,
+    fct: Vec<BucketStats>,
+    offered_mbps: f64,
+    goodput_mbps: f64,
+    /// Tx-frame counters of every edge-switch uplink (the ports ECMP
+    /// spreads over): (min, max, mean, max/mean).
+    spread: (u64, u64, f64, f64),
+    sim_ns: u64,
+    wall_s: f64,
+    events: u64,
+}
+
+/// One closed-loop run at a given shard count/driver. The returned
+/// fingerprint folds per-flow FCTs *and* the recovery counters, so the
+/// shard matrix proves the whole closed loop is bit-identical, not just
+/// the completions.
+fn run_closed(s: &ClosedScenario, shards: usize, sequential: bool) -> ClosedOut {
+    let params = FatTreeParams {
+        k: s.k,
+        hosts_per_edge: s.hosts_per_edge,
+        link_kbps: s.link_kbps,
+        queue_limit_bytes: s.queue_limit_bytes,
+        delay_ns: time::micros(1),
+        host_nic_kbps: s.host_nic_kbps,
+    };
+    let n_hosts = params.n_hosts();
+    let macs: Vec<EthernetAddress> = (0..n_hosts)
+        .map(|i| EthernetAddress::from_host_id(i as u32))
+        .collect();
+
+    let mut flows_total = 0usize;
+    let mut offered_bytes = 0u64;
+    let mut last_start = 0u64;
+    let mut schedules = Vec::with_capacity(n_hosts);
+    for i in 0..n_hosts {
+        let dist = if i % 2 == 0 {
+            FlowSizeDist::WebSearch
+        } else {
+            FlowSizeDist::DataMining
+        };
+        let sched = generate_schedule(&s.traffic, i as u32, &macs, dist);
+        flows_total += sched.len();
+        offered_bytes += sched.iter().map(|f| f.bytes as u64).sum::<u64>();
+        if let Some(f) = sched.last() {
+            last_start = last_start.max(f.start_ns);
+        }
+        schedules.push(sched);
+    }
+    let run_ns = last_start + s.drain_ns;
+
+    let apps: Vec<Box<dyn HostApp>> = schedules
+        .into_iter()
+        .map(|sched| -> Box<dyn HostApp> {
+            Box::new(ClosedFlowGenApp::new(sched, ClosedLoopConfig::default()))
+        })
+        .collect();
+    let mut config = SimConfig::new()
+        .shards(shards)
+        .ecmp(true)
+        .tick_interval_ns(time::millis(1))
+        .frame_pool_buffers(16 * 1024);
+    if sequential {
+        config = config.sequential();
+    }
+    let (mut sim, tree) = fat_tree_with(config, params.clone(), apps);
+
+    let half = s.k / 2;
+    let hpe = params.effective_hosts_per_edge();
+    let switches: Vec<_> = tree
+        .edges
+        .iter()
+        .chain(tree.aggs.iter())
+        .flatten()
+        .copied()
+        .chain(tree.cores.iter().copied())
+        .collect();
+    for sw in &switches {
+        init_rate_registers(sim.switch_mut(*sw));
+    }
+    // Seeded loss on every inter-switch link direction: edge uplinks,
+    // all agg ports (down + up), all core ports. Host links stay clean,
+    // so loss recovery is the transport's job, not the NIC's.
+    for pod in tree.edges.iter() {
+        for edge in pod {
+            for a in 0..half {
+                sim.set_link_loss(
+                    Endpoint::switch(*edge, (hpe + a) as PortId),
+                    s.loss_permille,
+                );
+            }
+        }
+    }
+    for pod in tree.aggs.iter() {
+        for agg in pod {
+            for p in 0..s.k {
+                sim.set_link_loss(Endpoint::switch(*agg, p as PortId), s.loss_permille);
+            }
+        }
+    }
+    for core in &tree.cores {
+        for p in 0..s.k {
+            sim.set_link_loss(Endpoint::switch(*core, p as PortId), s.loss_permille);
+        }
+    }
+
+    let start = Instant::now();
+    sim.run(RunLimit::Until(run_ns));
+    let wall_s = start.elapsed().as_secs_f64();
+
+    let mut completions: Vec<Completion> = Vec::with_capacity(flows_total);
+    let mut stats = TransportStats::default();
+    let mut unfinished = 0usize;
+    for i in 0..n_hosts {
+        let app = sim.host_app::<ClosedFlowGenApp>(HostId(i));
+        completions.extend_from_slice(&app.completions);
+        stats.merge(&app.stats_snapshot());
+        unfinished += app.unfinished();
+    }
+    let mut fingerprint = completions_fingerprint(completions.iter().copied());
+    fingerprint ^= splitmix64(
+        stats
+            .retransmits
+            .wrapping_add(stats.rto_fires.rotate_left(17))
+            .wrapping_add(stats.fast_retransmits.rotate_left(34))
+            .wrapping_add(stats.flows_given_up.rotate_left(51)),
+    );
+
+    let mut fct = Vec::new();
+    for (dist_name, mining) in [("web_search", false), ("data_mining", true)] {
+        for (bucket, lo, hi) in BUCKETS {
+            let mut v: Vec<f64> = completions
+                .iter()
+                .filter(|c| c.mining == mining && c.bytes > *lo && c.bytes <= *hi)
+                .map(|c| c.fct_ns as f64 / 1e6)
+                .collect();
+            v.sort_by(f64::total_cmp);
+            fct.push(BucketStats {
+                dist: dist_name,
+                bucket,
+                n: v.len(),
+                p50_ms: percentile(&v, 0.5),
+                p95_ms: percentile(&v, 0.95),
+                p99_ms: percentile(&v, 0.99),
+            });
+        }
+    }
+
+    let uplinks: Vec<u64> = tree
+        .edges
+        .iter()
+        .flatten()
+        .flat_map(|edge| {
+            (0..half).map(move |a| (edge, a)) // each edge's uplink ports
+        })
+        .map(|(edge, a)| sim.link_tx_frames(Endpoint::switch(*edge, (hpe + a) as PortId)))
+        .collect();
+    let spread_min = uplinks.iter().copied().min().unwrap_or(0);
+    let spread_max = uplinks.iter().copied().max().unwrap_or(0);
+    let spread_mean = uplinks.iter().sum::<u64>() as f64 / uplinks.len().max(1) as f64;
+    let max_over_mean = if spread_mean > 0.0 {
+        spread_max as f64 / spread_mean
+    } else {
+        0.0
+    };
+
+    let goodput_bytes: u64 = completions.iter().map(|c| c.bytes as u64).sum();
+    ClosedOut {
+        switches: switches.len(),
+        hosts: n_hosts,
+        flows_total,
+        completed: completions.len(),
+        unfinished,
+        stats,
+        fingerprint,
+        fct,
+        offered_mbps: offered_bytes as f64 * 8.0 / (run_ns as f64 / 1e9) / 1e6,
+        goodput_mbps: goodput_bytes as f64 * 8.0 / (run_ns as f64 / 1e9) / 1e6,
+        spread: (spread_min, spread_max, spread_mean, max_over_mean),
+        sim_ns: run_ns,
+        wall_s,
+        events: sim.events_processed(),
+    }
+}
+
+/// The shard-invariance matrix the acceptance gate runs: the same
+/// closed-loop scenario at 1/2/4 shards, threaded and sequential, must
+/// produce bit-identical fingerprints.
+const CLOSED_MATRIX: &[(&str, usize, bool)] = &[
+    ("1_shard_seq", 1, true),
+    ("2_shards_threaded", 2, false),
+    ("4_shards_threaded", 4, false),
+    ("4_shards_seq", 4, true),
+];
+
+fn run_closed_matrix(s: &ClosedScenario) -> (ClosedOut, Vec<(&'static str, u64)>) {
+    let mut outs = Vec::new();
+    for (name, shards, sequential) in CLOSED_MATRIX {
+        let out = run_closed(s, *shards, *sequential);
+        println!(
+            "closed[{name:<17}] {}/{} flows completed, {} retransmits \
+             ({} RTO, {} fast), fingerprint 0x{:016x} in {:.2} s wall",
+            out.completed,
+            out.flows_total,
+            out.stats.retransmits,
+            out.stats.rto_fires,
+            out.stats.fast_retransmits,
+            out.fingerprint,
+            out.wall_s,
+        );
+        outs.push((*name, out));
+    }
+    let base_fp = outs[0].1.fingerprint;
+    for (name, out) in &outs {
+        assert_eq!(
+            out.fingerprint, base_fp,
+            "{name}: closed-loop run diverged from the 1-shard baseline"
+        );
+    }
+    let matrix = outs.iter().map(|(n, o)| (*n, o.fingerprint)).collect();
+    let out = outs.swap_remove(0).1;
+    assert!(
+        out.completed * 100 >= out.flows_total * 99,
+        "closed loop must complete >= 99% of flows under loss (got {}/{})",
+        out.completed,
+        out.flows_total
+    );
+    assert!(
+        out.stats.retransmits > 0,
+        "a lossy run that never retransmits is not exercising recovery"
+    );
+    (out, matrix)
+}
+
+fn closed_json(s: &ClosedScenario, out: &ClosedOut, matrix: &[(&'static str, u64)]) -> String {
+    let rows: Vec<String> = matrix
+        .iter()
+        .map(|(name, fp)| {
+            format!("      {{\"run\": \"{name}\", \"fingerprint\": \"0x{fp:016x}\"}}")
+        })
+        .collect();
+    let (sp_min, sp_max, sp_mean, sp_ratio) = out.spread;
+    format!(
+        "  \"closed_loop\": {{\n\
+         \x20   \"k\": {}, \"switches\": {}, \"hosts\": {}, \"loss_permille\": {},\n\
+         \x20   \"flows_total\": {}, \"flows_completed\": {}, \"flows_given_up\": {}, \"unfinished\": {},\n\
+         \x20   \"segments_sent\": {}, \"retransmits\": {}, \"rto_fires\": {}, \"fast_retransmits\": {},\n\
+         \x20   \"acks_sent\": {}, \"dup_segments_rx\": {}, \"probes_sent\": {}, \"rate_updates\": {},\n\
+         \x20   \"offered_mbps\": {:.1}, \"goodput_mbps\": {:.1},\n\
+         \x20   \"sim_ms\": {:.3}, \"wall_s\": {:.3}, \"events\": {},\n\
+         \x20   \"path_spread\": {{\"uplinks\": {}, \"min_tx\": {}, \"max_tx\": {}, \
+         \"mean_tx\": {:.1}, \"max_over_mean\": {:.3}}},\n\
+         \x20   \"fingerprint\": \"0x{:016x}\",\n\
+         \x20   \"shard_matrix\": [\n{}\n    ],\n\
+         \x20   \"fct_ms\": [\n{}\n    ]\n  }}",
+        s.k,
+        out.switches,
+        out.hosts,
+        s.loss_permille,
+        out.flows_total,
+        out.completed,
+        out.stats.flows_given_up,
+        out.unfinished,
+        out.stats.segments_sent,
+        out.stats.retransmits,
+        out.stats.rto_fires,
+        out.stats.fast_retransmits,
+        out.stats.acks_sent,
+        out.stats.dup_segments_rx,
+        out.stats.probes_sent,
+        out.stats.rate_updates,
+        out.offered_mbps,
+        out.goodput_mbps,
+        out.sim_ns as f64 / 1e6,
+        out.wall_s,
+        out.events,
+        s.k * (s.k / 2) * (s.k / 2), // edge switches x uplinks each
+        sp_min,
+        sp_max,
+        sp_mean,
+        sp_ratio,
+        out.fingerprint,
+        rows.join(",\n"),
+        fct_json_closed(out)
+    )
+}
+
+fn fct_json_closed(out: &ClosedOut) -> String {
+    let rows: Vec<String> = out
+        .fct
+        .iter()
+        .map(|b| {
+            format!(
+                "      {{\"dist\": \"{}\", \"bucket\": \"{}\", \"n\": {}, \
+                 \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}}}",
+                b.dist, b.bucket, b.n, b.p50_ms, b.p95_ms, b.p99_ms
+            )
+        })
+        .collect();
+    rows.join(",\n")
+}
+
+fn check_closed_against_committed(out: &ClosedOut) -> i32 {
+    let path = "BENCH_fct.json";
+    let committed = match std::fs::read_to_string(path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("check: cannot read {path}: {e}");
+            return 2;
+        }
+    };
+    let got_fp = format!("0x{:016x}", out.fingerprint);
+    match json_scalar(&committed, "closed_loop", "fingerprint") {
+        Some(want) if want == got_fp => {
+            println!("check: closed-loop fingerprint {got_fp} matches");
+            0
+        }
+        Some(want) => {
+            eprintln!("check: CLOSED-LOOP FINGERPRINT MISMATCH: committed {want}, got {got_fp}");
+            1
+        }
+        None => {
+            eprintln!("check: no closed_loop fingerprint in {path}");
+            1
+        }
+    }
+}
+
 fn peak_rss_kb() -> u64 {
     let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
         return 0;
@@ -539,7 +908,20 @@ fn check_against_committed(out: &ScenarioOut) -> i32 {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke_only = args.iter().any(|a| a == "--smoke");
+    let closed_only = args.iter().any(|a| a == "--closed-loop");
     let check = args.iter().any(|a| a == "--check");
+
+    if closed_only {
+        // The lossy closed-loop lane: run the full shard matrix (the
+        // fingerprint equality + >= 99% completion gates live inside).
+        let closed = closed_scenario();
+        let (closed_out, matrix) = run_closed_matrix(&closed);
+        if check {
+            std::process::exit(check_closed_against_committed(&closed_out));
+        }
+        println!("{{\n{}\n}}", closed_json(&closed, &closed_out, &matrix));
+        return;
+    }
 
     let smoke = smoke_scenario();
     let smoke_out = run_scenario(&smoke);
@@ -562,10 +944,14 @@ fn main() {
         full_out.flows_completed
     );
 
+    let closed = closed_scenario();
+    let (closed_out, matrix) = run_closed_matrix(&closed);
+
     let doc = format!(
-        "{{\n  \"bench\": \"fct\",\n{},\n{}\n}}\n",
+        "{{\n  \"bench\": \"fct\",\n{},\n{},\n{}\n}}\n",
         scenario_json("full", &full, &full_out),
-        scenario_json("smoke", &smoke, &smoke_out)
+        scenario_json("smoke", &smoke, &smoke_out),
+        closed_json(&closed, &closed_out, &matrix)
     );
     std::fs::write("BENCH_fct.json", &doc).unwrap_or_else(|e| {
         eprintln!("cannot write BENCH_fct.json: {e}");

@@ -19,6 +19,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use tpp_asic::{Asic, AsicConfig, FlowAction, FlowEntry, FlowMatch, ProfileConfig};
+use tpp_host::transport::{segments_for, FlowReceiver, FlowSender, TransportConfig};
 use tpp_isa::assemble;
 use tpp_netsim::RunLimit;
 use tpp_netsim::{leaf_spine_with, time, HostApp, HostCtx, LeafSpineParams, SimConfig};
@@ -125,6 +126,45 @@ fn plain_frame() -> Vec<u8> {
         EtherType(0x0802),
         &[0u8; 64],
     )
+}
+
+/// The closed-loop transport state machine with the network factored
+/// out: 64 KiB flows pushed through a lossless sender/receiver ping-pong
+/// (poll_send → data_hdr → on_data → ack_hdr → on_ack). Measures the
+/// pure per-segment cost of the reliability layer the fat-tree FCT
+/// benchmark now runs every byte through.
+fn run_transport_workload(target_segments: u64) -> WorkloadRow {
+    let cfg = TransportConfig::default();
+    let bytes: u32 = 64 * 1024;
+    let segs_per_flow = segments_for(bytes, cfg.mss) as u64;
+    let flows = (target_segments / segs_per_flow).max(1);
+    let m = measure(|| {
+        for f in 0..flows {
+            let mut tx = FlowSender::new(cfg.clone(), f, bytes, false, 0);
+            let mut rx = FlowReceiver::new(tx.total_segs());
+            let mut now = 0u64;
+            while !tx.is_complete() {
+                now += 10_000;
+                while let Some(seg) = tx.poll_send(now) {
+                    let hdr = tx.data_hdr(seg, now);
+                    rx.on_data(hdr.seq, now);
+                    let ack = rx.ack_hdr(&hdr);
+                    tx.on_ack(ack.ack, ack.seq, ack.ts, now);
+                }
+            }
+            assert!(rx.is_complete(), "lossless ping-pong must complete");
+        }
+    });
+    let segments = flows * segs_per_flow;
+    WorkloadRow {
+        name: "transport_state_machine",
+        caches: "-",
+        frames: segments,
+        elapsed_s: m.elapsed_s,
+        packets_per_sec: segments as f64 / m.elapsed_s,
+        tpps_per_sec: 0.0,
+        allocs_per_packet: m.allocs as f64 / segments as f64,
+    }
 }
 
 struct WorkloadRow {
@@ -505,6 +545,10 @@ fn main() {
             true,
             true,
         ),
+        // The closed-loop transport's per-segment cost, network factored
+        // out — the state machine every fct_bench --closed-loop byte
+        // crosses twice (send + ACK).
+        run_transport_workload(frames * 5),
     ];
 
     let speedup = |name: &str| -> f64 {

@@ -17,6 +17,14 @@
 //! through a splitmix64 stream, so a `(seed, host)` pair always yields
 //! the same schedule regardless of shard count or threading.
 
+use std::collections::BTreeMap;
+
+use tpp_apps::{decode_rate_echo, rate_collect_probe, rate_probe_payload, RateEcho};
+use tpp_host::transport::{
+    self, segments_for, AckOutcome, FlowReceiver, FlowSender, RtoOutcome, SegmentHdr,
+    TransportConfig, TransportStats, TRANSPORT_ETHERTYPE,
+};
+use tpp_host::{echo_reply, ProbeBuilder, DATA_ETHERTYPE};
 use tpp_netsim::{HostApp, HostCtx};
 use tpp_wire::ethernet::{EtherType, Frame, ETHERNET_HEADER_LEN};
 use tpp_wire::EthernetAddress;
@@ -345,6 +353,309 @@ impl HostApp for FlowGenApp {
     }
 }
 
+/// Knobs of the closed-loop traffic driver ([`ClosedFlowGenApp`]).
+#[derive(Debug, Clone)]
+pub struct ClosedLoopConfig {
+    /// Transport tuning shared by every flow (sender *and* receiver
+    /// sides must agree on `mss`).
+    pub transport: TransportConfig,
+    /// Per-flow rate-probe period, ns. A collect probe is sent at flow
+    /// start and then every period while the flow is outstanding.
+    pub probe_period_ns: u64,
+    /// Hop budget compiled into the collect probe (packet memory is
+    /// sized for this many switches on the path).
+    pub probe_hops: usize,
+}
+
+impl Default for ClosedLoopConfig {
+    fn default() -> Self {
+        ClosedLoopConfig {
+            transport: TransportConfig::default(),
+            probe_period_ns: 200_000,
+            probe_hops: 5,
+        }
+    }
+}
+
+/// Sender-side state of one outstanding closed-loop flow.
+#[derive(Debug)]
+struct FlowState {
+    dst: EthernetAddress,
+    sender: FlowSender,
+    next_probe_ns: u64,
+}
+
+/// Closed-loop traffic source + sink: the same seeded [`Flow`] schedule
+/// as [`FlowGenApp`], but every flow runs through the loss-recovering
+/// `tpp-host` transport ([`FlowSender`]/[`FlowReceiver`]) instead of
+/// being blasted open-loop. Each active flow also sends periodic TPP
+/// collect probes ([`rate_collect_probe`]); the echoed registers clamp
+/// the window to the path's RCP\* rate and carry switch boot epochs, so
+/// a reboot observed in-band resets the window state
+/// (`on_path_epoch_change`) — the paper's mechanism, no oracle.
+///
+/// All per-flow state lives in `BTreeMap`s and the single service timer
+/// wakes at the earliest of (next scheduled start, earliest RTO,
+/// earliest probe), so behavior is a pure function of the frame/timer
+/// sequence the simulator delivers — bit-identical at any shard count.
+pub struct ClosedFlowGenApp {
+    schedule: Vec<Flow>,
+    next: usize,
+    cfg: ClosedLoopConfig,
+    probe: ProbeBuilder,
+    active: BTreeMap<u64, FlowState>,
+    receivers: BTreeMap<u64, FlowReceiver>,
+    switch_epochs: BTreeMap<u32, u32>,
+    /// Earliest pending service-timer deadline (dedup so bursts of
+    /// events do not arm redundant timers).
+    armed_at: u64,
+    /// Aggregate transport counters of flows this host *finished*
+    /// (sender side); use [`ClosedFlowGenApp::stats_snapshot`] to also
+    /// fold in still-active flows.
+    pub stats: TransportStats,
+    /// Flows that completed *at this host* (i.e. it was the receiver).
+    pub completions: Vec<Completion>,
+}
+
+impl ClosedFlowGenApp {
+    /// An app that plays `schedule` (sorted by start time) through the
+    /// closed-loop transport.
+    pub fn new(schedule: Vec<Flow>, cfg: ClosedLoopConfig) -> Self {
+        debug_assert!(schedule.windows(2).all(|w| w[0].start_ns <= w[1].start_ns));
+        let probe = rate_collect_probe(cfg.probe_hops);
+        ClosedFlowGenApp {
+            schedule,
+            next: 0,
+            cfg,
+            probe,
+            active: BTreeMap::new(),
+            receivers: BTreeMap::new(),
+            switch_epochs: BTreeMap::new(),
+            armed_at: 0,
+            stats: TransportStats::default(),
+            completions: Vec::new(),
+        }
+    }
+
+    /// [`Self::stats`] plus the counters of flows still in flight.
+    pub fn stats_snapshot(&self) -> TransportStats {
+        let mut s = self.stats;
+        for st in self.active.values() {
+            s.absorb_sender(&st.sender);
+        }
+        s
+    }
+
+    /// Flows not yet fully acknowledged (scheduled-but-unstarted plus
+    /// in-flight).
+    pub fn unfinished(&self) -> usize {
+        (self.schedule.len() - self.next) + self.active.len()
+    }
+
+    /// Put every sendable segment of `st` on the wire.
+    fn pump(st: &mut FlowState, stats: &mut TransportStats, ctx: &mut HostCtx<'_>) {
+        let now = ctx.now();
+        let mac = ctx.mac();
+        while let Some(seg) = st.sender.poll_send(now) {
+            let hdr = st.sender.data_hdr(seg, now);
+            ctx.send(hdr.into_frame(st.dst, mac));
+            stats.segments_sent += 1;
+        }
+    }
+
+    /// Start due flows, fire due RTOs, send due probes, pump windows,
+    /// re-arm the timer.
+    fn service(&mut self, ctx: &mut HostCtx<'_>) {
+        let now = ctx.now();
+        while self
+            .schedule
+            .get(self.next)
+            .is_some_and(|f| f.start_ns <= now)
+        {
+            let f = self.schedule[self.next];
+            self.next += 1;
+            let sender = FlowSender::new(
+                self.cfg.transport.clone(),
+                f.key,
+                f.bytes,
+                f.mining,
+                f.start_ns,
+            );
+            self.stats.flows_started += 1;
+            self.active.insert(
+                f.key,
+                FlowState {
+                    dst: f.dst,
+                    sender,
+                    next_probe_ns: now,
+                },
+            );
+        }
+        let mut dead: Vec<u64> = Vec::new();
+        for (key, st) in self.active.iter_mut() {
+            if st.sender.rto_deadline().is_some_and(|d| d <= now)
+                && st.sender.on_rto(now) == RtoOutcome::GaveUp
+            {
+                dead.push(*key);
+                continue;
+            }
+            if st.next_probe_ns <= now {
+                let payload = rate_probe_payload(*key, now);
+                let frame = self.probe.build_frame_with_payload(
+                    st.dst,
+                    ctx.mac(),
+                    &payload,
+                    DATA_ETHERTYPE.0,
+                );
+                ctx.send(frame);
+                self.stats.probes_sent += 1;
+                st.next_probe_ns = now + self.cfg.probe_period_ns.max(1);
+            }
+            Self::pump(st, &mut self.stats, ctx);
+        }
+        for key in dead {
+            let st = self.active.remove(&key).expect("key collected above");
+            self.stats.flows_given_up += 1;
+            self.stats.absorb_sender(&st.sender);
+        }
+        self.arm(ctx);
+    }
+
+    /// Arm the service timer at the earliest pending deadline, if that
+    /// is earlier than whatever is already armed.
+    fn arm(&mut self, ctx: &mut HostCtx<'_>) {
+        let mut wake = u64::MAX;
+        if let Some(f) = self.schedule.get(self.next) {
+            wake = wake.min(f.start_ns);
+        }
+        for st in self.active.values() {
+            if let Some(d) = st.sender.rto_deadline() {
+                wake = wake.min(d);
+            }
+            wake = wake.min(st.next_probe_ns);
+        }
+        if wake == u64::MAX {
+            return;
+        }
+        let now = ctx.now();
+        if self.armed_at > now && self.armed_at <= wake {
+            return; // an earlier-or-equal timer is already pending
+        }
+        self.armed_at = wake.max(now + 1);
+        ctx.set_timer(wake.saturating_sub(now).max(1), 0);
+    }
+
+    /// A data segment arrived: deliver, ACK (including tombstone
+    /// re-ACKs for completed flows), and record the FCT on completion.
+    fn on_data(&mut self, hdr: &SegmentHdr, src: EthernetAddress, ctx: &mut HostCtx<'_>) {
+        let total_segs = segments_for(hdr.total_bytes, self.cfg.transport.mss);
+        let rx = self
+            .receivers
+            .entry(hdr.key)
+            .or_insert_with(|| FlowReceiver::new(total_segs));
+        let out = rx.on_data(hdr.seq, ctx.now());
+        if out.duplicate {
+            self.stats.dup_segments_rx += 1;
+        }
+        let ack = rx.ack_hdr(hdr);
+        ctx.send(ack.into_frame(src, ctx.mac()));
+        self.stats.acks_sent += 1;
+        if out.complete && out.delivered > 0 {
+            self.completions.push(Completion {
+                key: hdr.key,
+                bytes: hdr.total_bytes,
+                mining: hdr.flags & transport::FLAG_MINING != 0,
+                fct_ns: ctx.now().saturating_sub(hdr.start_ns),
+            });
+        }
+    }
+
+    /// An ACK arrived for one of our flows.
+    fn on_ack_frame(&mut self, hdr: &SegmentHdr, ctx: &mut HostCtx<'_>) {
+        let outcome = match self.active.get_mut(&hdr.key) {
+            Some(st) => st.sender.on_ack(hdr.ack, hdr.seq, hdr.ts, ctx.now()),
+            None => return,
+        };
+        match outcome {
+            AckOutcome::Completed => {
+                let st = self.active.remove(&hdr.key).expect("looked up above");
+                self.stats.flows_completed += 1;
+                self.stats.absorb_sender(&st.sender);
+            }
+            AckOutcome::Advanced | AckOutcome::Duplicate => {
+                let st = self.active.get_mut(&hdr.key).expect("looked up above");
+                Self::pump(st, &mut self.stats, ctx);
+            }
+            AckOutcome::Ignored => {}
+        }
+        self.arm(ctx);
+    }
+
+    /// A rate-probe echo came back: clamp the flow's window to the
+    /// in-band bottleneck rate and react to switch boot-epoch changes.
+    fn on_rate_echo(&mut self, echo: RateEcho, ctx: &mut HostCtx<'_>) {
+        let mut epoch_changed = false;
+        for (sid, ep) in &echo.epochs {
+            if let Some(prev) = self.switch_epochs.insert(*sid, *ep) {
+                if prev != *ep {
+                    epoch_changed = true;
+                }
+            }
+        }
+        if epoch_changed {
+            // A switch on some path rebooted: in-flight rate clamps may
+            // describe a path that no longer exists, so reset every
+            // active flow's window (shared fabric, coarse but safe).
+            for st in self.active.values_mut() {
+                st.sender.on_path_epoch_change();
+            }
+        }
+        if let Some(st) = self.active.get_mut(&echo.key) {
+            st.sender.set_rate_bps(echo.rate_bps);
+            Self::pump(st, &mut self.stats, ctx);
+        }
+        self.arm(ctx);
+    }
+}
+
+impl HostApp for ClosedFlowGenApp {
+    fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
+        self.arm(ctx);
+    }
+
+    fn on_timer(&mut self, _token: u64, ctx: &mut HostCtx<'_>) {
+        self.armed_at = 0;
+        self.service(ctx);
+    }
+
+    fn on_frame(&mut self, frame: Vec<u8>, ctx: &mut HostCtx<'_>) {
+        let Ok(eth) = Frame::new_checked(&frame[..]) else {
+            ctx.recycle_frame(frame);
+            return;
+        };
+        if eth.ethertype() == TRANSPORT_ETHERTYPE {
+            if let Some(hdr) = SegmentHdr::decode(eth.payload()) {
+                let src = eth.src_addr();
+                match hdr.kind {
+                    transport::KIND_DATA => self.on_data(&hdr, src, ctx),
+                    transport::KIND_ACK => self.on_ack_frame(&hdr, ctx),
+                    _ => {}
+                }
+            }
+            ctx.recycle_frame(frame);
+            return;
+        }
+        if let Some(echo) = decode_rate_echo(&frame, ctx.mac()) {
+            self.on_rate_echo(echo, ctx);
+        } else if let Some(reply) = echo_reply(&frame, ctx.mac()) {
+            // Receiver role: reflect executed probes back out of the
+            // NIC they arrived on (§2.2 Phase 1).
+            ctx.send_on(ctx.rx_port(), reply);
+        }
+        ctx.recycle_frame(frame);
+    }
+}
+
 /// Order-independent fingerprint of a set of completions: commutative
 /// accumulation of a mix of each `(key, fct_ns)` pair, so the value is
 /// identical for any shard count, thread interleaving, or host
@@ -432,6 +743,99 @@ mod tests {
         assert_eq!(fwd, rev);
         let other = completions_fingerprint([mk(3, 31), mk(1, 10), mk(2, 20)].into_iter());
         assert_ne!(fwd, other);
+    }
+
+    #[test]
+    fn closed_loop_recovers_over_lossy_link() {
+        use tpp_asic::AsicConfig;
+        use tpp_netsim::{time, Endpoint, NetworkBuilder, RunLimit};
+
+        let macs: Vec<EthernetAddress> = (0..2).map(EthernetAddress::from_host_id).collect();
+        let mk = |src: u32| {
+            let flows = vec![Flow {
+                start_ns: time::micros(10),
+                dst: macs[1 - src as usize],
+                bytes: 40_000,
+                key: (src as u64) << 32,
+                mining: false,
+            }];
+            Box::new(ClosedFlowGenApp::new(flows, ClosedLoopConfig::default()))
+        };
+        let mut net = NetworkBuilder::new();
+        let s = net.add_switch(AsicConfig::with_ports(1, 2));
+        let h0 = net.add_host(mk(0), 1_000_000);
+        let h1 = net.add_host(mk(1), 1_000_000);
+        net.connect(Endpoint::host(h0), Endpoint::switch(s, 0), time::micros(1));
+        net.connect(Endpoint::host(h1), Endpoint::switch(s, 1), time::micros(1));
+        let mut sim = net.build();
+        sim.populate_l2();
+        // 5% loss in both directions switch->host: data AND acks drop.
+        sim.set_link_loss(Endpoint::switch(s, 0), 50);
+        sim.set_link_loss(Endpoint::switch(s, 1), 50);
+        sim.run(RunLimit::Until(time::millis(800)));
+
+        for h in [h0, h1] {
+            let app = sim.host_app::<ClosedFlowGenApp>(h);
+            assert_eq!(app.completions.len(), 1, "host {h:?} flow incomplete");
+            assert_eq!(app.unfinished(), 0);
+            let stats = app.stats_snapshot();
+            assert_eq!(stats.flows_started, 1);
+            assert_eq!(stats.flows_completed, 1);
+            assert_eq!(stats.flows_given_up, 0);
+            assert!(stats.retransmits > 0, "5% loss must force retransmits");
+            assert!(stats.probes_sent > 0);
+        }
+        // Receiver-side exactly-once: delivered byte totals match.
+        let c = &sim.host_app::<ClosedFlowGenApp>(h1).completions[0];
+        assert_eq!(c.bytes, 40_000);
+        assert!(c.fct_ns > 0);
+    }
+
+    #[test]
+    fn closed_loop_is_deterministic() {
+        use tpp_asic::AsicConfig;
+        use tpp_netsim::{time, Endpoint, NetworkBuilder, RunLimit};
+
+        let run = || {
+            let macs: Vec<EthernetAddress> = (0..2).map(EthernetAddress::from_host_id).collect();
+            let cfg = TrafficConfig {
+                flows_per_host: 20,
+                mean_gap_ns: 30_000,
+                ..Default::default()
+            };
+            let mut net = NetworkBuilder::new();
+            let s = net.add_switch(AsicConfig::with_ports(1, 2));
+            for src in 0..2u32 {
+                let sched = generate_schedule(&cfg, src, &macs, FlowSizeDist::WebSearch);
+                net.add_host(
+                    Box::new(ClosedFlowGenApp::new(sched, ClosedLoopConfig::default())),
+                    1_000_000,
+                );
+            }
+            net.connect(
+                Endpoint::host(tpp_netsim::HostId(0)),
+                Endpoint::switch(s, 0),
+                time::micros(1),
+            );
+            net.connect(
+                Endpoint::host(tpp_netsim::HostId(1)),
+                Endpoint::switch(s, 1),
+                time::micros(1),
+            );
+            let mut sim = net.build();
+            sim.populate_l2();
+            sim.set_link_loss(Endpoint::switch(s, 0), 20);
+            sim.set_link_loss(Endpoint::switch(s, 1), 20);
+            sim.run(RunLimit::Until(time::millis(400)));
+            let mut fp = 0u64;
+            for h in [tpp_netsim::HostId(0), tpp_netsim::HostId(1)] {
+                let app = sim.host_app::<ClosedFlowGenApp>(h);
+                fp = fp.wrapping_add(completions_fingerprint(app.completions.iter().copied()));
+                fp ^= splitmix64(app.stats_snapshot().retransmits);
+            }
+            fp
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

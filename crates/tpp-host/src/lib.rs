@@ -36,6 +36,7 @@ pub mod pacing;
 pub mod probe;
 pub mod rtt;
 pub mod telemetry;
+pub mod transport;
 pub mod widequery;
 
 pub use bonding::{BondConfig, BondScheduler, HealthEvent, PathHealth};
@@ -45,6 +46,10 @@ pub use probe::parse_echo;
 pub use probe::{echo_reply, ProbeBuilder, DATA_ETHERTYPE};
 pub use rtt::RttEstimator;
 pub use telemetry::{decode_echo, split_hops, HopView, PathSample};
+pub use transport::{
+    segments_for, AckOutcome, DataSeg, FlowReceiver, FlowSender, RtoOutcome, RxOutcome, SegmentHdr,
+    TransportConfig, TransportStats, TRANSPORT_ETHERTYPE,
+};
 pub use widequery::{SegmentedCollector, SegmentedQuery, WideRow};
 
 use tpp_netsim::{HostApp, HostCtx};

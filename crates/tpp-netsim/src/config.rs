@@ -47,6 +47,13 @@ pub struct SimConfig {
     pub series_capacity: Option<usize>,
     /// Retired frame buffers each shard's pool retains for reuse.
     pub frame_pool_buffers: usize,
+    /// Enable ECMP routing: at build time an equal-cost next-hop table
+    /// is derived from the topology (all shortest paths, not just the
+    /// BFS tree), and switches with more than one candidate egress pick
+    /// one by a pure flow-key hash of `(seed, src, dst, flow label)` —
+    /// see [`crate::routing`]. Off by default: single-path runs stay
+    /// byte-identical to builds predating this knob.
+    pub ecmp: bool,
 }
 
 /// The historical simulator seed; kept as the default so seeded runs
@@ -71,6 +78,7 @@ impl Default for SimConfig {
             seed: DEFAULT_SEED,
             series_capacity: None,
             frame_pool_buffers: 1024,
+            ecmp: false,
         }
     }
 }
@@ -124,6 +132,12 @@ impl SimConfig {
         self.frame_pool_buffers = buffers;
         self
     }
+
+    /// Enable (or disable) hash-based ECMP over equal-cost next hops.
+    pub fn ecmp(mut self, ecmp: bool) -> Self {
+        self.ecmp = ecmp;
+        self
+    }
 }
 
 /// How long [`Simulator::run`](crate::Simulator::run) runs.
@@ -169,13 +183,16 @@ mod tests {
             .tick_interval_ns(42)
             .seed(7)
             .series_capacity(128)
-            .frame_pool_buffers(8);
+            .frame_pool_buffers(8)
+            .ecmp(true);
         assert_eq!(cfg.shards, 4);
         assert!(!cfg.parallel);
         assert_eq!(cfg.tick_interval_ns, 42);
         assert_eq!(cfg.seed, 7);
         assert_eq!(cfg.series_capacity, Some(128));
         assert_eq!(cfg.frame_pool_buffers, 8);
+        assert!(cfg.ecmp);
+        assert!(!SimConfig::new().ecmp, "ECMP is opt-in");
     }
 
     #[test]

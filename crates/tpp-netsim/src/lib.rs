@@ -70,6 +70,7 @@ pub mod node;
 pub mod obs;
 pub mod pool;
 pub mod profile;
+pub mod routing;
 pub mod series;
 mod shard;
 pub mod sim;
@@ -82,6 +83,7 @@ pub use node::{AsAny, HostApp, HostCtx, HostId, SwitchId};
 pub use obs::ObsHandle;
 pub use pool::FramePool;
 pub use profile::{Interp, LinkProfile, LinkState};
+pub use routing::{flow_label, EcmpTable};
 pub use series::{
     RingSeries, SeriesSet, SwitchSeries, FLEET_SERIES_METRICS, SWITCH_SERIES_METRICS,
 };

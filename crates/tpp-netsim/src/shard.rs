@@ -98,6 +98,10 @@ pub(crate) struct ShardRun<'a> {
     pub(crate) state: &'a mut ShardState,
     pub(crate) inboxes: &'a [Mutex<Vec<Event>>],
     pub(crate) l2_routes: &'a [Vec<(EthernetAddress, PortId)>],
+    /// Equal-cost next-hop table, present only under
+    /// [`SimConfig::ecmp`](crate::SimConfig::ecmp); shared read-only by
+    /// every shard.
+    pub(crate) ecmp: Option<&'a crate::routing::EcmpTable>,
     pub(crate) fault_seed: u64,
     pub(crate) fault_epoch: u32,
 }
@@ -177,12 +181,70 @@ impl ShardRun<'_> {
             self.tap(NodeId::switch(s), port, TapDir::Rx, &frame);
         }
         let now = self.now_ns;
-        let outcome = self.switches[s.0 - self.switch_base]
-            .asic
-            .handle_frame(frame, port, now);
+        let route = self.ecmp.and_then(|table| self.ecmp_pick(table, s, &frame));
+        let local = s.0 - self.switch_base;
+        let outcome = match route {
+            Some(out) => self.switches[local]
+                .asic
+                .handle_frame_routed(frame, port, now, Some(out)),
+            None => self.switches[local].asic.handle_frame(frame, port, now),
+        };
         if let Outcome::Enqueued { port: out, .. } = outcome {
             self.try_tx_switch(s, out);
         }
+    }
+
+    /// The ECMP egress override for one frame at switch `s`, or `None`
+    /// when hashing does not apply (no flow key, unknown destination,
+    /// or a group of at most one — single-path tiers keep the ASIC's
+    /// own lookup and its flow cache). Candidates are filtered to up
+    /// egress links (owned by this shard, so the filter is as
+    /// deterministic as the hash); a fully-dark group falls back to the
+    /// unfiltered pick and the frame drops at the transmitter.
+    fn ecmp_pick(
+        &self,
+        table: &crate::routing::EcmpTable,
+        s: SwitchId,
+        frame: &[u8],
+    ) -> Option<PortId> {
+        let parsed = Frame::new_checked(frame).ok()?;
+        let dst = parsed.dst_addr();
+        let dst_host = dst.host_id()?;
+        let group = table.group(s.0, dst_host);
+        if group.len() < 2 {
+            return None;
+        }
+        let local = s.0 - self.switch_base;
+        let is_up = |p: &&PortId| {
+            self.switch_links[local]
+                .get(**p as usize)
+                .and_then(Option::as_ref)
+                .is_some_and(|l| l.up)
+        };
+        let hash = table.flow_hash(
+            self.switches[local].asic.switch_id(),
+            parsed.src_addr(),
+            dst,
+            crate::routing::flow_label(frame),
+        );
+        // Stack buffer: groups are tiny (≤ radix/2), and this runs per
+        // frame. A group wider than the buffer keeps the first 32 up
+        // candidates, which preserves determinism (same truncation on
+        // every shard layout).
+        let mut up = [0 as PortId; 32];
+        let mut n = 0;
+        for p in group.iter().filter(is_up) {
+            if n < up.len() {
+                up[n] = *p;
+                n += 1;
+            }
+        }
+        let pick = if n == 0 {
+            crate::routing::EcmpTable::pick(group, hash)
+        } else {
+            crate::routing::EcmpTable::pick(&up[..n], hash)
+        };
+        Some(pick)
     }
 
     /// Batched TCPU execution: frames landing on switch `s` at the same

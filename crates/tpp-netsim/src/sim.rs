@@ -320,6 +320,15 @@ impl NetworkBuilder {
         }
 
         let l2_routes = compute_l2_routes(&switches, &hosts, &switch_links, &host_links);
+        let ecmp = cfg.ecmp.then(|| {
+            crate::routing::EcmpTable::build(
+                cfg.seed,
+                &switches,
+                &hosts,
+                &switch_links,
+                &host_links,
+            )
+        });
         let series = cfg.series_capacity.map(|cap| {
             let ids: Vec<u32> = switches.iter().map(|sw| sw.asic.switch_id()).collect();
             SeriesSet::new(&ids, cap)
@@ -347,6 +356,7 @@ impl NetworkBuilder {
                 .collect(),
             inboxes: (0..num_shards).map(|_| Mutex::new(Vec::new())).collect(),
             l2_routes,
+            ecmp,
             fault_seed: 0,
             fault_epoch: 0,
             next_fault_entry: 0,
@@ -597,6 +607,9 @@ pub struct Simulator {
     inboxes: Vec<Mutex<Vec<Event>>>,
     /// Precomputed control-plane L2 tables (see [`compute_l2_routes`]).
     l2_routes: Vec<Vec<(EthernetAddress, PortId)>>,
+    /// Equal-cost next-hop groups, built only under [`SimConfig::ecmp`]
+    /// (see [`crate::routing`]). Shards read it by shared reference.
+    ecmp: Option<crate::routing::EcmpTable>,
     /// Seed of the installed fault plan; per-link fault streams derive
     /// from it.
     fault_seed: u64,
@@ -638,6 +651,12 @@ impl Simulator {
     /// delay, or `u64::MAX` when no link crosses a shard boundary.
     pub fn lookahead_ns(&self) -> u64 {
         self.lookahead_ns
+    }
+
+    /// The equal-cost routing table, when built under
+    /// [`SimConfig::ecmp`] (ground truth for routing tests).
+    pub fn ecmp_table(&self) -> Option<&crate::routing::EcmpTable> {
+        self.ecmp.as_ref()
     }
 
     /// Total events dispatched so far, summed over shards.
@@ -1195,6 +1214,7 @@ impl Simulator {
                 state: &mut st[0],
                 inboxes: &self.inboxes,
                 l2_routes: &self.l2_routes,
+                ecmp: self.ecmp.as_ref(),
                 fault_seed,
                 fault_epoch,
             });

@@ -14,6 +14,7 @@ use std::collections::BTreeMap;
 use tpp_apps::bonding::BondSender;
 use tpp_apps::microburst::MicroburstMonitor;
 use tpp_host::bonding::PathHealth;
+use tpp_host::TransportStats;
 use tpp_netsim::{Simulator, SwitchId};
 use tpp_telemetry::{Histogram, MetricsRegistry};
 
@@ -102,6 +103,8 @@ pub struct Collector {
     queues: BTreeMap<(u32, u32), QueueView>,
     rtt: Histogram,
     paths: BTreeMap<usize, PathView>,
+    transport: TransportStats,
+    fct: Histogram,
     /// Probes the monitored hosts sent.
     pub probes_sent: u64,
     /// Echoes received and decoded.
@@ -174,6 +177,28 @@ impl Collector {
         for &(_sent, latency) in &sender.ack_latencies {
             self.ingest_rtt(latency);
         }
+    }
+
+    /// Fold one host's closed-loop transport counters into the fleet
+    /// aggregate (use each app's `stats_snapshot()` so in-flight flows
+    /// are included). Call once per host, after the run.
+    pub fn ingest_transport(&mut self, stats: &TransportStats) {
+        self.transport.merge(stats);
+    }
+
+    /// Record one closed-loop flow-completion time.
+    pub fn ingest_fct(&mut self, fct_ns: u64) {
+        self.fct.observe(fct_ns);
+    }
+
+    /// The fleet-wide transport aggregate.
+    pub fn transport(&self) -> &TransportStats {
+        &self.transport
+    }
+
+    /// The closed-loop FCT distribution.
+    pub fn fct(&self) -> &Histogram {
+        &self.fct
     }
 
     /// The aggregated view of one bonded path.
@@ -253,6 +278,25 @@ impl Collector {
             all.merge(&view.hist);
         }
         registry.merge_histogram("collector.queue_bytes", &all);
+        // The transport family only exports when something was ingested,
+        // so runs without closed-loop traffic keep their metric set (and
+        // goldens) unchanged.
+        if self.transport != TransportStats::default() || self.fct.count() > 0 {
+            let t = &self.transport;
+            registry.set("transport.flows_started", t.flows_started);
+            registry.set("transport.flows_completed", t.flows_completed);
+            registry.set("transport.flows_given_up", t.flows_given_up);
+            registry.set("transport.segments_sent", t.segments_sent);
+            registry.set("transport.retransmits", t.retransmits);
+            registry.set("transport.rto_fires", t.rto_fires);
+            registry.set("transport.fast_retransmits", t.fast_retransmits);
+            registry.set("transport.dup_segments_rx", t.dup_segments_rx);
+            registry.set("transport.acks_sent", t.acks_sent);
+            registry.set("transport.probes_sent", t.probes_sent);
+            registry.set("transport.rate_updates", t.rate_updates);
+            registry.set("transport.epoch_resets", t.epoch_resets);
+            registry.merge_histogram("transport.fct_ns", &self.fct);
+        }
         for (path, view) in &self.paths {
             registry.set(&format!("bond.path{path}.probes_sent"), view.probes_sent);
             registry.set(&format!("bond.path{path}.echoes"), view.echoes_received);
@@ -347,6 +391,35 @@ mod tests {
         assert!(reg.counter("bond.path0.probes_sent") > 0);
         assert!(reg.counter("bond.path1.echoes") > 0);
         assert!(reg.histogram("bond.path0.queue_bytes").is_some());
+    }
+
+    #[test]
+    fn transport_family_exports_only_when_ingested() {
+        let mut c = Collector::new();
+        let mut reg = MetricsRegistry::new();
+        c.export_metrics(&mut reg);
+        assert_eq!(reg.counter("transport.flows_started"), 0);
+        assert!(
+            reg.histogram("transport.fct_ns").is_none(),
+            "no ingest, no family"
+        );
+
+        let stats = TransportStats {
+            flows_started: 3,
+            flows_completed: 2,
+            retransmits: 5,
+            ..Default::default()
+        };
+        c.ingest_transport(&stats);
+        c.ingest_transport(&stats);
+        c.ingest_fct(1_500_000);
+        let mut reg = MetricsRegistry::new();
+        c.export_metrics(&mut reg);
+        assert_eq!(reg.counter("transport.flows_started"), 6);
+        assert_eq!(reg.counter("transport.retransmits"), 10);
+        assert!(reg.histogram("transport.fct_ns").is_some());
+        assert_eq!(c.transport().flows_completed, 4);
+        assert_eq!(c.fct().count(), 1);
     }
 
     #[test]

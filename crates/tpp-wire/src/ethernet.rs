@@ -28,6 +28,14 @@ impl EthernetAddress {
         EthernetAddress([0x02, 0x00, b[0], b[1], b[2], b[3]])
     }
 
+    /// The host id this address was minted from by [`Self::from_host_id`],
+    /// or `None` for addresses outside the simulator's `02:00:…` host
+    /// block (broadcast, switch-originated, or foreign MACs).
+    pub fn host_id(&self) -> Option<u32> {
+        let b = self.0;
+        (b[0] == 0x02 && b[1] == 0x00).then(|| u32::from_be_bytes([b[2], b[3], b[4], b[5]]))
+    }
+
     /// True if this is the broadcast address.
     pub fn is_broadcast(&self) -> bool {
         *self == Self::BROADCAST

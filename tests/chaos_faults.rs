@@ -22,11 +22,14 @@ use tpp::apps::rcpstar::{init_rate_registers, RcpStarConfig, RcpStarSender, RCP_
 use tpp::host::EchoReceiver;
 use tpp::netsim::RunLimit;
 use tpp::netsim::{
-    dumbbell, time, ChannelProfile, Dumbbell, DumbbellParams, Endpoint, FaultCounters, FaultPlan,
-    HostApp, Simulator,
+    dumbbell, fat_tree_with, time, ChannelProfile, Dumbbell, DumbbellParams, Endpoint,
+    FatTreeParams, FaultCounters, FaultPlan, HostApp, HostId, SimConfig, Simulator,
 };
 use tpp::telemetry::TraceEventKind;
 use tpp::wire::EthernetAddress;
+use tpp_bench::traffic::{
+    generate_schedule, ClosedFlowGenApp, ClosedLoopConfig, FlowSizeDist, TrafficConfig,
+};
 
 const C_BPS: f64 = 10e6; // dumbbell default bottleneck
 
@@ -271,6 +274,114 @@ fn identical_fault_plans_replay_byte_identically() {
         ),
         "different seed, different chaos"
     );
+}
+
+/// One closed-loop fat-tree run under combined chaos: persistent loss on
+/// the edge uplinks, an uplink flap while flows are in flight, and an
+/// aggregation-switch reboot. Returns every flow's (key, FCT), the
+/// recovery counters, and the fault counters.
+fn closed_loop_chaos_run(seed: u64) -> (Vec<(u64, u64)>, [u64; 5], FaultCounters) {
+    let params = FatTreeParams::default(); // k=4: 16 hosts, 20 switches
+    let half = params.k / 2;
+    let hpe = params.effective_hosts_per_edge();
+    let n_hosts = params.n_hosts();
+    let macs: Vec<EthernetAddress> = (0..n_hosts)
+        .map(|i| EthernetAddress::from_host_id(i as u32))
+        .collect();
+    let traffic = TrafficConfig {
+        seed,
+        flows_per_host: 12,
+        mean_gap_ns: 400_000,
+        ..Default::default()
+    };
+    let mut flows_total = 0u64;
+    let mut last_start = 0u64;
+    let apps: Vec<Box<dyn HostApp>> = (0..n_hosts)
+        .map(|i| {
+            let dist = if i % 2 == 0 {
+                FlowSizeDist::WebSearch
+            } else {
+                FlowSizeDist::DataMining
+            };
+            let sched = generate_schedule(&traffic, i as u32, &macs, dist);
+            flows_total += sched.len() as u64;
+            if let Some(f) = sched.last() {
+                last_start = last_start.max(f.start_ns);
+            }
+            Box::new(ClosedFlowGenApp::new(sched, ClosedLoopConfig::default())) as _
+        })
+        .collect();
+
+    let (mut sim, tree) = fat_tree_with(
+        SimConfig::new()
+            .ecmp(true)
+            .tick_interval_ns(time::millis(1)),
+        params,
+        apps,
+    );
+    for sw in tree
+        .edges
+        .iter()
+        .chain(tree.aggs.iter())
+        .flatten()
+        .chain(tree.cores.iter())
+    {
+        init_rate_registers(sim.switch_mut(*sw));
+    }
+    for edge in tree.edges.iter().flatten() {
+        for a in 0..half {
+            sim.set_link_loss(Endpoint::switch(*edge, (hpe + a) as u16), 10);
+        }
+    }
+
+    // An uplink flaps while flows are in flight (ECMP routes around it)
+    // and an aggregation switch reboots, wiping its SRAM and bumping
+    // its boot epoch mid-conversation.
+    let mut plan = FaultPlan::new(seed ^ 0xc4a0_5005);
+    plan.link_flap(
+        time::millis(1),
+        time::millis(3),
+        Endpoint::switch(tree.edges[0][0], hpe as u16),
+    )
+    .switch_reboot(time::millis(2), tree.aggs[0][0]);
+    sim.install_faults(&plan);
+    sim.run(RunLimit::Until(last_start + time::millis(50)));
+
+    let mut fcts = Vec::with_capacity(flows_total as usize);
+    let mut counters = [0u64; 5];
+    for i in 0..n_hosts {
+        let app = sim.host_app::<ClosedFlowGenApp>(HostId(i));
+        fcts.extend(app.completions.iter().map(|c| (c.key, c.fct_ns)));
+        let stats = app.stats_snapshot();
+        counters[0] += stats.flows_completed;
+        counters[1] += stats.retransmits;
+        counters[2] += stats.flows_given_up;
+        counters[3] += app.unfinished() as u64;
+        counters[4] += stats.epoch_resets;
+    }
+    fcts.sort_unstable();
+    assert_eq!(counters[0], flows_total, "every flow completes under chaos");
+    assert_eq!(counters[2], 0, "no flow exhausts its retry budget");
+    assert_eq!(counters[3], 0, "no flow left dangling at drain");
+    (fcts, counters, sim.fault_counters())
+}
+
+/// Scenario 5: closed-loop transport flows all complete across an
+/// uplink flap plus an aggregation-switch reboot under persistent edge
+/// loss — recovery is retransmit-driven and epoch-aware — and the whole
+/// run replays byte-identically from the same seed.
+#[test]
+fn closed_loop_flows_survive_flap_and_reboot_and_replay_identically() {
+    let (fcts_a, counters_a, faults_a) = closed_loop_chaos_run(0xc4a0_5006);
+    assert!(counters_a[1] > 0, "edge loss forced retransmits");
+    assert!(counters_a[4] > 0, "the reboot's epoch bump reached senders");
+    assert_eq!(faults_a.link_downs, 2, "one full-duplex flap");
+    assert_eq!(faults_a.reboots, 1);
+
+    let (fcts_b, counters_b, faults_b) = closed_loop_chaos_run(0xc4a0_5006);
+    assert_eq!(fcts_a, fcts_b, "per-flow FCTs replay byte-identically");
+    assert_eq!(counters_a, counters_b);
+    assert_eq!(faults_a, faults_b);
 }
 
 /// Scenario 4b: without an installed plan nothing is injected — the

@@ -26,7 +26,7 @@ use tpp::netsim::{
 use tpp::wire::ethernet::{build_frame, EtherType};
 use tpp::wire::EthernetAddress;
 use tpp_bench::traffic::{
-    completions_fingerprint, generate_schedule, FlowGenApp, FlowSizeDist, TrafficConfig,
+    completions_fingerprint, generate_schedule, splitmix64, FlowGenApp, FlowSizeDist, TrafficConfig,
 };
 
 /// One switch's ring series, flattened: `(switch, metric, points)`.
@@ -350,8 +350,18 @@ fn fat_tree_traffic(cfg: SimConfig, traffic_seed: u64) -> Fingerprint {
         completions.extend_from_slice(&app.completions);
     }
     let monitor = sim.host_app::<MicroburstMonitor>(HostId(0));
+    // Beyond the commutative completions sum: fold every individual
+    // (key, FCT) pair in key order, so a single flow finishing one
+    // nanosecond differently on some shard layout breaks the
+    // fingerprint even if the sum happens to collide.
+    completions.sort_unstable_by_key(|c| c.key);
+    let mut per_flow_fcts = 0u64;
+    for c in &completions {
+        per_flow_fcts = splitmix64(per_flow_fcts ^ c.key ^ c.fct_ns.rotate_left(31));
+    }
     let path_counters = vec![
         completions_fingerprint(completions.iter().copied()),
+        per_flow_fcts,
         monitor.probes_sent,
         monitor.echoes_received,
         monitor.samples.len() as u64,
@@ -441,7 +451,11 @@ proptest! {
             "flows must complete for the fingerprint to mean anything"
         );
         prop_assert!(
-            reference.path_counters[3] > 0,
+            reference.path_counters[1] != 0,
+            "per-flow FCT fingerprint must cover completions"
+        );
+        prop_assert!(
+            reference.path_counters[4] > 0,
             "the monitor must collect TPP samples"
         );
         for (label, fp) in runs {
