@@ -30,6 +30,7 @@
 
 pub mod bonding_scenario;
 pub mod conformance;
+pub mod dash_scenario;
 pub mod obs_scenario;
 pub mod testgen;
 pub mod traffic;

@@ -43,6 +43,18 @@ pub enum PathHealth {
     Down,
 }
 
+impl PathHealth {
+    /// Short display name for dashboards and logs. `Down` shouts so a
+    /// dead path stands out in a monochrome fleet table.
+    pub fn name(self) -> &'static str {
+        match self {
+            PathHealth::Good => "good",
+            PathHealth::Degraded => "degraded",
+            PathHealth::Down => "DOWN",
+        }
+    }
+}
+
 /// One health transition, for the failover timeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HealthEvent {

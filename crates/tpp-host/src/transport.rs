@@ -284,6 +284,11 @@ pub struct FlowSender {
     pub rate_updates: u64,
     /// Path-epoch resets absorbed.
     pub epoch_resets: u64,
+    /// Polls where the RCP\* rate clamp — not cwnd or flow exhaustion —
+    /// closed the window.
+    pub rate_limited_polls: u64,
+    /// Deepest exponential-backoff rung this flow reached.
+    pub max_backoff: u64,
 }
 
 impl FlowSender {
@@ -324,6 +329,8 @@ impl FlowSender {
             fast_retransmits: 0,
             rate_updates: 0,
             epoch_resets: 0,
+            rate_limited_polls: 0,
+            max_backoff: 0,
             cfg,
         }
     }
@@ -389,18 +396,28 @@ impl FlowSender {
     }
 
     /// The effective window: additive-increase cwnd clamped by the
-    /// RCP\*-rate window and the hard ceiling.
-    fn effective_cwnd(&self) -> u32 {
+    /// RCP\*-rate window and the hard ceiling. The flag reports whether
+    /// the rate clamp (not cwnd) is the binding constraint.
+    fn cwnd_clamps(&self) -> (u32, bool) {
         let mut w = self.cwnd.min(self.cfg.max_cwnd);
+        let mut rate_bound = false;
         if let Some(rate) = self.rate_bps {
             // rate [bit/s] × srtt [ns] / 8e9 = bytes in flight at the
             // granted rate; at least one segment so flows always drain.
             let srtt = self.est.srtt_or(self.cfg.initial_rto_ns / 2) as u128;
             let bytes = (rate as u128 * srtt) / 8_000_000_000u128;
             let segs = (bytes / self.wire_seg_bytes() as u128).max(1) as u64;
-            w = w.min(segs.min(u32::MAX as u64) as u32);
+            let rate_w = segs.min(u32::MAX as u64) as u32;
+            if rate_w < w {
+                w = rate_w;
+                rate_bound = true;
+            }
         }
-        w.max(1)
+        (w.max(1), rate_bound)
+    }
+
+    fn effective_cwnd(&self) -> u32 {
+        self.cwnd_clamps().0
     }
 
     /// Current RTO with backoff and the deterministic jitter draw.
@@ -450,11 +467,12 @@ impl FlowSender {
                 retransmit: true,
             });
         }
-        let window_end = self
-            .snd_una
-            .saturating_add(self.effective_cwnd())
-            .min(self.total_segs);
+        let (eff, rate_bound) = self.cwnd_clamps();
+        let window_end = self.snd_una.saturating_add(eff).min(self.total_segs);
         if self.snd_nxt >= window_end {
+            if rate_bound && self.snd_nxt < self.total_segs {
+                self.rate_limited_polls += 1;
+            }
             return None;
         }
         let seq = self.snd_nxt;
@@ -530,6 +548,7 @@ impl FlowSender {
         }
         self.rto_fires += 1;
         self.backoff = (self.backoff + 1).min(self.cfg.backoff_cap);
+        self.max_backoff = self.max_backoff.max(self.backoff as u64);
         self.snd_nxt = self.snd_una;
         self.cwnd = 1;
         self.dup_acks = 0;
@@ -709,6 +728,11 @@ pub struct TransportStats {
     pub rate_updates: u64,
     /// Path-epoch resets absorbed.
     pub epoch_resets: u64,
+    /// Polls where the RCP\* rate clamp closed the window.
+    pub rate_limited_polls: u64,
+    /// Deepest exponential-backoff rung any flow reached (max-merged,
+    /// not summed — it is a ladder depth, not a count).
+    pub max_backoff: u64,
 }
 
 impl TransportStats {
@@ -726,6 +750,8 @@ impl TransportStats {
         self.probes_sent += other.probes_sent;
         self.rate_updates += other.rate_updates;
         self.epoch_resets += other.epoch_resets;
+        self.rate_limited_polls += other.rate_limited_polls;
+        self.max_backoff = self.max_backoff.max(other.max_backoff);
     }
 
     /// Absorb a finished (or abandoned) sender's counters.
@@ -735,6 +761,8 @@ impl TransportStats {
         self.fast_retransmits += s.fast_retransmits;
         self.rate_updates += s.rate_updates;
         self.epoch_resets += s.epoch_resets;
+        self.rate_limited_polls += s.rate_limited_polls;
+        self.max_backoff = self.max_backoff.max(s.max_backoff);
     }
 }
 
@@ -894,6 +922,10 @@ mod tests {
             sent += 1;
         }
         assert_eq!(sent, 1, "window clamped to the granted rate");
+        assert_eq!(
+            s.rate_limited_polls, 1,
+            "the closing poll was charged to the rate clamp"
+        );
         s.on_path_epoch_change();
         assert_eq!(s.epoch_resets, 1);
         assert!(s.effective_cwnd() >= 2, "clamp cleared on epoch reset");
@@ -955,15 +987,40 @@ mod tests {
         let mut s = sender(1408);
         s.retransmits = 3;
         s.rto_fires = 2;
+        s.rate_limited_polls = 4;
+        s.max_backoff = 3;
         let mut a = TransportStats {
             flows_started: 1,
+            max_backoff: 5,
             ..Default::default()
         };
         a.absorb_sender(&s);
-        let mut b = TransportStats::default();
+        let mut b = TransportStats {
+            max_backoff: 2,
+            ..Default::default()
+        };
         b.merge(&a);
         assert_eq!(b.retransmits, 3);
         assert_eq!(b.rto_fires, 2);
         assert_eq!(b.flows_started, 1);
+        assert_eq!(b.rate_limited_polls, 4);
+        assert_eq!(b.max_backoff, 5, "ladder depth max-merges");
+    }
+
+    #[test]
+    fn backoff_ladder_depth_is_tracked() {
+        let mut s = sender(4 * 1408);
+        assert!(s.poll_send(0).is_some());
+        for _ in 0..3 {
+            let at = s.rto_deadline().unwrap();
+            assert_eq!(s.on_rto(at), RtoOutcome::Retransmitting);
+            assert!(s.poll_send(at).is_some());
+        }
+        assert_eq!(s.max_backoff, 3, "three consecutive RTOs climb 3 rungs");
+        // An advancing ACK resets the live backoff but not the high-water
+        // mark.
+        let now = s.rto_deadline().unwrap() + 1;
+        s.on_ack(1, 0, 0, now);
+        assert_eq!(s.max_backoff, 3);
     }
 }

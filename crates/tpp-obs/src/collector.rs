@@ -105,6 +105,7 @@ pub struct Collector {
     paths: BTreeMap<usize, PathView>,
     transport: TransportStats,
     fct: Histogram,
+    uplinks: BTreeMap<(u32, u16), u64>,
     /// Probes the monitored hosts sent.
     pub probes_sent: u64,
     /// Echoes received and decoded.
@@ -189,6 +190,20 @@ impl Collector {
     /// Record one closed-loop flow-completion time.
     pub fn ingest_fct(&mut self, fct_ns: u64) {
         self.fct.observe(fct_ns);
+    }
+
+    /// Record one ECMP uplink's cumulative tx-frame counter (read from
+    /// `Simulator::link_tx_frames` after a run). Re-ingesting the same
+    /// `(switch, port)` replaces the count — the counter is cumulative,
+    /// not a delta — so periodic dashboard refreshes stay correct.
+    pub fn ingest_uplink_tx(&mut self, switch_id: u32, port: u16, tx_frames: u64) {
+        self.uplinks.insert((switch_id, port), tx_frames);
+    }
+
+    /// Iterate ingested ECMP uplink counters as `(&(switch_id, port),
+    /// tx_frames)` in key order.
+    pub fn uplinks(&self) -> impl Iterator<Item = (&(u32, u16), u64)> {
+        self.uplinks.iter().map(|(k, &v)| (k, v))
     }
 
     /// The fleet-wide transport aggregate.
@@ -295,7 +310,17 @@ impl Collector {
             registry.set("transport.probes_sent", t.probes_sent);
             registry.set("transport.rate_updates", t.rate_updates);
             registry.set("transport.epoch_resets", t.epoch_resets);
+            registry.set("transport.rate_limited_polls", t.rate_limited_polls);
+            registry.set("transport.max_backoff", t.max_backoff);
             registry.merge_histogram("transport.fct_ns", &self.fct);
+        }
+        // Likewise ECMP spread: only runs that ingested uplink counters
+        // grow an ecmp.* family.
+        for (&(switch_id, port), &tx) in &self.uplinks {
+            registry.set(
+                &format!("ecmp.uplink.sw{switch_id}.port{port}.tx_frames"),
+                tx,
+            );
         }
         for (path, view) in &self.paths {
             registry.set(&format!("bond.path{path}.probes_sent"), view.probes_sent);
@@ -420,6 +445,21 @@ mod tests {
         assert!(reg.histogram("transport.fct_ns").is_some());
         assert_eq!(c.transport().flows_completed, 4);
         assert_eq!(c.fct().count(), 1);
+    }
+
+    #[test]
+    fn uplink_counters_replace_not_accumulate() {
+        let mut c = Collector::new();
+        c.ingest_uplink_tx(0x20, 2, 100);
+        c.ingest_uplink_tx(0x20, 3, 50);
+        // Cumulative counter re-read on a later refresh: replaces.
+        c.ingest_uplink_tx(0x20, 2, 140);
+        let rows: Vec<_> = c.uplinks().collect();
+        assert_eq!(rows, vec![(&(0x20, 2), 140), (&(0x20, 3), 50)]);
+        let mut reg = MetricsRegistry::new();
+        c.export_metrics(&mut reg);
+        assert_eq!(reg.counter("ecmp.uplink.sw32.port2.tx_frames"), 140);
+        assert_eq!(reg.counter("ecmp.uplink.sw32.port3.tx_frames"), 50);
     }
 
     #[test]

@@ -25,6 +25,13 @@
 //! and [`render_top`] — the `tpp-top` live table of hot queues, stage
 //! latencies, budget violations and collector divergence.
 //!
+//! On top of the raw sources sits the dashboard stack: [`window`] folds
+//! ring-series samples into fixed-width min/mean/max/p50/p99 windows,
+//! [`snapshot`] aggregates switches, transport, ECMP spread and bonded
+//! paths into one [`FleetSnapshot`], and [`render`] turns a snapshot
+//! into a fixed-size character frame as a pure function — which is why
+//! CI can golden-pin dashboard frames byte-for-byte.
+//!
 //! [`PipelineProfile`]: tpp_asic::PipelineProfile
 
 #![forbid(unsafe_code)]
@@ -32,8 +39,16 @@
 
 pub mod collector;
 pub mod export;
+pub mod render;
+pub mod snapshot;
 pub mod top;
+pub mod window;
 
 pub use collector::{Collector, DivergenceReport, PathView, QueueView, SwitchDivergence};
-pub use export::{prometheus_snapshot, sanitize_metric_name, series_jsonl};
+pub use export::{
+    parse_series_jsonl, prometheus_snapshot, sanitize_metric_name, series_jsonl, SeriesDump,
+};
+pub use render::{render_dashboard, render_profile_diff, DashState, FrameBuf, Tab};
+pub use snapshot::{FleetSnapshot, SortKey};
 pub use top::render_top;
+pub use window::{WindowAgg, WindowedSeries};
